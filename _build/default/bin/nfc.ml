@@ -1,0 +1,393 @@
+(* nfc — command-line driver for the non-FIFO channel testbed.
+
+   Subcommands:
+     nfc protocols                 list the available protocols
+     nfc figure1                   print the paper's Figure 1
+     nfc simulate ...              one harness run, metrics (and trace)
+     nfc mcheck ...                search for a DL1 counterexample
+     nfc boundness ...             measure boundness vs k_t*k_r (Thm 2.1)
+     nfc experiment t21|t31|t41|t51|all   regenerate the paper's tables *)
+
+open Cmdliner
+
+(* ------------------------------------------------------- shared parsing *)
+
+let protocol_doc =
+  "Protocol: stop-and-wait | altbit | stenning | gbn[:WINDOW] | sr[:WINDOW] | \
+   flood[:BASE:RATIO] | afek3"
+
+let parse_protocol s =
+  match String.split_on_char ':' s with
+  | [ "stop-and-wait" ] | [ "sw" ] -> Ok (Nfc_protocol.Stop_and_wait.make ())
+  | [ "altbit" ] | [ "alternating-bit" ] -> Ok (Nfc_protocol.Alternating_bit.make ())
+  | [ "stenning" ] -> Ok (Nfc_protocol.Stenning.make ())
+  | [ "afek3" ] -> Ok (Nfc_protocol.Afek3.make ())
+  | [ "sr" ] | [ "selective-repeat" ] -> Ok (Nfc_protocol.Selective_repeat.make ())
+  | [ "sr"; w ] -> (
+      match int_of_string_opt w with
+      | Some w when w >= 1 -> Ok (Nfc_protocol.Selective_repeat.make ~window:w ())
+      | _ -> Error (`Msg "sr takes sr:WINDOW with WINDOW >= 1"))
+  | [ "gbn" ] | [ "go-back-n" ] -> Ok (Nfc_protocol.Go_back_n.make ())
+  | [ "gbn"; w ] -> (
+      match int_of_string_opt w with
+      | Some w when w >= 1 -> Ok (Nfc_protocol.Go_back_n.make ~window:w ())
+      | _ -> Error (`Msg "gbn takes gbn:WINDOW with WINDOW >= 1"))
+  | [ "flood" ] -> Ok (Nfc_protocol.Flood.make ())
+  | [ "flood"; base; ratio ] -> (
+      match (int_of_string_opt base, float_of_string_opt ratio) with
+      | Some b, Some r when b >= 1 && r >= 1.0 -> Ok (Nfc_protocol.Flood.make ~base:b ~ratio:r ())
+      | _ -> Error (`Msg "flood takes flood:BASE:RATIO with BASE >= 1, RATIO >= 1.0"))
+  | _ -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+
+let protocol_conv =
+  Arg.conv
+    ( parse_protocol,
+      fun ppf p -> Format.pp_print_string ppf (Nfc_protocol.Spec.name p) )
+
+let channel_doc =
+  "Channel: reliable | lossy:P | reorder:DELIVER:DROP | prob:Q | delayed:L[:P] | silent"
+
+let parse_channel s =
+  match String.split_on_char ':' s with
+  | [ "reliable" ] -> Ok Nfc_channel.Policy.fifo_reliable
+  | [ "silent" ] -> Ok Nfc_channel.Policy.silent
+  | [ "lossy"; p ] -> (
+      match float_of_string_opt p with
+      | Some loss when loss >= 0.0 && loss < 1.0 -> Ok (Nfc_channel.Policy.fifo_lossy ~loss)
+      | _ -> Error (`Msg "lossy takes lossy:P with 0 <= P < 1"))
+  | [ "reorder"; d; x ] -> (
+      match (float_of_string_opt d, float_of_string_opt x) with
+      | Some deliver, Some drop -> Ok (Nfc_channel.Policy.uniform_reorder ~deliver ~drop)
+      | _ -> Error (`Msg "reorder takes reorder:DELIVER:DROP"))
+  | [ "delayed"; l ] -> (
+      match int_of_string_opt l with
+      | Some latency when latency >= 0 -> Ok (Nfc_channel.Policy.fifo_delayed ~latency ())
+      | _ -> Error (`Msg "delayed takes delayed:LATENCY[:LOSS]"))
+  | [ "delayed"; l; p ] -> (
+      match (int_of_string_opt l, float_of_string_opt p) with
+      | Some latency, Some loss when latency >= 0 && loss >= 0.0 && loss < 1.0 ->
+          Ok (Nfc_channel.Policy.fifo_delayed ~latency ~loss ())
+      | _ -> Error (`Msg "delayed takes delayed:LATENCY[:LOSS]"))
+  | [ "prob"; q ] -> (
+      match float_of_string_opt q with
+      | Some q when q >= 0.0 && q <= 1.0 -> Ok (Nfc_channel.Policy.probabilistic ~q ())
+      | _ -> Error (`Msg "prob takes prob:Q with 0 <= Q <= 1"))
+  | _ -> Error (`Msg (Printf.sprintf "unknown channel %S" s))
+
+(* Policies can carry per-channel mutable state (fifo_delayed's clock), so
+   the CLI parses a channel *factory* and instantiates it once per
+   direction. *)
+let channel_conv =
+  let parse s =
+    match parse_channel s with
+    | Ok _ -> Ok (s, fun () -> Result.get_ok (parse_channel s))
+    | Error _ as e -> (match e with Error m -> Error m | Ok _ -> assert false)
+  in
+  Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
+let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller, faster experiment variants")
+
+(* ------------------------------------------------------------ protocols *)
+
+let protocols_cmd =
+  let run () =
+    let table =
+      Nfc_util.Table.create ~title:"Available data link protocols"
+        ~columns:
+          [
+            ("name", Nfc_util.Table.Left);
+            ("headers", Nfc_util.Table.Right);
+            ("description", Nfc_util.Table.Left);
+          ]
+    in
+    List.iter
+      (fun proto ->
+        let module P = (val proto : Nfc_protocol.Spec.S) in
+        Nfc_util.Table.add_row table
+          [
+            P.name;
+            (match P.header_bound with Some k -> string_of_int k | None -> "unbounded");
+            P.describe;
+          ])
+      (Nfc_protocol.Registry.defaults ());
+    Nfc_util.Table.print table
+  in
+  Cmd.v (Cmd.info "protocols" ~doc:"List the available protocols")
+    Term.(const run $ const ())
+
+(* -------------------------------------------------------------- figure1 *)
+
+let figure1_cmd =
+  let run () = print_endline (Nfc_core.Experiments.figure_1 ()) in
+  Cmd.v (Cmd.info "figure1" ~doc:"Print the paper's Figure 1 (the data link layer)")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------- simulate *)
+
+let simulate_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt protocol_conv (Nfc_protocol.Stenning.make ())
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:protocol_doc)
+  in
+  let channel =
+    Arg.(
+      value
+      & opt channel_conv
+          ("reorder:0.8:0.05", fun () -> Nfc_channel.Policy.uniform_reorder ~deliver:0.8 ~drop:0.05)
+      & info [ "c"; "channel" ] ~docv:"CHAN" ~doc:channel_doc)
+  in
+  let n = Arg.(value & opt int 10 & info [ "n"; "messages" ] ~docv:"N" ~doc:"Messages to send") in
+  let pace =
+    Arg.(value & opt int 3 & info [ "pace" ] ~docv:"K" ~doc:"Submit one message every K rounds (0 = all upfront)")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full execution") in
+  let max_rounds =
+    Arg.(value & opt int 500_000 & info [ "max-rounds" ] ~docv:"R" ~doc:"Round budget")
+  in
+  let run protocol (_, channel) n pace trace seed max_rounds =
+    let result =
+      Nfc_sim.Harness.run protocol
+        {
+          Nfc_sim.Harness.default_config with
+          policy_tr = channel ();
+          policy_rt = channel ();
+          n_messages = n;
+          submit_every = pace;
+          seed;
+          record_trace = trace;
+          max_rounds;
+          stall_rounds = Some 100_000;
+        }
+    in
+    (match result.Nfc_sim.Harness.trace with
+    | Some t when trace ->
+        List.iteri (fun i a -> Format.printf "%4d. %a@." i Nfc_automata.Action.pp a) t
+    | _ -> ());
+    Format.printf "%a@." Nfc_sim.Metrics.pp result.Nfc_sim.Harness.metrics;
+    if result.Nfc_sim.Harness.metrics.Nfc_sim.Metrics.dl_violation <> None then exit 2
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one protocol over one channel and report the metrics")
+    Term.(const run $ protocol $ channel $ n $ pace $ trace $ seed_arg $ max_rounds)
+
+(* --------------------------------------------------------------- mcheck *)
+
+let mcheck_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt protocol_conv (Nfc_protocol.Alternating_bit.make ~timeout:2 ())
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:protocol_doc)
+  in
+  let capacity =
+    Arg.(value & opt int 2 & info [ "capacity" ] ~docv:"C" ~doc:"Channel capacity per direction")
+  in
+  let submits =
+    Arg.(value & opt int 3 & info [ "submits" ] ~docv:"S" ~doc:"User submission budget")
+  in
+  let nodes =
+    Arg.(value & opt int 200_000 & info [ "nodes" ] ~docv:"N" ~doc:"Configuration budget")
+  in
+  let no_drop = Arg.(value & flag & info [ "no-drop" ] ~doc:"Forbid packet loss (pure reordering)") in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the counterexample execution to FILE")
+  in
+  let wedge =
+    Arg.(
+      value & flag
+      & info [ "wedge" ]
+          ~doc:"Search for a liveness wedge (no continuation delivers) instead of a phantom")
+  in
+  let run protocol capacity submits nodes no_drop save wedge =
+    let bounds =
+      {
+        Nfc_mcheck.Explore.capacity_tr = capacity;
+        capacity_rt = capacity;
+        submit_budget = submits;
+        max_nodes = nodes;
+        allow_drop = not no_drop;
+      }
+    in
+    if wedge then begin
+      let o = Nfc_mcheck.Explore.find_wedge protocol bounds in
+      Format.printf "%a@." Nfc_mcheck.Explore.pp_wedge_outcome o;
+      match (o, save) with
+      | Nfc_mcheck.Explore.Wedged (trace, _), Some file ->
+          Nfc_sim.Trace_io.save file trace;
+          Format.printf "wedge witness written to %s@." file;
+          exit 2
+      | Nfc_mcheck.Explore.Wedged _, None -> exit 2
+      | Nfc_mcheck.Explore.No_wedge _, _ -> exit 0
+    end;
+    let outcome = Nfc_mcheck.Explore.find_phantom protocol bounds in
+    Format.printf "%a@." Nfc_mcheck.Explore.pp_outcome outcome;
+    match outcome with
+    | Nfc_mcheck.Explore.Violation trace ->
+        (match save with
+        | Some file ->
+            Nfc_sim.Trace_io.save file trace;
+            Format.printf "counterexample written to %s@." file
+        | None -> ());
+        exit 2
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:"Model-check a protocol over an adversarial non-FIFO channel (DL1 search)")
+    Term.(const run $ protocol $ capacity $ submits $ nodes $ no_drop $ save $ wedge)
+
+(* ------------------------------------------------------------ boundness *)
+
+let boundness_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt protocol_conv (Nfc_protocol.Alternating_bit.make ~timeout:2 ())
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:protocol_doc)
+  in
+  let nodes =
+    Arg.(value & opt int 30_000 & info [ "nodes" ] ~docv:"N" ~doc:"Configuration budget")
+  in
+  let run protocol nodes =
+    let report =
+      Nfc_mcheck.Boundness.measure protocol
+        ~explore:
+          {
+            Nfc_mcheck.Explore.capacity_tr = 2;
+            capacity_rt = 2;
+            submit_budget = 2;
+            max_nodes = nodes;
+            allow_drop = true;
+          }
+        ~probe:Nfc_mcheck.Boundness.default_probe_bounds
+    in
+    Format.printf "%a@." Nfc_mcheck.Boundness.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "boundness"
+       ~doc:"Measure a protocol's boundness against Theorem 2.1's k_t*k_r state product")
+    Term.(const run $ protocol $ nodes)
+
+(* ------------------------------------------------------------- theorems *)
+
+let theorems_cmd =
+  let which =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Optional theorem id substring")
+  in
+  let run which =
+    match which with
+    | None -> Format.printf "%a@." Nfc_core.Theory.pp_all ()
+    | Some needle -> (
+        let contains hay =
+          let lh = String.lowercase_ascii hay and ln = String.lowercase_ascii needle in
+          let nh = String.length lh and nn = String.length ln in
+          let rec go i = i + nn <= nh && (String.sub lh i nn = ln || go (i + 1)) in
+          go 0
+        in
+        match List.filter (fun t -> contains t.Nfc_core.Theory.id) Nfc_core.Theory.all with
+        | [] ->
+            Format.eprintf "no theorem matches %S@." needle;
+            exit 1
+        | ts -> List.iter (fun t -> Format.printf "%a@.@." Nfc_core.Theory.pp t) ts)
+  in
+  Cmd.v
+    (Cmd.info "theorems"
+       ~doc:"Print the paper's results with their executable reproductions")
+    Term.(const run $ which)
+
+(* --------------------------------------------------------------- replay *)
+
+let replay_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file") in
+  let protocol =
+    Arg.(
+      value
+      & opt (some protocol_conv) None
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:"Also check the execution conforms to this protocol's transitions")
+  in
+  let run file protocol =
+    match Nfc_sim.Trace_io.load file with
+    | Error msg ->
+        Format.eprintf "cannot load %s: %s@." file msg;
+        exit 1
+    | Ok trace ->
+        print_string (Nfc_sim.Trace_io.judge trace);
+        (match protocol with
+        | Some proto ->
+            Format.printf "conformance (%s): %a@." (Nfc_protocol.Spec.name proto)
+              Nfc_sim.Conformance.pp_verdict
+              (Nfc_sim.Conformance.check proto trace)
+        | None -> ());
+        if Nfc_automata.Props.invalid_phantom trace <> None then exit 2
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-judge a stored execution against DL1/DL2/PL1 and the Definition-2 counters")
+    Term.(const run $ file $ protocol)
+
+(* ----------------------------------------------------------- experiment *)
+
+let experiment_cmd =
+  let which =
+    let parse = function
+      | ("t21" | "t31" | "t41" | "t51" | "lmf" | "trans" | "f1" | "all") as s -> Ok s
+      | s ->
+          Error
+            (`Msg (Printf.sprintf "unknown experiment %S (t21|t31|t41|t51|lmf|trans|f1|all)" s))
+    in
+    Arg.(
+      required
+      & pos 0 (some (Arg.conv (parse, Format.pp_print_string))) None
+      & info [] ~docv:"EXP" ~doc:"Which experiment: t21, t31, t41, t51, lmf, trans, f1, or all")
+  in
+  let run which quick seed =
+    match which with
+    | "f1" -> print_endline (Nfc_core.Experiments.figure_1 ())
+    | "t21" -> ignore (Nfc_core.Experiments.t21 ~quick ())
+    | "t31" ->
+        ignore (Nfc_core.Experiments.t31_pyramid ~ks:[ 2; 3; 4; 5 ] ());
+        print_newline ();
+        ignore (Nfc_core.Experiments.t31 ~quick ());
+        print_newline ();
+        ignore (Nfc_core.Experiments.t31_staged ~quick ())
+    | "t41" -> ignore (Nfc_core.Experiments.t41 ~quick ())
+    | "lmf" -> ignore (Nfc_core.Experiments.lmf ~quick ())
+    | "trans" -> ignore (Nfc_transport.Experiment.run ~quick ~seed ())
+    | "t51" ->
+        ignore (Nfc_core.Experiments.t51_growth ~quick ~seed ~qs:[ 0.1; 0.3; 0.5 ] ());
+        print_newline ();
+        ignore (Nfc_core.Experiments.t51_sweep ~quick ~seed ~q:0.3 ());
+        print_newline ();
+        ignore (Nfc_core.Experiments.t51_safety ~quick ~seed ~q:0.6 ())
+    | "all" -> ignore (Nfc_core.Experiments.run_all ~quick ~seed ())
+    | _ -> assert false
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate the paper's evaluation (DESIGN.md section 4)")
+    Term.(const run $ which $ quick_arg $ seed_arg)
+
+(* ----------------------------------------------------------------- main *)
+
+let () =
+  let doc = "Lower bounds for bounded data link protocols over non-FIFO channels (PODC'89), executable" in
+  let info = Cmd.info "nfc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            protocols_cmd;
+            figure1_cmd;
+            simulate_cmd;
+            mcheck_cmd;
+            boundness_cmd;
+            theorems_cmd;
+            replay_cmd;
+            experiment_cmd;
+          ]))

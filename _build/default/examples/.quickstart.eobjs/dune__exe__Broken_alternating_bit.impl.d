@@ -1,0 +1,1 @@
+examples/broken_alternating_bit.ml: Format List Nfc_automata Nfc_channel Nfc_mcheck Nfc_protocol Nfc_sim

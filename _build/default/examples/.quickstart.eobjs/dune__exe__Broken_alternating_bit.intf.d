@@ -1,0 +1,1 @@
+examples/broken_alternating_bit.mli:

@@ -1,0 +1,1 @@
+examples/header_cost.ml: List Nfc_channel Nfc_protocol Nfc_sim Nfc_util Printf

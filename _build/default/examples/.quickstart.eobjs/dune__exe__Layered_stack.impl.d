@@ -1,0 +1,1 @@
+examples/layered_stack.ml: Format List Nfc_transport String

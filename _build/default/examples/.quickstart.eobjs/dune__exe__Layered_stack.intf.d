@@ -1,0 +1,1 @@
+examples/layered_stack.mli:

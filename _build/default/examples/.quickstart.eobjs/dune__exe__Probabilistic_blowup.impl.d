@@ -1,0 +1,1 @@
+examples/probabilistic_blowup.ml: Format List Nfc_core Nfc_protocol Nfc_stats Nfc_util Printf

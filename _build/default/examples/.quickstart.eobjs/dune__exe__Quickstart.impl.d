@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Nfc_automata Nfc_channel Nfc_core Nfc_protocol Nfc_sim

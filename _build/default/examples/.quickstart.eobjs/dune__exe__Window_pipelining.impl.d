@@ -1,0 +1,1 @@
+examples/window_pipelining.ml: Format List Nfc_channel Nfc_protocol Nfc_sim Nfc_stats Nfc_util

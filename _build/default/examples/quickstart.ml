@@ -1,0 +1,50 @@
+(* Quickstart: deliver ten messages across an unreliable non-FIFO channel.
+
+   This walks the public API end to end:
+   1. render the architecture (the paper's Figure 1);
+   2. pick a protocol (Stenning's sequence numbers — the "naive" protocol
+      the paper contrasts with bounded-header ones);
+   3. pick channel behaviours (uniformly reordering, 10% loss);
+   4. run the simulation harness with online DL1/DL2/PL1 checking;
+   5. inspect the recorded execution and the resource metrics.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline (Nfc_core.Experiments.figure_1 ());
+  print_newline ();
+
+  let protocol = Nfc_protocol.Stenning.make () in
+  let channel () = Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.1 in
+  let config =
+    {
+      Nfc_sim.Harness.default_config with
+      policy_tr = channel ();
+      policy_rt = channel ();
+      n_messages = 10;
+      submit_every = 3;
+      seed = 2026;
+      record_trace = true;
+    }
+  in
+  let result = Nfc_sim.Harness.run protocol config in
+
+  (* The first few recorded actions, in the paper's notation. *)
+  (match result.Nfc_sim.Harness.trace with
+  | Some trace ->
+      print_endline "First 15 actions of the execution:";
+      List.iteri
+        (fun i a ->
+          if i < 15 then Format.printf "  %2d. %a@." i Nfc_automata.Action.pp a)
+        trace;
+      Format.printf "  ... (%d actions total)@.@." (List.length trace);
+      (* Every recorded execution can be re-judged by the declarative
+         checkers of Section 2's properties. *)
+      assert (Nfc_automata.Props.valid trace);
+      assert (Nfc_automata.Props.pl1 Nfc_automata.Action.T_to_r trace = None)
+  | None -> ());
+
+  Format.printf "%a@." Nfc_sim.Metrics.pp result.Nfc_sim.Harness.metrics;
+  if result.Nfc_sim.Harness.metrics.Nfc_sim.Metrics.completed then
+    print_endline "\nAll messages delivered exactly once, in order. \
+                   Note the header count: it grew with n, as Theorem 3.1 demands."

@@ -1,0 +1,76 @@
+(* The performance face of "pay the penalty of unbounded headers": once a
+   protocol pays for growing sequence numbers (as Theorems 3.1/4.1/5.1 say
+   it must, to be safe and cheap on non-FIFO channels), it can also
+   pipeline — something no bounded-header protocol here can do safely.
+
+   This example runs Stenning (window 1) and Go-Back-N (windows 2..16)
+   over a channel with a 10-round propagation delay and 10% loss, and
+   shows completion time falling with the window; then it shows the
+   caveat: under heavy reordering Go-Back-N's cumulative retransmission
+   makes it *slower* than Stenning (the classic motivation for selective
+   repeat).
+
+   Run with:  dune exec examples/window_pipelining.exe *)
+
+let rounds_for proto channel seed =
+  let r =
+    Nfc_sim.Harness.run proto
+      {
+        Nfc_sim.Harness.default_config with
+        policy_tr = channel ();
+        policy_rt = channel ();
+        n_messages = 30;
+        submit_every = 0;
+        seed;
+        max_rounds = 200_000;
+      }
+  in
+  let m = r.Nfc_sim.Harness.metrics in
+  (m.Nfc_sim.Metrics.rounds, m.Nfc_sim.Metrics.completed, Nfc_sim.Metrics.total_packets m)
+
+let median_rounds proto channel =
+  let runs = List.init 5 (fun seed -> rounds_for proto channel (seed + 1)) in
+  assert (List.for_all (fun (_, ok, _) -> ok) runs);
+  let rs = List.map (fun (r, _, _) -> float_of_int r) runs in
+  let ps = List.map (fun (_, _, p) -> float_of_int p) runs in
+  ( (Nfc_stats.Summary.of_list rs).Nfc_stats.Summary.median,
+    (Nfc_stats.Summary.of_list ps).Nfc_stats.Summary.median )
+
+let () =
+  let delayed () = Nfc_channel.Policy.fifo_delayed ~latency:10 ~loss:0.1 () in
+  let table =
+    Nfc_util.Table.create
+      ~title:
+        "30 messages over a 10-round-latency, 10%-loss FIFO channel (median of 5 seeds)"
+      ~columns:
+        [
+          ("protocol", Nfc_util.Table.Left);
+          ("window", Nfc_util.Table.Right);
+          ("rounds", Nfc_util.Table.Right);
+          ("packets", Nfc_util.Table.Right);
+        ]
+  in
+  let r, p = median_rounds (Nfc_protocol.Stenning.make ~timeout:30 ()) delayed in
+  Nfc_util.Table.add_row table
+    [ "stenning"; "1"; Nfc_util.Table.cell_float ~decimals:0 r; Nfc_util.Table.cell_float ~decimals:0 p ];
+  List.iter
+    (fun w ->
+      let r, p = median_rounds (Nfc_protocol.Go_back_n.make ~window:w ~timeout:30 ()) delayed in
+      Nfc_util.Table.add_row table
+        [
+          "go-back-n";
+          string_of_int w;
+          Nfc_util.Table.cell_float ~decimals:0 r;
+          Nfc_util.Table.cell_float ~decimals:0 p;
+        ])
+    [ 2; 4; 8; 16 ];
+  Nfc_util.Table.print table;
+
+  print_newline ();
+  let reorder () = Nfc_channel.Policy.uniform_reorder ~deliver:0.5 ~drop:0.0 in
+  let sr, _ = median_rounds (Nfc_protocol.Stenning.make ()) reorder in
+  let gr, _ = median_rounds (Nfc_protocol.Go_back_n.make ~window:8 ()) reorder in
+  Format.printf
+    "Caveat, under heavy reordering (no latency): stenning %.0f rounds vs go-back-8 %.0f \
+     rounds — cumulative retransmission hates non-FIFO delivery.@."
+    sr gr

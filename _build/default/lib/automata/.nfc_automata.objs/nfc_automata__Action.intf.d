@@ -1,0 +1,1 @@
+lib/automata/action.mli: Format

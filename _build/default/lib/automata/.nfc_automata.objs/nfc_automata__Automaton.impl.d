@@ -1,0 +1,1 @@
+lib/automata/automaton.ml: List

@@ -1,0 +1,1 @@
+lib/automata/composition.ml: Automaton List Printf String

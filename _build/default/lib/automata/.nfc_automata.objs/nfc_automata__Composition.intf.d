@@ -1,0 +1,1 @@
+lib/automata/composition.mli: Automaton

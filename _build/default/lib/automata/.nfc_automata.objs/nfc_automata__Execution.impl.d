@@ -1,0 +1,1 @@
+lib/automata/execution.ml: Action Format List Nfc_util

@@ -1,0 +1,1 @@
+lib/automata/execution.mli: Action Format Nfc_util

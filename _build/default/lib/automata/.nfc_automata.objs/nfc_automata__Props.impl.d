@@ -1,0 +1,1 @@
+lib/automata/props.ml: Action Execution Format Int List Nfc_util Printf Set

@@ -1,0 +1,1 @@
+lib/automata/props.mli: Action Execution Format

@@ -1,0 +1,28 @@
+type dir = T_to_r | R_to_t
+
+type t =
+  | Send_msg of int
+  | Receive_msg of int
+  | Send_pkt of dir * int
+  | Receive_pkt of dir * int
+  | Drop_pkt of dir * int
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let pp_dir ppf = function
+  | T_to_r -> Format.pp_print_string ppf "t->r"
+  | R_to_t -> Format.pp_print_string ppf "r->t"
+
+let pp ppf = function
+  | Send_msg m -> Format.fprintf ppf "send_msg(%d)" m
+  | Receive_msg m -> Format.fprintf ppf "receive_msg(%d)" m
+  | Send_pkt (d, p) -> Format.fprintf ppf "send_pkt^{%a}(%d)" pp_dir d p
+  | Receive_pkt (d, p) -> Format.fprintf ppf "receive_pkt^{%a}(%d)" pp_dir d p
+  | Drop_pkt (d, p) -> Format.fprintf ppf "drop_pkt^{%a}(%d)" pp_dir d p
+
+let to_string a = Format.asprintf "%a" pp a
+
+let is_external = function
+  | Send_msg _ | Receive_msg _ | Send_pkt _ | Receive_pkt _ -> true
+  | Drop_pkt _ -> false

@@ -1,0 +1,41 @@
+(** The action vocabulary of the paper's communication model (Section 2).
+
+    A data link layer [DL^{t->r}] is implemented by two I/O automata [A^t]
+    (transmitter) and [A^r] (receiver) communicating over two physical
+    channels [PL^{t->r}] and [PL^{r->t}].  The externally visible actions
+    are exactly the paper's:
+
+    - [Send_msg m]          — the user hands message [m] to [A^t];
+    - [Receive_msg m]       — [A^r] delivers message [m] to the user;
+    - [Send_pkt (dir, p)]   — an automaton puts packet [p] on channel [dir];
+    - [Receive_pkt (dir, p)]— channel [dir] hands packet [p] to the other
+                              automaton.
+
+    [Drop_pkt] makes packet loss explicit in recorded executions (in the
+    paper loss is simply a send with no corresponding receive; recording it
+    lets checkers distinguish "lost" from "still in transit").
+
+    Packets are [int]s: the paper assumes all messages identical, so a
+    packet carries no payload and its identity {i is} the header; the number
+    of distinct ints used by a protocol is its header count.  Messages are
+    tagged with [int] identifiers by the test harness (the protocols
+    themselves never see them) so that the FIFO property DL2 is checkable. *)
+
+type dir = T_to_r | R_to_t
+
+type t =
+  | Send_msg of int
+  | Receive_msg of int
+  | Send_pkt of dir * int
+  | Receive_pkt of dir * int
+  | Drop_pkt of dir * int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp_dir : Format.formatter -> dir -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [is_external a] — [Drop_pkt] is internal to the channel; everything
+    else is an external action of some component. *)
+val is_external : t -> bool

@@ -1,0 +1,35 @@
+type kind = Input | Output | Internal
+
+type ('s, 'a) t = {
+  name : string;
+  initial : 's;
+  classify : 'a -> kind option;
+  apply_input : 's -> 'a -> 's;
+  enabled : 's -> ('a * 's) list;
+}
+
+let step t s a =
+  match t.classify a with
+  | None -> None
+  | Some Input -> Some (t.apply_input s a)
+  | Some (Output | Internal) -> (
+      match List.find_opt (fun (a', _) -> a' = a) (t.enabled s) with
+      | Some (_, s') -> Some s'
+      | None -> None)
+
+let run t actions =
+  let rec go s i = function
+    | [] -> Ok s
+    | a :: rest -> (
+        match step t s a with None -> Error (i, a) | Some s' -> go s' (i + 1) rest)
+  in
+  go t.initial 0 actions
+
+let compatible a b ~probe =
+  List.for_all
+    (fun act ->
+      match (a.classify act, b.classify act) with
+      | Some Output, Some Output -> false
+      | Some Internal, Some _ | Some _, Some Internal -> false
+      | _ -> true)
+    probe

@@ -1,0 +1,39 @@
+(** Executable I/O automata (Lynch–Tuttle [LT87]), specialised to a fixed
+    action type per automaton.
+
+    An automaton owns its locally-controlled (output + internal) actions and
+    must be input-enabled: [apply_input] accepts any action classified as an
+    input.  The simulator and the model checker both drive systems described
+    in this vocabulary; {!Composition} implements the standard synchronised
+    product used to assemble Figure 1's architecture (A^t x PL^{t->r} x A^r
+    x PL^{r->t}). *)
+
+type kind = Input | Output | Internal
+
+type ('s, 'a) t = {
+  name : string;
+  initial : 's;
+  classify : 'a -> kind option;
+      (** [None] means the action is not in this automaton's signature. *)
+  apply_input : 's -> 'a -> 's;
+      (** Must be total on actions classified [Input] (input-enabledness). *)
+  enabled : 's -> ('a * 's) list;
+      (** Locally controlled actions currently enabled, with successor
+          states.  Finite by construction. *)
+}
+
+(** [step t s a] applies any action in the signature: inputs through
+    [apply_input], locally controlled ones by lookup in [enabled s].
+    Returns [None] if [a] is locally controlled but not enabled, or not in
+    the signature. *)
+val step : ('s, 'a) t -> 's -> 'a -> 's option
+
+(** [run t actions] folds [step] from the initial state.
+    Returns [Error (i, a)] for the first refused action. *)
+val run : ('s, 'a) t -> 'a list -> ('s, int * 'a) result
+
+(** [compatible a b] — no action is an output of both, per the I/O
+    automaton composition side-condition.  Checked over the given probe
+    actions (signatures are functions, so compatibility is sampled, not
+    proved). *)
+val compatible : ('s1, 'a) t -> ('s2, 'a) t -> probe:'a list -> bool

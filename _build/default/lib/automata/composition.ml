@@ -1,0 +1,83 @@
+open Automaton
+
+let compose ?(probe = []) a b =
+  if not (compatible a b ~probe) then
+    invalid_arg
+      (Printf.sprintf "Composition.compose: %s and %s have incompatible signatures" a.name
+         b.name);
+  let classify act =
+    match (a.classify act, b.classify act) with
+    | None, None -> None
+    | Some Internal, _ -> Some Internal
+    | _, Some Internal -> Some Internal
+    | Some Output, _ | _, Some Output -> Some Output
+    | Some Input, _ | _, Some Input -> Some Input
+  in
+  let apply_one classify_fn apply_fn enabled_fn s act =
+    (* Shared action: inputs apply directly; locally-controlled ones must be
+       enabled, otherwise the composite transition is refused by [step]
+       returning an unchanged pair (handled by callers through [enabled]). *)
+    match classify_fn act with
+    | None -> Some s
+    | Some Input -> Some (apply_fn s act)
+    | Some (Output | Internal) -> (
+        match List.find_opt (fun (a', _) -> a' = act) (enabled_fn s) with
+        | Some (_, s') -> Some s'
+        | None -> None)
+  in
+  let apply_input (sa, sb) act =
+    let sa' = match a.classify act with Some Input -> a.apply_input sa act | _ -> sa in
+    let sb' = match b.classify act with Some Input -> b.apply_input sb act | _ -> sb in
+    (sa', sb')
+  in
+  let enabled (sa, sb) =
+    let from_a =
+      List.filter_map
+        (fun (act, sa') ->
+          match apply_one b.classify b.apply_input b.enabled sb act with
+          | Some sb' -> Some (act, (sa', sb'))
+          | None -> None)
+        (a.enabled sa)
+    in
+    let from_b =
+      List.filter_map
+        (fun (act, sb') ->
+          match b.classify act, a.classify act with
+          | _, Some (Output | Internal) ->
+              (* already produced from [a]'s side; avoid duplicates *)
+              None
+          | _ -> (
+              match apply_one a.classify a.apply_input a.enabled sa act with
+              | Some sa' -> Some (act, (sa', sb'))
+              | None -> None))
+        (b.enabled sb)
+    in
+    from_a @ from_b
+  in
+  {
+    name = a.name ^ " x " ^ b.name;
+    initial = (a.initial, b.initial);
+    classify;
+    apply_input;
+    enabled;
+  }
+
+let figure_1 () =
+  String.concat "\n"
+    [
+      "            send_msg(m)                                receive_msg(m)";
+      "                |                                            ^";
+      "                v                                            |";
+      "          +-----------+     send_pkt^{t->r}(p)        +-----------+";
+      "          |           | --------------------------->  |           |";
+      "          |    A^t    |      [ PL^{t->r} ]             |    A^r    |";
+      "          |(transmit- |                                | (receiver)|";
+      "          |  ter)     | <---------------------------   |           |";
+      "          +-----------+     receive_pkt^{r->t}(p)      +-----------+";
+      "                ^            [ PL^{r->t} ]                  |";
+      "                |                                            |";
+      "                +---- acks / control packets  <--------------+";
+      "";
+      "  Figure 1: the data link layer DL^{t->r}, implemented by automata";
+      "  A^t and A^r over two unreliable non-FIFO physical channels.";
+    ]

@@ -1,0 +1,17 @@
+(** Binary composition of I/O automata.
+
+    The composed automaton synchronises on shared actions: an action in both
+    signatures moves both components; an output of either is an output of
+    the composition; inputs stay inputs only if no component outputs them.
+    Repeated composition builds the four-component system of the paper's
+    Figure 1. *)
+
+(** [compose a b] — raises [Invalid_argument] if a probe action reveals the
+    signatures are incompatible (both claim an action as output, or either
+    claims another's internal action). *)
+val compose :
+  ?probe:'a list -> ('s1, 'a) Automaton.t -> ('s2, 'a) Automaton.t -> ('s1 * 's2, 'a) Automaton.t
+
+(** ASCII rendering of the paper's Figure 1 (the data link layer built from
+    two automata and two physical channels). *)
+val figure_1 : unit -> string

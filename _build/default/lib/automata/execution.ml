@@ -1,0 +1,43 @@
+type t = Action.t list
+
+let empty = []
+
+let count p t = List.length (List.filter p t)
+
+let sm t = count (function Action.Send_msg _ -> true | _ -> false) t
+let rm t = count (function Action.Receive_msg _ -> true | _ -> false) t
+
+let sp dir t = count (function Action.Send_pkt (d, _) -> d = dir | _ -> false) t
+let rp dir t = count (function Action.Receive_pkt (d, _) -> d = dir | _ -> false) t
+let dp dir t = count (function Action.Drop_pkt (d, _) -> d = dir | _ -> false) t
+
+let outstanding dir t = sp dir t - rp dir t - dp dir t
+
+let in_transit dir t =
+  let module M = Nfc_util.Multiset.Int in
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Action.Send_pkt (d, p) when d = dir -> M.add p acc
+      | Action.Receive_pkt (d, p) | Action.Drop_pkt (d, p) when d = dir -> (
+          match M.remove_one p acc with
+          | Some acc' -> acc'
+          | None -> acc (* ill-formed trace; PL1 checker reports it *))
+      | _ -> acc)
+    M.empty t
+
+let prefixes t =
+  let rec go acc rev_prefix = function
+    | [] -> List.rev acc
+    | a :: rest ->
+        let rev_prefix = a :: rev_prefix in
+        go (List.rev rev_prefix :: acc) rev_prefix rest
+  in
+  go [ [] ] [] t
+
+let restrict p t = List.filter p t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Action.pp)
+    t

@@ -1,0 +1,45 @@
+(** Executions and the counting functions of Definition 2.
+
+    An execution is the sequence of actions produced by a run of the
+    composed system (protocol automata + channels).  This module implements
+    the paper's counters
+
+      sm, rm, sp^{t->r}, rp^{t->r}, sp^{r->t}, rp^{r->t}
+
+    and structural helpers (prefixes, concatenation, restriction). *)
+
+type t = Action.t list
+
+val empty : t
+
+(** Number of [Send_msg] actions. *)
+val sm : t -> int
+
+(** Number of [Receive_msg] actions. *)
+val rm : t -> int
+
+(** Number of [Send_pkt] actions in the given direction. *)
+val sp : Action.dir -> t -> int
+
+(** Number of [Receive_pkt] actions in the given direction. *)
+val rp : Action.dir -> t -> int
+
+(** Number of [Drop_pkt] actions in the given direction. *)
+val dp : Action.dir -> t -> int
+
+(** [outstanding dir t] = sp dir t - rp dir t - dp dir t: packets still in
+    transit (sent, neither received nor dropped). *)
+val outstanding : Action.dir -> t -> int
+
+(** Multiset of packets in transit in the given direction at the end of the
+    execution. *)
+val in_transit : Action.dir -> t -> Nfc_util.Multiset.Int.t
+
+(** All prefixes, shortest first (includes [] and the full execution).
+    O(n^2); intended for checker cross-validation on small traces. *)
+val prefixes : t -> t list
+
+(** Keep only actions satisfying the predicate. *)
+val restrict : (Action.t -> bool) -> t -> t
+
+val pp : Format.formatter -> t -> unit

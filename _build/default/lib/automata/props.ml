@@ -1,0 +1,154 @@
+module Iset = Set.Make (Int)
+
+type violation = { index : int; action : Action.t; reason : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[at #%d %a: %s@]" v.index Action.pp v.action v.reason
+
+let dl1 t =
+  let exception Found of violation in
+  try
+    let _ =
+      List.fold_left
+        (fun (i, sent, delivered) a ->
+          match a with
+          | Action.Send_msg m -> (i + 1, Iset.add m sent, delivered)
+          | Action.Receive_msg m ->
+              if not (Iset.mem m sent) then
+                raise (Found { index = i; action = a; reason = "delivered a message never sent" })
+              else if Iset.mem m delivered then
+                raise (Found { index = i; action = a; reason = "duplicate delivery" })
+              else (i + 1, sent, Iset.add m delivered)
+          | _ -> (i + 1, sent, delivered))
+        (0, Iset.empty, Iset.empty) t
+    in
+    None
+  with Found v -> Some v
+
+let dl2 t =
+  let exception Found of violation in
+  try
+    let _ =
+      List.fold_left
+        (fun (i, last) a ->
+          match a with
+          | Action.Receive_msg m ->
+              if m <= last then
+                raise
+                  (Found { index = i; action = a; reason = "out-of-order delivery (FIFO violated)" })
+              else (i + 1, m)
+          | _ -> (i + 1, last))
+        (0, min_int) t
+    in
+    None
+  with Found v -> Some v
+
+let dl3_complete t = dl1 t = None && Execution.rm t = Execution.sm t
+
+let valid t = dl1 t = None && dl2 t = None && Execution.rm t = Execution.sm t
+
+let semi_valid t =
+  let total_sm = Execution.sm t in
+  if total_sm = 0 then false
+  else begin
+    (* Scan prefixes incrementally; a split is legal when the prefix is valid
+       and contains all submissions but the last one. *)
+    let exception Ok in
+    try
+      let check_split prefix_rev =
+        let prefix = List.rev prefix_rev in
+        if Execution.sm prefix = total_sm - 1 && valid prefix then raise Ok
+      in
+      check_split [];
+      let _ =
+        List.fold_left
+          (fun prefix_rev a ->
+            let prefix_rev = a :: prefix_rev in
+            check_split prefix_rev;
+            prefix_rev)
+          [] t
+      in
+      false
+    with Ok -> true
+  end
+
+let invalid_phantom t =
+  let exception Found of violation in
+  try
+    let _ =
+      List.fold_left
+        (fun (i, sm, rm) a ->
+          match a with
+          | Action.Send_msg _ -> (i + 1, sm + 1, rm)
+          | Action.Receive_msg _ ->
+              let rm = rm + 1 in
+              if rm > sm then
+                raise
+                  (Found
+                     { index = i; action = a; reason = "phantom delivery: rm > sm at this prefix" })
+              else (i + 1, sm, rm)
+          | _ -> (i + 1, sm, rm))
+        (0, 0, 0) t
+    in
+    None
+  with Found v -> Some v
+
+let pl1 dir t =
+  let module M = Nfc_util.Multiset.Int in
+  let exception Found of violation in
+  try
+    let _ =
+      List.fold_left
+        (fun (i, transit) a ->
+          match a with
+          | Action.Send_pkt (d, p) when d = dir -> (i + 1, M.add p transit)
+          | Action.Receive_pkt (d, p) when d = dir -> (
+              match M.remove_one p transit with
+              | Some transit' -> (i + 1, transit')
+              | None ->
+                  raise
+                    (Found
+                       {
+                         index = i;
+                         action = a;
+                         reason = "received a packet with no in-transit copy (PL1)";
+                       }))
+          | Action.Drop_pkt (d, p) when d = dir -> (
+              match M.remove_one p transit with
+              | Some transit' -> (i + 1, transit')
+              | None ->
+                  raise
+                    (Found
+                       { index = i; action = a; reason = "dropped a packet not in transit (PL1)" }))
+          | _ -> (i + 1, transit))
+        (0, M.empty) t
+    in
+    None
+  with Found v -> Some v
+
+let pl2_window ~window dir t =
+  if window <= 0 then invalid_arg "Props.pl2_window: window must be positive";
+  let exception Found of violation in
+  try
+    let _ =
+      List.fold_left
+        (fun (i, streak) a ->
+          match a with
+          | Action.Send_pkt (d, _) when d = dir ->
+              let streak = streak + 1 in
+              if streak >= window then
+                raise
+                  (Found
+                     {
+                       index = i;
+                       action = a;
+                       reason =
+                         Printf.sprintf "%d sends with no delivery (PL2 starvation window)" streak;
+                     })
+              else (i + 1, streak)
+          | Action.Receive_pkt (d, _) when d = dir -> (i + 1, 0)
+          | _ -> (i + 1, streak))
+        (0, 0) t
+    in
+    None
+  with Found v -> Some v

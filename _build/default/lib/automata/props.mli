@@ -1,0 +1,57 @@
+(** Declarative versions of the paper's correctness properties.
+
+    These are direct, O(n·log n) transcriptions of properties (DL1)–(DL3)
+    and (PL1)–(PL2) over complete recorded executions.  The simulator's
+    online checkers ({!Nfc_sim.Dl_check}) are property-tested against these
+    reference implementations.
+
+    Messages carry harness-assigned identifiers equal to their submission
+    index (0, 1, 2, ...), which makes the correspondences of DL1/DL2
+    decidable on traces. *)
+
+type violation = {
+  index : int;  (** position of the offending action in the execution *)
+  action : Action.t;
+  reason : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** (DL1): every [Receive_msg m] corresponds to a unique preceding
+    [Send_msg m].  Returns the first violation, if any. *)
+val dl1 : Execution.t -> violation option
+
+(** (DL2): messages are delivered in the order they were sent (identifiers
+    of [Receive_msg] actions are strictly increasing). *)
+val dl2 : Execution.t -> violation option
+
+(** (DL3) on a finite execution, read as quiescent completeness: every
+    [Send_msg] has a corresponding [Receive_msg], i.e. [rm = sm] and DL1
+    holds.  (True liveness is about infinite executions; finite runs are
+    judged at quiescence.) *)
+val dl3_complete : Execution.t -> bool
+
+(** [valid t] — DL1 and DL2 hold and the execution is complete (DL3).
+    This is Definition 3 restricted to finite executions. *)
+val valid : Execution.t -> bool
+
+(** [semi_valid t] — Definition 4: [t = t1 @ t2] where [t1] is valid and
+    [sm t2 = 1].  (The split point is after the last delivery preceding the
+    final submission.) *)
+val semi_valid : Execution.t -> bool
+
+(** [invalid_phantom t] — the shape produced by the lower-bound adversaries
+    of Theorems 3.1 and 4.1: at some prefix, [rm > sm] (the receiver
+    delivered a message that was never sent).  Returns the violating
+    position. *)
+val invalid_phantom : Execution.t -> violation option
+
+(** (PL1) for the given direction: each [Receive_pkt] consumes one
+    previously sent, not-yet-consumed copy (no corruption, no duplication);
+    [Drop_pkt] likewise consumes a copy. *)
+val pl1 : Action.dir -> Execution.t -> violation option
+
+(** Finite-trace approximation of (PL2): no window of [window] consecutive
+    [Send_pkt dir] actions with zero intervening [Receive_pkt dir].
+    Returns the position where the starvation window completes. *)
+val pl2_window : window:int -> Action.dir -> Execution.t -> violation option

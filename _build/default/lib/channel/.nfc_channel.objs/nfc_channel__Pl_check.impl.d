@@ -1,0 +1,1 @@
+lib/channel/pl_check.ml: Action Nfc_automata Nfc_util Printf

@@ -1,0 +1,1 @@
+lib/channel/pl_check.mli: Nfc_automata Nfc_util

@@ -1,0 +1,1 @@
+lib/channel/policy.ml: List Nfc_util Printf Queue Transit

@@ -1,0 +1,1 @@
+lib/channel/policy.mli: Nfc_util Transit

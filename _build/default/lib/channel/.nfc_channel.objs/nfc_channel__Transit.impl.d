@@ -1,0 +1,1 @@
+lib/channel/transit.ml: Hashtbl List Nfc_util Queue

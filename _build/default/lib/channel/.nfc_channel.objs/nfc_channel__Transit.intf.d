@@ -1,0 +1,1 @@
+lib/channel/transit.mli: Nfc_util

@@ -1,0 +1,45 @@
+module M = Nfc_util.Multiset.Int
+open Nfc_automata
+
+type t = {
+  mutable tr : M.t;
+  mutable rt : M.t;
+  mutable violation : string option;
+}
+
+let create () = { tr = M.empty; rt = M.empty; violation = None }
+
+let get t dir = match dir with Action.T_to_r -> t.tr | Action.R_to_t -> t.rt
+
+let set t dir m =
+  match dir with Action.T_to_r -> t.tr <- m | Action.R_to_t -> t.rt <- m
+
+let fail t a reason =
+  if t.violation = None then
+    t.violation <- Some (Printf.sprintf "%s: %s" (Action.to_string a) reason);
+  t.violation
+
+let on_action t a =
+  match t.violation with
+  | Some _ as v -> v
+  | None -> (
+      match a with
+      | Action.Send_pkt (dir, p) ->
+          set t dir (M.add p (get t dir));
+          None
+      | Action.Receive_pkt (dir, p) -> (
+          match M.remove_one p (get t dir) with
+          | Some m ->
+              set t dir m;
+              None
+          | None -> fail t a "received packet with no in-transit copy (PL1)")
+      | Action.Drop_pkt (dir, p) -> (
+          match M.remove_one p (get t dir) with
+          | Some m ->
+              set t dir m;
+              None
+          | None -> fail t a "dropped packet not in transit (PL1)")
+      | Action.Send_msg _ | Action.Receive_msg _ -> None)
+
+let violated t = t.violation
+let in_transit t dir = get t dir

@@ -1,0 +1,19 @@
+(** Online checker for the physical-layer safety property (PL1).
+
+    Feed it every action of an execution as it happens; it maintains the
+    in-transit multiset per direction and reports the first violation
+    (a receive or drop with no matching in-transit copy).  Equivalent to
+    {!Nfc_automata.Props.pl1} on the full trace, but O(log h) per action. *)
+
+type t
+
+val create : unit -> t
+
+(** Returns the violation description the first time PL1 breaks; later
+    calls after a violation keep returning it. *)
+val on_action : t -> Nfc_automata.Action.t -> string option
+
+val violated : t -> string option
+
+(** Current in-transit multiset for a direction (for assertions in tests). *)
+val in_transit : t -> Nfc_automata.Action.dir -> Nfc_util.Multiset.Int.t

@@ -1,0 +1,156 @@
+type event = Delivered of int * int | Dropped of int * int
+
+type t = {
+  name : string;
+  on_send : Nfc_util.Rng.t -> Transit.t -> tag:int -> pkt:int -> event list;
+  on_poll : Nfc_util.Rng.t -> Transit.t -> event list;
+}
+
+let no_send _rng _transit ~tag:_ ~pkt:_ = []
+let no_poll _rng _transit = []
+
+let silent = { name = "silent"; on_send = no_send; on_poll = no_poll }
+
+let fifo_reliable =
+  let on_send _rng transit ~tag ~pkt =
+    match Transit.deliver_tag transit tag with
+    | Some _ -> [ Delivered (tag, pkt) ]
+    | None -> []
+  in
+  { name = "fifo-reliable"; on_send; on_poll = no_poll }
+
+let fifo_lossy ~loss =
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Policy.fifo_lossy: loss must lie in [0,1)";
+  let on_send rng transit ~tag ~pkt =
+    if Nfc_util.Rng.bool rng loss then
+      match Transit.drop_tag transit tag with
+      | Some _ -> [ Dropped (tag, pkt) ]
+      | None -> []
+    else
+      match Transit.deliver_oldest transit with
+      | Some (tag', pkt') -> [ Delivered (tag', pkt') ]
+      | None -> []
+  in
+  (* Nothing lingers: every packet is delivered or dropped at send time, so
+     polling is a no-op. *)
+  { name = Printf.sprintf "fifo-lossy(%.2f)" loss; on_send; on_poll = no_poll }
+
+let uniform_reorder ~deliver ~drop =
+  if deliver < 0.0 || deliver > 1.0 || drop < 0.0 || drop > 1.0 then
+    invalid_arg "Policy.uniform_reorder: probabilities must lie in [0,1]";
+  let on_poll rng transit =
+    let events = ref [] in
+    if Nfc_util.Rng.bool rng deliver then begin
+      match Transit.deliver_random transit rng with
+      | Some (tag, pkt) -> events := Delivered (tag, pkt) :: !events
+      | None -> ()
+    end;
+    if Nfc_util.Rng.bool rng drop then begin
+      match Transit.drop_random transit rng with
+      | Some (tag, pkt) -> events := Dropped (tag, pkt) :: !events
+      | None -> ()
+    end;
+    List.rev !events
+  in
+  {
+    name = Printf.sprintf "uniform-reorder(d=%.2f,x=%.2f)" deliver drop;
+    on_send = no_send;
+    on_poll;
+  }
+
+let fifo_delayed ~latency ?(loss = 0.0) () =
+  if latency < 0 then invalid_arg "Policy.fifo_delayed: latency must be >= 0";
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Policy.fifo_delayed: loss must lie in [0,1)";
+  (* The policy carries its own clock and release schedule; a fresh policy
+     value must be created per channel. *)
+  let clock = ref 0 in
+  let due : (int * int) Queue.t = Queue.create () (* (release_at, tag) *) in
+  let on_send rng transit ~tag ~pkt =
+    if loss > 0.0 && Nfc_util.Rng.bool rng loss then
+      match Transit.drop_tag transit tag with
+      | Some _ -> [ Dropped (tag, pkt) ]
+      | None -> []
+    else begin
+      Queue.push (!clock + latency, tag) due;
+      []
+    end
+  in
+  let on_poll _rng transit =
+    incr clock;
+    let events = ref [] in
+    let rec release () =
+      match Queue.peek_opt due with
+      | Some (at, tag) when at <= !clock -> (
+          ignore (Queue.pop due);
+          match Transit.deliver_tag transit tag with
+          | Some pkt ->
+              events := Delivered (tag, pkt) :: !events;
+              release ()
+          | None -> release ())
+      | _ -> ()
+    in
+    release ();
+    List.rev !events
+  in
+  { name = Printf.sprintf "fifo-delayed(L=%d,x=%.2f)" latency loss; on_send; on_poll }
+
+let gilbert_elliott ?(good_loss = 0.01) ?(bad_loss = 0.7) ?(p_gb = 0.05) ?(p_bg = 0.25) () =
+  let check name v lo hi =
+    if v < lo || v > hi then
+      invalid_arg (Printf.sprintf "Policy.gilbert_elliott: %s must lie in [%g,%g]" name lo hi)
+  in
+  check "good_loss" good_loss 0.0 0.99;
+  check "bad_loss" bad_loss 0.0 0.99;
+  check "p_gb" p_gb 0.0 1.0;
+  check "p_bg" p_bg 0.0 1.0;
+  let bad = ref false in
+  let on_send rng transit ~tag ~pkt =
+    (* State transition, then per-state loss; survivors delivered in order
+       immediately (the model is about loss bursts, not delay). *)
+    if !bad then begin
+      if Nfc_util.Rng.bool rng p_bg then bad := false
+    end
+    else if Nfc_util.Rng.bool rng p_gb then bad := true;
+    let loss = if !bad then bad_loss else good_loss in
+    if Nfc_util.Rng.bool rng loss then
+      match Transit.drop_tag transit tag with
+      | Some _ -> [ Dropped (tag, pkt) ]
+      | None -> []
+    else
+      match Transit.deliver_oldest transit with
+      | Some (tag', pkt') -> [ Delivered (tag', pkt') ]
+      | None -> []
+  in
+  {
+    name = Printf.sprintf "gilbert-elliott(g=%.2f,b=%.2f)" good_loss bad_loss;
+    on_send;
+    on_poll = no_poll;
+  }
+
+let probabilistic ?(release = 0.25) ?(lose = false) ~q () =
+  if q < 0.0 || q > 1.0 then invalid_arg "Policy.probabilistic: q must lie in [0,1]";
+  if release <= 0.0 || release > 1.0 then
+    invalid_arg "Policy.probabilistic: release must lie in (0,1]";
+  let on_send rng transit ~tag ~pkt =
+    if Nfc_util.Rng.bool rng (1.0 -. q) then
+      match Transit.deliver_tag transit tag with
+      | Some _ -> [ Delivered (tag, pkt) ]
+      | None -> []
+    else if lose then
+      match Transit.drop_tag transit tag with
+      | Some _ -> [ Dropped (tag, pkt) ]
+      | None -> []
+    else [] (* delayed: stays in transit until a later poll releases it *)
+  in
+  let on_poll rng transit =
+    if (not lose) && Nfc_util.Rng.bool rng release then
+      match Transit.deliver_random transit rng with
+      | Some (tag, pkt) -> [ Delivered (tag, pkt) ]
+      | None -> []
+    else []
+  in
+  {
+    name = Printf.sprintf "probabilistic(q=%.2f%s)" q (if lose then ",lossy" else "");
+    on_send;
+    on_poll;
+  }

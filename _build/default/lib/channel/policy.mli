@@ -1,0 +1,66 @@
+(** Channel behaviours (who decides which in-transit packet moves, when).
+
+    A policy reacts to two hooks driven by the simulator: [on_send], fired
+    right after a packet enters the channel, and [on_poll], fired once per
+    scheduler round.  Each hook returns the channel events that occurred
+    (deliveries / drops), already applied to the transit state.  PL1 holds
+    structurally (only in-transit copies can be delivered); PL2-style
+    liveness is a property of the specific policy.
+
+    The stock policies:
+
+    - {!fifo_reliable} — immediate in-order delivery (the "perfect" channel
+      used inside boundness extensions);
+    - {!fifo_lossy} — drops each packet with probability [loss] at send
+      time, delivers the rest in order: the classic alternating-bit channel;
+    - {!uniform_reorder} — each poll delivers (or drops) uniformly random
+      in-transit copies: a maximally non-FIFO but fair channel;
+    - {!probabilistic} — the paper's Section 5 channel (PL2p): a packet is
+      delivered immediately with probability [1-q] and otherwise delayed
+      (or, with [lose = true], deleted); delayed packets are released
+      uniformly at random at rate [release] per poll. *)
+
+type event = Delivered of int * int  (** (tag, packet) *) | Dropped of int * int
+
+type t = {
+  name : string;
+  on_send : Nfc_util.Rng.t -> Transit.t -> tag:int -> pkt:int -> event list;
+  on_poll : Nfc_util.Rng.t -> Transit.t -> event list;
+}
+
+val fifo_reliable : t
+val fifo_lossy : loss:float -> t
+
+(** [uniform_reorder ~deliver ~drop] — per poll, delivers one uniformly
+    random in-transit copy with probability [deliver] and independently
+    drops one with probability [drop]. *)
+val uniform_reorder : deliver:float -> drop:float -> t
+
+(** The probabilistic physical layer of Section 5.  [q] is the error
+    probability of (PL2p).  [release] (default 0.25) is the per-poll
+    probability that one delayed packet is released; [lose = true] turns
+    delay into deletion (used for worst-case variants). *)
+val probabilistic : ?release:float -> ?lose:bool -> q:float -> unit -> t
+
+(** [fifo_delayed ~latency ?loss ()] — a pipe with propagation delay:
+    every surviving packet is delivered in order exactly [latency] polls
+    after it was sent ([loss] drops at send time, default 0).  The only
+    stock policy with a round-trip time, used to exhibit why pipelined
+    protocols (Go-Back-N) beat stop-and-wait designs. *)
+val fifo_delayed : latency:int -> ?loss:float -> unit -> t
+
+(** [gilbert_elliott ()] — two-state burst-loss channel (Gilbert–Elliott):
+    in the Good state packets are delivered immediately with loss
+    [good_loss] (default 0.01); in the Bad state they are dropped with
+    probability [bad_loss] (default 0.7, survivors delivered immediately);
+    the state flips Good→Bad with probability [p_gb] (default 0.05) and
+    Bad→Good with [p_bg] (default 0.25) per send.  Delivery is FIFO.
+    The classic bursty-wireless model, used for failure-injection tests.
+    Stateful: create one per channel. *)
+val gilbert_elliott :
+  ?good_loss:float -> ?bad_loss:float -> ?p_gb:float -> ?p_bg:float -> unit -> t
+
+(** A channel that never moves anything: packets accumulate.  The raw
+    material of the lower-bound adversaries, which drive the transit
+    directly. *)
+val silent : t

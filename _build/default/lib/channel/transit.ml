@@ -1,0 +1,157 @@
+(* Tag queues use lazy deletion: a tag stays in its queues after the copy is
+   consumed and is skipped when popped.  [all] is the ground truth. *)
+type t = {
+  all : (int, int) Hashtbl.t; (* tag -> packet, in-transit copies only *)
+  global_fifo : int Queue.t; (* tags in send order (lazy) *)
+  per_pkt : (int, int Queue.t) Hashtbl.t; (* packet -> tags in send order (lazy) *)
+  counts : (int, int) Hashtbl.t; (* packet -> in-transit count *)
+  sent_per : (int, int) Hashtbl.t;
+  delivered_per : (int, int) Hashtbl.t;
+  dropped_per : (int, int) Hashtbl.t;
+  mutable next_tag : int;
+  mutable live : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create () =
+  {
+    all = Hashtbl.create 64;
+    global_fifo = Queue.create ();
+    per_pkt = Hashtbl.create 16;
+    counts = Hashtbl.create 16;
+    sent_per = Hashtbl.create 16;
+    delivered_per = Hashtbl.create 16;
+    dropped_per = Hashtbl.create 16;
+    next_tag = 0;
+    live = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let bump tbl key delta =
+  let v = match Hashtbl.find_opt tbl key with None -> 0 | Some v -> v in
+  let v' = v + delta in
+  if v' = 0 then Hashtbl.remove tbl key else Hashtbl.replace tbl key v'
+
+let get tbl key = match Hashtbl.find_opt tbl key with None -> 0 | Some v -> v
+
+let send t p =
+  let tag = t.next_tag in
+  t.next_tag <- tag + 1;
+  Hashtbl.replace t.all tag p;
+  Queue.push tag t.global_fifo;
+  let q =
+    match Hashtbl.find_opt t.per_pkt p with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.per_pkt p q;
+        q
+  in
+  Queue.push tag q;
+  bump t.counts p 1;
+  bump t.sent_per p 1;
+  t.sent <- t.sent + 1;
+  t.live <- t.live + 1;
+  tag
+
+(* Remove the copy with this tag; the caller already knows it is live. *)
+let consume t tag ~delivered =
+  let p = Hashtbl.find t.all tag in
+  Hashtbl.remove t.all tag;
+  bump t.counts p (-1);
+  t.live <- t.live - 1;
+  if delivered then begin
+    t.delivered <- t.delivered + 1;
+    bump t.delivered_per p 1
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    bump t.dropped_per p 1
+  end;
+  p
+
+let rec pop_live t q =
+  match Queue.take_opt q with
+  | None -> None
+  | Some tag -> if Hashtbl.mem t.all tag then Some tag else pop_live t q
+
+let take_oldest t ~delivered =
+  match pop_live t t.global_fifo with
+  | None -> None
+  | Some tag -> Some (tag, consume t tag ~delivered)
+
+let deliver_oldest t = take_oldest t ~delivered:true
+let drop_oldest t = take_oldest t ~delivered:false
+
+let take_pkt t p ~delivered =
+  match Hashtbl.find_opt t.per_pkt p with
+  | None -> None
+  | Some q -> (
+      match pop_live t q with
+      | None -> None
+      | Some tag ->
+          let _ = consume t tag ~delivered in
+          Some tag)
+
+let deliver_pkt t p = take_pkt t p ~delivered:true
+let drop_pkt t p = take_pkt t p ~delivered:false
+
+let take_tag t tag ~delivered =
+  if Hashtbl.mem t.all tag then Some (consume t tag ~delivered) else None
+
+let deliver_tag t tag = take_tag t tag ~delivered:true
+let drop_tag t tag = take_tag t tag ~delivered:false
+
+let pick_random t rng =
+  if t.live = 0 then None
+  else begin
+    (* Uniform over in-transit copies: walk the per-packet counts. *)
+    let target = Nfc_util.Rng.int rng t.live in
+    let chosen = ref None in
+    let seen = ref 0 in
+    (try
+       Hashtbl.iter
+         (fun p c ->
+           if !seen + c > target then begin
+             chosen := Some p;
+             raise Exit
+           end
+           else seen := !seen + c)
+         t.counts
+     with Exit -> ());
+    !chosen
+  end
+
+let deliver_random t rng =
+  match pick_random t rng with
+  | None -> None
+  | Some p -> ( match deliver_pkt t p with None -> None | Some tag -> Some (tag, p))
+
+let drop_random t rng =
+  match pick_random t rng with
+  | None -> None
+  | Some p -> ( match drop_pkt t p with None -> None | Some tag -> Some (tag, p))
+
+let in_transit t = t.live
+let count t p = get t.counts p
+
+let support t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.counts [] |> List.sort compare
+
+let snapshot t =
+  let module M = Nfc_util.Multiset.Int in
+  Hashtbl.fold (fun p c acc -> M.add ~count:c p acc) t.counts M.empty
+
+let sent_total t = t.sent
+let delivered_total t = t.delivered
+let dropped_total t = t.dropped
+let sent_count t p = get t.sent_per p
+let delivered_count t p = get t.delivered_per p
+let distinct_sent t = Hashtbl.length t.sent_per
+
+let sent_support t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.sent_per [] |> List.sort compare

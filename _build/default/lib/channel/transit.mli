@@ -1,0 +1,69 @@
+(** The state of one unidirectional physical channel.
+
+    A non-FIFO channel is semantically a multiset of packets in transit;
+    this structure additionally tags every copy with its send order so that
+    FIFO policies, targeted adversaries ("deliver the oldest copy of packet
+    p") and the PL1 property (each receive consumes a unique previous send)
+    are all expressible.  All operations are amortised O(1) except the
+    snapshot accessors.
+
+    Mutability is deliberate: channels sit inside the discrete-event
+    simulator's hot loop.  The model checker uses immutable
+    {!Nfc_util.Multiset.Int} states instead. *)
+
+type t
+
+val create : unit -> t
+
+(** [send t p] puts one copy of packet [p] in transit; returns its tag
+    (tags are consecutive, in send order). *)
+val send : t -> int -> int
+
+(** Deliver the oldest in-transit copy regardless of identity (FIFO). *)
+val deliver_oldest : t -> (int * int) option
+(** [(tag, packet)], or [None] if the channel is empty. *)
+
+(** [deliver_pkt t p] delivers the oldest in-transit copy of [p];
+    [None] if no copy is in transit. *)
+val deliver_pkt : t -> int -> int option
+(** Returns the delivered tag. *)
+
+(** [deliver_tag t tag] delivers that exact copy if still in transit. *)
+val deliver_tag : t -> int -> int option
+(** Returns the packet. *)
+
+(** [deliver_random t rng] delivers a uniformly random in-transit copy. *)
+val deliver_random : t -> Nfc_util.Rng.t -> (int * int) option
+
+val drop_oldest : t -> (int * int) option
+val drop_pkt : t -> int -> int option
+val drop_tag : t -> int -> int option
+val drop_random : t -> Nfc_util.Rng.t -> (int * int) option
+
+(** Number of copies currently in transit. *)
+val in_transit : t -> int
+
+(** In-transit copies of packet [p]. *)
+val count : t -> int -> int
+
+(** Distinct packets with at least one copy in transit, ascending. *)
+val support : t -> int list
+
+(** In-transit content as an immutable multiset snapshot. *)
+val snapshot : t -> Nfc_util.Multiset.Int.t
+
+val sent_total : t -> int
+val delivered_total : t -> int
+val dropped_total : t -> int
+
+(** Cumulative per-packet counters. *)
+val sent_count : t -> int -> int
+
+val delivered_count : t -> int -> int
+
+(** Number of distinct packet values ever sent on this channel — the header
+    census of Section 2.3. *)
+val distinct_sent : t -> int
+
+(** All distinct packet values ever sent, ascending. *)
+val sent_support : t -> int list

@@ -1,0 +1,1 @@
+lib/core/adversary_m.ml: Driver Format Int List Nfc_automata Nfc_util Option Printf Set String

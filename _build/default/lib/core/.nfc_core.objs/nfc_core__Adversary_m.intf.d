@@ -1,0 +1,1 @@
+lib/core/adversary_m.mli: Format Nfc_automata Nfc_protocol Nfc_util

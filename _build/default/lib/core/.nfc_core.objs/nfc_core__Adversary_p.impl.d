@@ -1,0 +1,1 @@
+lib/core/adversary_p.ml: Driver Format Nfc_protocol Nfc_util Option

@@ -1,0 +1,1 @@
+lib/core/adversary_p.mli: Format Nfc_protocol

@@ -1,0 +1,1 @@
+lib/core/boundness_def.ml: Driver Format List Nfc_protocol Nfc_util

@@ -1,0 +1,1 @@
+lib/core/boundness_def.mli: Format Nfc_protocol

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Action Execution Int List Nfc_automata Nfc_protocol Nfc_util Queue Set

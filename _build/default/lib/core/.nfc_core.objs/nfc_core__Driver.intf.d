@@ -1,0 +1,1 @@
+lib/core/driver.mli: Nfc_automata Nfc_protocol Nfc_util

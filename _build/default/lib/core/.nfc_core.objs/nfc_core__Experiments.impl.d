@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Adversary_m Adversary_p Bounds List Nfc_automata Nfc_channel Nfc_mcheck Nfc_protocol Nfc_stats Nfc_transport Nfc_util Printf Prob_experiment String

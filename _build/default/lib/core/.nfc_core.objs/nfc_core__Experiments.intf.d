@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Adversary_m Nfc_util

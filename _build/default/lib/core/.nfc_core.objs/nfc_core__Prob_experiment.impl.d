@@ -1,0 +1,1 @@
+lib/core/prob_experiment.ml: Float List Nfc_channel Nfc_protocol Nfc_sim Nfc_stats Nfc_util

@@ -1,0 +1,1 @@
+lib/core/prob_experiment.mli: Nfc_protocol Nfc_stats Nfc_util

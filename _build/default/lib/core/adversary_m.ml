@@ -1,0 +1,229 @@
+module M = Nfc_util.Multiset.Int
+
+type epoch_info = {
+  epoch : int;
+  stock : M.t;
+  packets_sent : int;
+  probe_len : int option;
+}
+
+type outcome =
+  | Violation of {
+      epochs : epoch_info list;
+      execution : Nfc_automata.Execution.t;
+      at_epoch : int;
+      headers_tr : int;
+    }
+  | Survived of {
+      epochs : epoch_info list;
+      headers_tr : int;
+      headers_rt : int;
+      messages : int;
+    }
+  | Stuck of { epoch : int; reason : string }
+
+let pp_outcome ppf = function
+  | Violation v ->
+      Format.fprintf ppf
+        "DL1 violated after %d delivered messages (%d forward headers seen); invalid \
+         execution has %d actions"
+        v.at_epoch v.headers_tr
+        (List.length v.execution)
+  | Survived s ->
+      Format.fprintf ppf
+        "survived %d messages; needed %d forward + %d reverse headers (headers grow with n)"
+        s.messages s.headers_tr s.headers_rt
+  | Stuck s -> Format.fprintf ppf "stuck at epoch %d: %s" s.epoch s.reason
+
+let attack ?(farm = fun i -> 4 lsl i) ?(max_messages = 12) ?(poll_budget = 1_000_000)
+    ?(probe_nodes = 500_000) proto =
+  let d = Driver.create proto in
+  let epochs = ref [] in
+  let result = ref None in
+  (try
+     for i = 0 to max_messages - 1 do
+       Driver.submit d;
+       (* Farm: withhold the first [farm i] emissions of this epoch.  The
+          receiver still gets turns (acks flow) so no station starves. *)
+       let farmed = ref 0 in
+       let polls = ref 0 in
+       let target = max 0 (farm i) in
+       while !farmed < target && !polls < poll_budget do
+         (match Driver.sender_poll d ~deliver:false with
+         | Some _ -> incr farmed
+         | None -> ());
+         ignore (Driver.receiver_poll d ~deliver_acks:true);
+         incr polls
+       done;
+       if !farmed < target then begin
+         result :=
+           Some
+             (Stuck
+                {
+                  epoch = i;
+                  reason =
+                    Printf.sprintf "sender emitted only %d/%d packets to farm" !farmed target;
+                });
+         raise Exit
+       end;
+       (* Complete the epoch over an otherwise-optimal channel. *)
+       if not (Driver.run_fresh_until_delivered d ~target:(i + 1) ~max_polls:poll_budget)
+       then begin
+         result :=
+           Some (Stuck { epoch = i; reason = "epoch did not complete on a fresh channel" });
+         raise Exit
+       end;
+       (* Probe: can the channel now simulate a delivery from stale copies? *)
+       let probe = Driver.phantom_probe ~max_nodes:probe_nodes d in
+       let sp_tr, _ = Driver.packets_sent d in
+       epochs :=
+         {
+           epoch = i + 1;
+           stock = Driver.data_in_transit d;
+           packets_sent = sp_tr;
+           probe_len = Option.map List.length probe;
+         }
+         :: !epochs;
+       match probe with
+       | Some ext ->
+           let headers_tr, _ = Driver.headers_used d in
+           result :=
+             Some
+               (Violation
+                  {
+                    epochs = List.rev !epochs;
+                    execution = Driver.trace d @ ext;
+                    at_epoch = i + 1;
+                    headers_tr;
+                  });
+           raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  match !result with
+  | Some o -> o
+  | None ->
+      let headers_tr, headers_rt = Driver.headers_used d in
+      Survived
+        { epochs = List.rev !epochs; headers_tr; headers_rt; messages = Driver.delivered d }
+
+(* ----------------------------------------------------- staged construction *)
+
+type stage = {
+  index : int;
+  tracked : int list;
+  stock : M.t;
+  gained : M.t;
+  reps_run : int;
+}
+
+type staged_outcome = { stages : stage list; result : outcome }
+
+let pp_staged ppf o =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "stage %d: P_i={%s} stock=%a gained=%a (%d reps)@," s.index
+        (String.concat "," (List.map string_of_int s.tracked))
+        Nfc_util.Multiset.pp_int s.stock Nfc_util.Multiset.pp_int s.gained s.reps_run)
+    o.stages;
+  Format.fprintf ppf "%a@]" pp_outcome o.result
+
+module Iset = Set.Make (Int)
+
+let attack_staged ?(reps = 24) ?(max_messages = 10) ?(poll_budget = 500_000)
+    ?(probe_nodes = 400_000) proto =
+  let d = Driver.create proto in
+  let tracked = ref Iset.empty in
+  let stages = ref [] in
+  let result = ref None in
+  (try
+     for i = 0 to max_messages - 1 do
+       (* Invalid-execution step: can the channel already simulate a
+          delivery out of stale copies? *)
+       (match Driver.phantom_probe ~max_nodes:probe_nodes d with
+       | Some ext ->
+           let headers_tr, _ = Driver.headers_used d in
+           result :=
+             Some
+               (Violation
+                  {
+                    epochs = [];
+                    execution = Driver.trace d @ ext;
+                    at_epoch = i;
+                    headers_tr;
+                  });
+           raise Exit
+       | None -> ());
+       Driver.submit d;
+       let stock_before = Driver.data_in_transit d in
+       let gained = ref M.empty in
+       let reps_run = ref 0 in
+       (* Repetitions: the proof's beta-hat extensions.  The protocol's
+          completion attempt is serviced by stale copies for tracked
+          packets and cut at the first outside emission. *)
+       (try
+          for _ = 1 to reps do
+            let polls = ref 0 in
+            let cut = ref false in
+            while (not !cut) && !polls < poll_budget / (reps + 1) do
+              incr polls;
+              (match Driver.sender_poll d ~deliver:false with
+              | Some p ->
+                  if Iset.mem p !tracked then
+                    (* Simulation: a stale copy of p stands in for the fresh
+                       send, whose own copy replenishes the stock. *)
+                    ignore (Driver.deliver_data d p)
+                  else begin
+                    (* First outside packet: withheld — the gained copy. *)
+                    gained := M.add p !gained;
+                    cut := true
+                  end
+              | None -> ());
+              ignore (Driver.receiver_poll d ~deliver_acks:true);
+              ignore (Driver.receiver_poll d ~deliver_acks:true);
+              (* A delivery mid-repetition means the stale copies sufficed
+                 for the pending message; the stage is complete early. *)
+              if Driver.delivered d >= Driver.submitted d then begin
+                cut := true;
+                raise Exit
+              end
+            done;
+            incr reps_run
+          done
+        with Exit -> ());
+       (* Complete the stage over an optimal channel (the valid alpha_{i+1}). *)
+       if Driver.delivered d < Driver.submitted d then
+         if
+           not
+             (Driver.run_fresh_until_delivered d ~target:(Driver.submitted d)
+                ~max_polls:poll_budget)
+         then begin
+           result :=
+             Some (Stuck { epoch = i; reason = "stage did not complete on a fresh channel" });
+           raise Exit
+         end;
+       (* Track the most-gained outside packet (the proof's P_{i+1}). *)
+       (match M.max_multiplicity !gained with
+       | Some (p, _) -> tracked := Iset.add p !tracked
+       | None -> ());
+       stages :=
+         {
+           index = i;
+           tracked = Iset.elements !tracked;
+           stock = stock_before;
+           gained = !gained;
+           reps_run = !reps_run;
+         }
+         :: !stages
+     done
+   with Exit -> ());
+  let result =
+    match !result with
+    | Some o -> o
+    | None ->
+        let headers_tr, headers_rt = Driver.headers_used d in
+        Survived
+          { epochs = []; headers_tr; headers_rt; messages = Driver.delivered d }
+  in
+  { stages = List.rev !stages; result }

@@ -1,0 +1,105 @@
+(** The Theorem 3.1 adversary, executable.
+
+    Theorem 3.1: any M_f-bounded protocol needs n headers to deliver n
+    messages.  The proof constructs, against a protocol with k < n headers,
+    an execution in which ever-larger stocks of in-transit copies are
+    accumulated until the channel can "simulate" a complete delivery
+    extension out of stale copies alone — producing an execution with
+    rm = sm + 1, violating DL1.
+
+    [attack] plays that construction against a concrete protocol
+    implementation: per epoch it submits a message, withholds the first
+    [farm epoch] sender emissions (the adversary's delayed copies), lets
+    the epoch complete over an otherwise-optimal channel, and then searches
+    ({!Driver.phantom_probe}) for a stale-copy replay.  For bounded-header
+    protocols the probe eventually succeeds and the returned execution is
+    checkably invalid ({!Nfc_automata.Props.invalid_phantom} accepts it,
+    and its prefix before the phantom is a legal protocol execution).  For
+    protocols with growing headers (Stenning) the attack provably cannot
+    succeed; [Survived] then reports the header census, illustrating the
+    other side of the theorem: survival costs n headers. *)
+
+type epoch_info = {
+  epoch : int;  (** messages delivered so far when recorded *)
+  stock : Nfc_util.Multiset.Int.t;  (** in-transit data copies after farming *)
+  packets_sent : int;  (** cumulative sp^{t->r} *)
+  probe_len : int option;  (** phantom extension length, when one exists *)
+}
+
+type outcome =
+  | Violation of {
+      epochs : epoch_info list;
+      execution : Nfc_automata.Execution.t;
+          (** full invalid execution, rm = sm + 1 *)
+      at_epoch : int;
+      headers_tr : int;
+    }
+  | Survived of {
+      epochs : epoch_info list;
+      headers_tr : int;  (** distinct forward packets the protocol needed *)
+      headers_rt : int;
+      messages : int;
+    }
+  | Stuck of { epoch : int; reason : string }
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [attack proto] with:
+    - [farm]: how many emissions to withhold in epoch i (default
+      [fun i -> 4 lsl i], a doubling stock that stays ahead of doubling per-epoch thresholds);
+    - [max_messages]: give up (Survived) after this many epochs
+      (default 12);
+    - [poll_budget]: per-epoch turn budget (default 1_000_000);
+    - [probe_nodes]: BFS budget per phantom probe (default 500_000). *)
+val attack :
+  ?farm:(int -> int) ->
+  ?max_messages:int ->
+  ?poll_budget:int ->
+  ?probe_nodes:int ->
+  Nfc_protocol.Spec.t ->
+  outcome
+
+(** {2 The staged construction, verbatim}
+
+    [attack_staged] follows the proof of Theorem 3.1's Claim step by step
+    instead of the streamlined farming of [attack]:
+
+    - it maintains the tracked packet set P_i with a stock of in-transit
+      copies of each member;
+    - per stage it submits one message and runs up to [reps] repetitions
+      of the proof's beta-hat extensions: the protocol's completion
+      attempt is serviced by {e stale} copies for packets in P_i (each
+      fresh send of a P_i packet is withheld, replenishing the stock, and
+      a stale copy is delivered in its place — the "simulation" of the
+      proof), and cut at the first emission of a packet outside P_i,
+      which is withheld: the gained copy;
+    - the most-gained outside packet joins P_{i+1};
+    - before each stage it searches for the stale-replay phantom exactly
+      as the proof's invalid-execution step.
+
+    The per-stage records (tracked set, stock sizes, gained copies) are
+    the executable counterpart of the Claim's bookkeeping
+    (k-i)!·f(k+1)^{k+1-i}. *)
+
+type stage = {
+  index : int;  (** stage number = messages delivered before it *)
+  tracked : int list;  (** P_i *)
+  stock : Nfc_util.Multiset.Int.t;  (** in-transit copies entering the stage *)
+  gained : Nfc_util.Multiset.Int.t;  (** outside copies won by the repetitions *)
+  reps_run : int;
+}
+
+type staged_outcome = {
+  stages : stage list;
+  result : outcome;  (** violation / survival, as for [attack] *)
+}
+
+val pp_staged : Format.formatter -> staged_outcome -> unit
+
+val attack_staged :
+  ?reps:int ->
+  ?max_messages:int ->
+  ?poll_budget:int ->
+  ?probe_nodes:int ->
+  Nfc_protocol.Spec.t ->
+  staged_outcome

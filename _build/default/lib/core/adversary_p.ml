@@ -1,0 +1,115 @@
+module M = Nfc_util.Multiset.Int
+
+type measurement = {
+  protocol : string;
+  backlog : int;
+  bound : int;
+  cost : int option;
+  cost_total : int;
+  completed : int;
+}
+
+let pp_measurement ppf m =
+  Format.fprintf ppf "%s: backlog=%d bound(l/k)=%d max-cost=%s total-cost=%d completed=%d"
+    m.protocol m.backlog m.bound
+    (match m.cost with None -> "did-not-complete" | Some c -> string_of_int c)
+    m.cost_total m.completed
+
+let release_old d n =
+  (* Release up to [n] delayed packets, data first, oldest multiset support
+     order; also release delayed acks at the same rate. *)
+  let released = ref 0 in
+  let rec data_loop () =
+    if !released < n then
+      match M.support (Driver.data_in_transit d) with
+      | [] -> ()
+      | pkt :: _ ->
+          if Driver.deliver_data d pkt then begin
+            incr released;
+            data_loop ()
+          end
+  in
+  data_loop ();
+  let released_acks = ref 0 in
+  let rec ack_loop () =
+    if !released_acks < n then
+      match M.support (Driver.acks_in_transit d) with
+      | [] -> ()
+      | pkt :: _ ->
+          if Driver.deliver_ack d pkt then begin
+            incr released_acks;
+            ack_loop ()
+          end
+  in
+  ack_loop ()
+
+let measure ?(per_epoch = 1) ?(probe_messages = 3) ?(frozen = false) ?(release_per_round = 1)
+    ?(poll_budget = 2_000_000) ?(epoch_budget = 200_000) ~l proto =
+  if l < 0 then invalid_arg "Adversary_p.measure: l must be >= 0";
+  if per_epoch < 1 then invalid_arg "Adversary_p.measure: per_epoch must be >= 1";
+  let module P = (val proto : Nfc_protocol.Spec.S) in
+  let d = Driver.create proto in
+  (* Build the backlog: per message, withhold [per_epoch] emissions, then
+     complete the epoch over an optimal channel.  A protocol may refuse to
+     make progress with copies outstanding (Afek3's flush does, by design);
+     building then stops with whatever backlog exists. *)
+  let building = ref true in
+  while
+    !building
+    && M.cardinal (Driver.data_in_transit d) < l
+    && Driver.delivered d = Driver.submitted d
+  do
+    Driver.submit d;
+    let farmed = ref 0 in
+    let polls = ref 0 in
+    while !farmed < per_epoch && !polls < epoch_budget do
+      (match Driver.sender_poll d ~deliver:false with
+      | Some _ -> incr farmed
+      | None -> ());
+      ignore (Driver.receiver_poll d ~deliver_acks:true);
+      incr polls
+    done;
+    if
+      !farmed < per_epoch
+      || not
+           (Driver.run_fresh_until_delivered d ~target:(Driver.submitted d)
+              ~max_polls:epoch_budget)
+    then building := false
+  done;
+  let backlog = M.cardinal (Driver.data_in_transit d) in
+  (* Probe: deliver further messages, counting forward packets each. *)
+  let max_cost = ref None in
+  let total = ref 0 in
+  let completed = ref 0 in
+  (try
+     for _ = 1 to probe_messages do
+       Driver.submit d;
+       let target = Driver.submitted d in
+       let cost = ref 0 in
+       let probe_polls = ref 0 in
+       while Driver.delivered d < target && !probe_polls < poll_budget do
+         (match Driver.sender_poll d ~deliver:true with
+         | Some _ -> incr cost
+         | None -> ());
+         ignore (Driver.receiver_poll d ~deliver_acks:true);
+         ignore (Driver.receiver_poll d ~deliver_acks:true);
+         if not frozen then release_old d release_per_round;
+         incr probe_polls
+       done;
+       if Driver.delivered d < target then raise Exit;
+       incr completed;
+       total := !total + !cost;
+       max_cost := Some (max (Option.value ~default:0 !max_cost) !cost)
+     done
+   with Exit -> ());
+  let bound =
+    match P.header_bound with Some k when k > 0 -> backlog / k | Some _ | None -> 0
+  in
+  {
+    protocol = P.name;
+    backlog;
+    bound;
+    cost = (if !completed = probe_messages then !max_cost else None);
+    cost_total = !total;
+    completed = !completed;
+  }

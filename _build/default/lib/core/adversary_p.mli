@@ -1,0 +1,53 @@
+(** The Theorem 4.1 construction: boundness as a function of the backlog.
+
+    Theorem 4.1: a protocol with k < n headers cannot be P_f-bounded for
+    any monotone f with f(l) <= floor(l/k) — delivering a message costs at
+    least 1/k times the number of packets in transit when it is sent.  The
+    proof accumulates backlog one delayed packet per message and shows each
+    delivery extension must contribute a fresh copy.
+
+    [measure] plays the construction: it builds a backlog of [l] delayed
+    data packets ([per_epoch] withheld per message over an otherwise
+    optimal channel), then submits [probe_messages] further messages and
+    counts the forward packets each one costs.
+
+    Two channel regimes for the measured extension:
+    - [frozen = true] — the paper's boundness definition: delayed packets
+      are never delivered during the extension;
+    - [frozen = false] — the relaxed definition the paper attributes to
+      [LMF88]/[AFWZ88] (and under which [Afe88] is linear): the channel
+      releases [release_per_round] old packets per round during the
+      extension.
+
+    Against [Flood] the frozen cost is the threshold schedule (far above
+    l/k); against [Afek3] the relaxed cost is Theta(l) — the tight linear
+    bound; against [Stenning] the cost is O(1), possible only because its
+    headers grow. *)
+
+type measurement = {
+  protocol : string;
+  backlog : int;  (** packets in transit when the probe message was sent *)
+  bound : int;  (** floor(l / k) with the protocol's header count; 0 when headers unbounded *)
+  cost : int option;
+      (** forward packets to deliver the most expensive probe message;
+          [None] = did not complete within budget (boundness infinite
+          under this regime) *)
+  cost_total : int;  (** forward packets over all probe messages *)
+  completed : int;  (** probe messages actually delivered *)
+}
+
+val pp_measurement : Format.formatter -> measurement -> unit
+
+(** [epoch_budget] caps the turns spent building each backlog message; a
+    protocol that blocks with copies outstanding (Afek3's flush) simply
+    stops accumulating there — [backlog] reports what was achieved. *)
+val measure :
+  ?per_epoch:int ->
+  ?probe_messages:int ->
+  ?frozen:bool ->
+  ?release_per_round:int ->
+  ?poll_budget:int ->
+  ?epoch_budget:int ->
+  l:int ->
+  Nfc_protocol.Spec.t ->
+  measurement

@@ -1,0 +1,107 @@
+module M = Nfc_util.Multiset.Int
+module Rng = Nfc_util.Rng
+
+type sample = { sm : int; backlog : int; cost : int option }
+type report = { protocol : string; samples : sample list }
+
+(* Minimum-effort completion from the current configuration: optimal
+   channel for fresh packets, old packets frozen (never delivered).  Counts
+   forward sends until the pending message is delivered. *)
+let frozen_extension_cost d ~poll_budget =
+  let target = Driver.submitted d in
+  let cost = ref 0 in
+  let polls = ref 0 in
+  while Driver.delivered d < target && !polls < poll_budget do
+    (match Driver.sender_poll d ~deliver:true with Some _ -> incr cost | None -> ());
+    ignore (Driver.receiver_poll d ~deliver_acks:true);
+    ignore (Driver.receiver_poll d ~deliver_acks:true);
+    incr polls
+  done;
+  if Driver.delivered d >= target then Some !cost else None
+
+let sample_extensions ?(samples = 30) ?(seed = 1) ?(max_messages = 8) ?(poll_budget = 200_000)
+    proto =
+  let module P = (val proto : Nfc_protocol.Spec.S) in
+  let rng = Rng.of_int seed in
+  let collected = ref [] in
+  let episodes = max 1 ((samples + max_messages - 1) / max_messages) in
+  for _ = 1 to episodes do
+    let d = Driver.create proto in
+    let episode_rng = Rng.split rng in
+    (try
+       for i = 0 to max_messages - 1 do
+         Driver.submit d;
+         (* Semi-valid point: measure the frozen extension cost on a copy
+            of the configuration, then continue the noisy schedule. *)
+         if List.length !collected < samples then begin
+           let restore = Driver.snapshot d in
+           let cost = frozen_extension_cost d ~poll_budget in
+           let sample =
+             {
+               sm = i + 1;
+               backlog = M.cardinal (Driver.data_in_transit d);
+               cost;
+             }
+           in
+           restore ();
+           collected := sample :: !collected
+         end;
+         (* Noisy progress to the next semi-valid point: random
+            withholding, stale releases, occasional drops. *)
+         let budget = ref poll_budget in
+         while Driver.delivered d < i + 1 && !budget > 0 do
+           decr budget;
+           (* Sender turn: withhold with probability 0.3. *)
+           ignore (Driver.sender_poll d ~deliver:(not (Rng.bool episode_rng 0.3)));
+           (* Occasionally release or drop a stale data copy. *)
+           if Rng.bool episode_rng 0.25 then begin
+             match Rng.pick episode_rng (M.support (Driver.data_in_transit d)) with
+             | Some pkt ->
+                 if Rng.bool episode_rng 0.15 then ignore (Driver.drop_data d pkt)
+                 else ignore (Driver.deliver_data d pkt)
+             | None -> ()
+           end;
+           (* Receiver turns: acks mostly flow, sometimes delayed. *)
+           ignore (Driver.receiver_poll d ~deliver_acks:(not (Rng.bool episode_rng 0.2)));
+           ignore (Driver.receiver_poll d ~deliver_acks:true);
+           (* Release a delayed ack now and then. *)
+           if Rng.bool episode_rng 0.3 then begin
+             match Rng.pick episode_rng (M.support (Driver.acks_in_transit d)) with
+             | Some pkt -> ignore (Driver.deliver_ack d pkt)
+             | None -> ()
+           end
+         done;
+         if Driver.delivered d < i + 1 then raise Exit (* episode wedged; next one *)
+       done
+     with Exit -> ())
+  done;
+  { protocol = P.name; samples = List.rev !collected }
+
+let respects_m ~f report =
+  List.for_all
+    (fun s -> match s.cost with Some c -> c <= f s.sm | None -> false)
+    report.samples
+
+let respects_p ~f report =
+  List.for_all
+    (fun s -> match s.cost with Some c -> c <= f s.backlog | None -> false)
+    report.samples
+
+let refutation_m ~f report =
+  List.find_opt
+    (fun s -> match s.cost with Some c -> c > f s.sm | None -> true)
+    report.samples
+
+let refutation_p ~f report =
+  List.find_opt
+    (fun s -> match s.cost with Some c -> c > f s.backlog | None -> true)
+    report.samples
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s: %d semi-valid samples@," r.protocol (List.length r.samples);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  sm=%d backlog=%d cost=%s@," s.sm s.backlog
+        (match s.cost with None -> "-" | Some c -> string_of_int c))
+    r.samples;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** Definitions 5 and 6, executable.
+
+    - Definition 5 (M_f-bounded): from every semi-valid execution α there
+      is an extension β — delivering no packet already in transit — that
+      completes the pending message with sp^{t->r}(β) ≤ f(sm(α)).
+    - Definition 6 (P_f-bounded): same, with the budget
+      f(sp^{t->r}(α) − rp^{t->r}(α)), i.e. a function of the backlog.
+
+    [sample_extensions] explores a protocol with a seeded random adversary
+    (random withholding, stale releases, drops), pauses at semi-valid
+    points, and measures the minimum-effort completion cost over an
+    optimal channel with old packets frozen (the boundness extension).
+    Each sample records sm(α), the backlog, and the measured cost (or
+    [None] when the protocol cannot complete under the frozen regime).
+
+    [respects_m]/[respects_p] then decide whether a candidate f dominates
+    every sample — the experimental face of "is this protocol
+    M_f/P_f-bounded?".  These are refutation-complete on the sampled
+    executions: a [false] exhibits a concrete semi-valid execution whose
+    cheapest frozen extension exceeds f, exactly the object Theorems 3.1
+    and 4.1 reason about. *)
+
+type sample = {
+  sm : int;  (** messages submitted at the sample point *)
+  backlog : int;  (** sp^{t->r} − rp^{t->r} at the sample point *)
+  cost : int option;  (** forward packets to complete; [None] = cannot *)
+}
+
+type report = { protocol : string; samples : sample list }
+
+(** [sample_extensions proto] with [samples] measurement points (default
+    30), random schedule seeded by [seed], at most [max_messages] per
+    episode (default 8). *)
+val sample_extensions :
+  ?samples:int ->
+  ?seed:int ->
+  ?max_messages:int ->
+  ?poll_budget:int ->
+  Nfc_protocol.Spec.t ->
+  report
+
+(** Every sampled extension completed within [f sm]. *)
+val respects_m : f:(int -> int) -> report -> bool
+
+(** Every sampled extension completed within [f backlog]. *)
+val respects_p : f:(int -> int) -> report -> bool
+
+(** The first sample refuting [f] under Definition 5 (resp. 6), if any. *)
+val refutation_m : f:(int -> int) -> report -> sample option
+
+val refutation_p : f:(int -> int) -> report -> sample option
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,57 @@
+let saturation = max_int / 2
+
+let sat_mul a b =
+  if a < 0 || b < 0 then invalid_arg "Bounds.sat_mul: negative";
+  if a = 0 || b = 0 then 0
+  else if a > saturation / b then saturation
+  else a * b
+
+let sat_pow base e =
+  if e < 0 then invalid_arg "Bounds.sat_pow: negative exponent";
+  let rec go acc e = if e = 0 then acc else go (sat_mul acc base) (e - 1) in
+  go 1 e
+
+let sat_factorial n =
+  if n < 0 then invalid_arg "Bounds.sat_factorial: negative";
+  let rec go acc i = if i > n then acc else go (sat_mul acc i) (i + 1) in
+  go 1 1
+
+let t31_copies ~k ~i ~f =
+  if k < 1 then invalid_arg "Bounds.t31_copies: k must be >= 1";
+  if i < 0 || i > k then invalid_arg "Bounds.t31_copies: i must lie in [0,k]";
+  sat_mul (sat_factorial (k - i)) (sat_pow (f (k + 1)) (k + 1 - i))
+
+let t31_initial_flood ~k ~f =
+  if k < 1 then invalid_arg "Bounds.t31_initial_flood: k must be >= 1";
+  let flood = sat_mul (sat_factorial k) (sat_pow (f (k + 1)) k) in
+  max 1 (flood - k + 1)
+
+let t41_bound ~k ~l =
+  if k < 1 then invalid_arg "Bounds.t41_bound: k must be >= 1";
+  if l < 0 then invalid_arg "Bounds.t41_bound: l must be >= 0";
+  l / k
+
+let lmf88_max_messages ~k ~headers =
+  if k < 1 then invalid_arg "Bounds.lmf88_max_messages: k must be >= 1";
+  if headers < 1 then invalid_arg "Bounds.lmf88_max_messages: headers must be >= 1";
+  sat_mul k headers
+
+let t51_epsilon ?(c = 1.0) n =
+  if n < 1 then invalid_arg "Bounds.t51_epsilon: n must be >= 1";
+  c /. sqrt (float_of_int n)
+
+let t51_rate ?(c = 1.0) ~q n = max 1.0 (1.0 +. q -. t51_epsilon ~c n)
+
+let t51_packets ?(c = 1.0) ?gamma ~q ~k n =
+  if k < 1 then invalid_arg "Bounds.t51_packets: k must be >= 1";
+  if n < 1 then invalid_arg "Bounds.t51_packets: n must be >= 1";
+  let gamma =
+    match gamma with Some g -> g | None -> 1.0 /. (8.0 *. float_of_int (k * k))
+  in
+  t51_rate ~c ~q n ** (gamma *. float_of_int n)
+
+let t51_probability ~q ~k ~n =
+  if k < 1 then invalid_arg "Bounds.t51_probability: k must be >= 1";
+  if n < 1 then invalid_arg "Bounds.t51_probability: n must be >= 1";
+  let exponent = float_of_int n *. q *. q /. (4.0 *. float_of_int (k * k * k)) in
+  1.0 -. exp (-.exponent)

@@ -1,0 +1,51 @@
+(** Closed-form quantities from the paper's theorems, used as the
+    "predicted" columns of every experiment table.
+
+    All functions saturate at [max_int / 2] instead of overflowing: the
+    pyramid of Theorem 3.1 is factorial-times-exponential and overflows
+    64-bit arithmetic already for modest k. *)
+
+(** Saturating arithmetic helpers (exposed for tests). *)
+val sat_mul : int -> int -> int
+
+val sat_pow : int -> int -> int
+val sat_factorial : int -> int
+
+(** Theorem 3.1's inductive invariant: after stage i (of k headers, with
+    boundness function [f]), the adversary holds
+    [(k - i)! * f(k+1)^(k+1-i)] copies of each packet in the tracked set
+    P_i.  [t31_copies ~k ~i ~f] returns that quantity (saturating). *)
+val t31_copies : k:int -> i:int -> f:(int -> int) -> int
+
+(** Packets the Theorem 3.1 adversary must see delayed initially:
+    [k! * f(k+1)^k - k + 1] (the basis of the induction). *)
+val t31_initial_flood : k:int -> f:(int -> int) -> int
+
+(** Theorem 4.1: with [k] headers and [l] packets in transit, any
+    completing extension needs more than [l / k] forward packets — the
+    boundness lower bound [floor (l/k)]. *)
+val t41_bound : k:int -> l:int -> int
+
+(** The predecessor result the paper strengthens ([LMF88]): any k-bounded
+    protocol needs Omega(n/k) headers to deliver n messages; equivalently,
+    a k-bounded protocol with [headers] distinct packets delivers at most
+    on the order of [k * headers] messages before DL1 is violable.
+    [lmf88_max_messages] returns that ceiling (the constant is 1: our
+    adversary realises it up to small additive slack). *)
+val lmf88_max_messages : k:int -> headers:int -> int
+
+(** Theorem 5.1: the paper's slack sequence eps_n = O(1/sqrt n); we use
+    [c / sqrt n] with the constant [c] (default 1.0). *)
+val t51_epsilon : ?c:float -> int -> float
+
+(** Theorem 5.1's growth base [1 + q - eps_n]. *)
+val t51_rate : ?c:float -> q:float -> int -> float
+
+(** Theorem 5.1's packet lower bound [(1 + q - eps_n)^(gamma * n)] for a
+    linear exponent [gamma * n] (the Omega(n); gamma defaults to the
+    proof's n/(8 k^2) with [k] headers). *)
+val t51_packets : ?c:float -> ?gamma:float -> q:float -> k:int -> int -> float
+
+(** Probability bound [1 - e^(-Omega(n))] with which Theorem 5.1 holds;
+    the proof's exponent is [n q^2 / (4 k^3)] (Lemma 5.2). *)
+val t51_probability : q:float -> k:int -> n:int -> float

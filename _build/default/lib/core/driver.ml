@@ -1,0 +1,245 @@
+open Nfc_automata
+module M = Nfc_util.Multiset.Int
+module Spec = Nfc_protocol.Spec
+module Iset = Set.Make (Int)
+
+type receiver_event = Ack of int | Delivered | Silent
+
+(* The protocol's state types are existential; everything that touches them
+   lives in closures built by [create]. *)
+type t = {
+  f_submit : unit -> unit;
+  f_sender_poll : bool -> int option;
+  f_receiver_poll : bool -> receiver_event;
+  f_deliver_data : int -> bool;
+  f_deliver_ack : int -> bool;
+  f_drop_data : int -> bool;
+  f_drop_ack : int -> bool;
+  f_submitted : unit -> int;
+  f_delivered : unit -> int;
+  f_data_in_transit : unit -> M.t;
+  f_acks_in_transit : unit -> M.t;
+  f_headers : unit -> int * int;
+  f_packets : unit -> int * int;
+  f_trace : unit -> Execution.t;
+  f_snapshot : unit -> unit -> unit;
+  f_phantom_probe : int -> Execution.t option;
+}
+
+let create (proto : Spec.t) : t =
+  let module P = (val proto) in
+  let sender = ref P.sender_init in
+  let receiver = ref P.receiver_init in
+  let tr = ref M.empty in
+  let rt = ref M.empty in
+  let submitted = ref 0 in
+  let delivered = ref 0 in
+  let sent_tr = ref 0 in
+  let sent_rt = ref 0 in
+  let headers_tr = ref Iset.empty in
+  let headers_rt = ref Iset.empty in
+  let trace = ref [] in
+  let record a = trace := a :: !trace in
+  let f_submit () =
+    record (Action.Send_msg !submitted);
+    incr submitted;
+    sender := P.on_submit !sender
+  in
+  let give_data pkt =
+    record (Action.Receive_pkt (Action.T_to_r, pkt));
+    receiver := P.on_data !receiver pkt
+  in
+  let give_ack pkt =
+    record (Action.Receive_pkt (Action.R_to_t, pkt));
+    sender := P.on_ack !sender pkt
+  in
+  let f_sender_poll deliver =
+    match P.sender_poll !sender with
+    | None, s ->
+        sender := s;
+        None
+    | Some pkt, s ->
+        sender := s;
+        record (Action.Send_pkt (Action.T_to_r, pkt));
+        incr sent_tr;
+        headers_tr := Iset.add pkt !headers_tr;
+        if deliver then give_data pkt else tr := M.add pkt !tr;
+        Some pkt
+  in
+  let f_receiver_poll deliver_acks =
+    match P.receiver_poll !receiver with
+    | None, r ->
+        receiver := r;
+        Silent
+    | Some Spec.Rdeliver, r ->
+        receiver := r;
+        record (Action.Receive_msg !delivered);
+        incr delivered;
+        Delivered
+    | Some (Spec.Rsend pkt), r ->
+        receiver := r;
+        record (Action.Send_pkt (Action.R_to_t, pkt));
+        incr sent_rt;
+        headers_rt := Iset.add pkt !headers_rt;
+        if deliver_acks then give_ack pkt else rt := M.add pkt !rt;
+        Ack pkt
+  in
+  let f_deliver_data pkt =
+    match M.remove_one pkt !tr with
+    | None -> false
+    | Some tr' ->
+        tr := tr';
+        give_data pkt;
+        true
+  in
+  let f_deliver_ack pkt =
+    match M.remove_one pkt !rt with
+    | None -> false
+    | Some rt' ->
+        rt := rt';
+        give_ack pkt;
+        true
+  in
+  let f_drop_data pkt =
+    match M.remove_one pkt !tr with
+    | None -> false
+    | Some tr' ->
+        tr := tr';
+        record (Action.Drop_pkt (Action.T_to_r, pkt));
+        true
+  in
+  let f_drop_ack pkt =
+    match M.remove_one pkt !rt with
+    | None -> false
+    | Some rt' ->
+        rt := rt';
+        record (Action.Drop_pkt (Action.R_to_t, pkt));
+        true
+  in
+  let f_snapshot () =
+    let s = !sender
+    and r = !receiver
+    and a = !tr
+    and b = !rt
+    and sm = !submitted
+    and dm = !delivered
+    and st = !sent_tr
+    and sr = !sent_rt
+    and ht = !headers_tr
+    and hr = !headers_rt
+    and tc = !trace in
+    fun () ->
+      sender := s;
+      receiver := r;
+      tr := a;
+      rt := b;
+      submitted := sm;
+      delivered := dm;
+      sent_tr := st;
+      sent_rt := sr;
+      headers_tr := ht;
+      headers_rt := hr;
+      trace := tc
+  in
+  let f_phantom_probe max_nodes =
+    (* BFS over (receiver state, remaining in-transit data, deliveries so
+       far) for a phantom delivery using only stale copies. *)
+    let module Key = struct
+      type t = P.receiver * M.t * int
+
+      let compare (r1, m1, d1) (r2, m2, d2) =
+        let c = compare d1 d2 in
+        if c <> 0 then c
+        else
+          let c = P.compare_receiver r1 r2 in
+          if c <> 0 then c else M.compare m1 m2
+    end in
+    let module Kset = Set.Make (Key) in
+    let start = (!receiver, !tr, !delivered) in
+    let queue = Queue.create () in
+    let visited = ref Kset.empty in
+    let n_visited = ref 0 in
+    let result = ref None in
+    let visit key actions_rev =
+      if (not (Kset.mem key !visited)) && !n_visited < max_nodes then begin
+        visited := Kset.add key !visited;
+        incr n_visited;
+        Queue.push (key, actions_rev) queue
+      end
+    in
+    visit start [];
+    (try
+       while not (Queue.is_empty queue) do
+         let (r, m, d), acts = Queue.pop queue in
+         (* Receiver turn. *)
+         (match P.receiver_poll r with
+         | Some Spec.Rdeliver, r' ->
+             let act = Action.Receive_msg d in
+             if d + 1 > !submitted then begin
+               result := Some (List.rev (act :: acts));
+               raise Exit
+             end
+             else visit (r', m, d + 1) (act :: acts)
+         | Some (Spec.Rsend pkt), r' ->
+             visit (r', m, d) (Action.Send_pkt (Action.R_to_t, pkt) :: acts)
+         | None, r' ->
+             if P.compare_receiver r' r <> 0 then visit (r', m, d) acts);
+         (* Deliver any stale copy. *)
+         List.iter
+           (fun pkt ->
+             match M.remove_one pkt m with
+             | Some m' ->
+                 visit
+                   (P.on_data r pkt, m', d)
+                   (Action.Receive_pkt (Action.T_to_r, pkt) :: acts)
+             | None -> ())
+           (M.support m)
+       done
+     with Exit -> ());
+    !result
+  in
+  {
+    f_submit;
+    f_sender_poll;
+    f_receiver_poll;
+    f_deliver_data;
+    f_deliver_ack;
+    f_drop_data;
+    f_drop_ack;
+    f_submitted = (fun () -> !submitted);
+    f_delivered = (fun () -> !delivered);
+    f_data_in_transit = (fun () -> !tr);
+    f_acks_in_transit = (fun () -> !rt);
+    f_headers = (fun () -> (Iset.cardinal !headers_tr, Iset.cardinal !headers_rt));
+    f_packets = (fun () -> (!sent_tr, !sent_rt));
+    f_trace = (fun () -> List.rev !trace);
+    f_snapshot;
+    f_phantom_probe;
+  }
+
+let submit t = t.f_submit ()
+let sender_poll t ~deliver = t.f_sender_poll deliver
+let receiver_poll t ~deliver_acks = t.f_receiver_poll deliver_acks
+let deliver_data t pkt = t.f_deliver_data pkt
+let deliver_ack t pkt = t.f_deliver_ack pkt
+let drop_data t pkt = t.f_drop_data pkt
+let drop_ack t pkt = t.f_drop_ack pkt
+let submitted t = t.f_submitted ()
+let delivered t = t.f_delivered ()
+let data_in_transit t = t.f_data_in_transit ()
+let acks_in_transit t = t.f_acks_in_transit ()
+let headers_used t = t.f_headers ()
+let packets_sent t = t.f_packets ()
+let trace t = t.f_trace ()
+let snapshot t = t.f_snapshot ()
+let phantom_probe ?(max_nodes = 500_000) t = t.f_phantom_probe max_nodes
+
+let run_fresh_until_delivered t ~target ~max_polls =
+  let polls = ref 0 in
+  while delivered t < target && !polls < max_polls do
+    ignore (sender_poll t ~deliver:true);
+    ignore (receiver_poll t ~deliver_acks:true);
+    ignore (receiver_poll t ~deliver_acks:true);
+    incr polls
+  done;
+  delivered t >= target

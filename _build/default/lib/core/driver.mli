@@ -1,0 +1,80 @@
+(** Full adversarial control over one protocol instance.
+
+    The lower-bound constructions of Theorems 3.1 and 4.1 are executions in
+    which the {e channel} chooses, packet by packet, what to deliver, delay
+    or drop.  A [t] wraps a protocol's sender and receiver states together
+    with the two in-transit multisets and a recorded execution, and exposes
+    exactly the moves the paper's adversary performs:
+
+    - [submit]: a [send_msg] input;
+    - [sender_poll ~deliver]: give the sender one turn; if it emits, either
+      deliver the packet to the receiver immediately ([deliver = true],
+      the "optimal channel" of the boundness definition) or leave it in
+      transit (the adversary's delay);
+    - [receiver_poll ~deliver_acks]: one receiver turn, with the same
+      choice for emitted reverse packets;
+    - [deliver_data] / [deliver_ack]: release one delayed copy;
+    - [drop_data] / [drop_ack]: delete one delayed copy;
+    - [snapshot]: capture the entire configuration and return a closure
+      restoring it (the proofs repeatedly rewind and replay extensions).
+
+    Every move is recorded; [trace] returns the execution so far, which the
+    checkers of {!Nfc_automata.Props} accept or indict independently.
+
+    [phantom_probe] implements the "simulation" step of the proofs: a
+    breadth-first search for a sequence of deliveries {e of in-transit
+    copies only} (plus receiver turns) after which the receiver delivers
+    one more message than was ever submitted.  If it returns a trace, the
+    concatenation [trace () @ probe] is an invalid execution — the DL1
+    violation the theorems promise. *)
+
+type t
+
+val create : Nfc_protocol.Spec.t -> t
+
+val submit : t -> unit
+
+(** Returns the packet emitted, if any. *)
+val sender_poll : t -> deliver:bool -> int option
+
+type receiver_event = Ack of int | Delivered | Silent
+
+val receiver_poll : t -> deliver_acks:bool -> receiver_event
+
+(** Release one in-transit copy of the given packet (oldest-equivalent;
+    multisets carry no order).  Returns [false] if no copy is in transit. *)
+val deliver_data : t -> int -> bool
+
+val deliver_ack : t -> int -> bool
+val drop_data : t -> int -> bool
+val drop_ack : t -> int -> bool
+
+val submitted : t -> int
+val delivered : t -> int
+
+(** In-transit multisets. *)
+val data_in_transit : t -> Nfc_util.Multiset.Int.t
+
+val acks_in_transit : t -> Nfc_util.Multiset.Int.t
+
+(** Distinct packet values ever sent, per direction. *)
+val headers_used : t -> int * int
+
+(** Packets sent so far, per direction. *)
+val packets_sent : t -> int * int
+
+(** The execution so far, chronological. *)
+val trace : t -> Nfc_automata.Execution.t
+
+(** Capture the full configuration; the returned closure restores it. *)
+val snapshot : t -> unit -> unit
+
+(** Search (BFS, [max_nodes] configurations) for an extension made only of
+    in-transit data deliveries and receiver turns that produces a phantom
+    delivery.  Returns the extension's actions; does not mutate. *)
+val phantom_probe : ?max_nodes:int -> t -> Nfc_automata.Execution.t option
+
+(** Convenience: drive both stations with an optimal channel (every
+    emission delivered immediately) until [delivered] reaches [target] or
+    [max_polls] turns pass.  Returns [true] on success. *)
+val run_fresh_until_delivered : t -> target:int -> max_polls:int -> bool

@@ -1,0 +1,123 @@
+(** Experiment drivers: one per paper object (see DESIGN.md §4).
+
+    Every driver prints an aligned table (predicted column next to the
+    measured one) and returns the structured rows so tests can assert the
+    shapes.  All are deterministic given [seed].
+
+    [quick] trades coverage for speed (used by tests and the bench
+    harness's smoke mode); the defaults regenerate the full tables. *)
+
+(** E-F1 — the architecture of Figure 1, rendered. *)
+val figure_1 : unit -> string
+
+type t21_row = {
+  protocol : string;
+  k_t : int;
+  k_r : int;
+  product : int;
+  boundness : int option;
+      (** [None] when some reachable semi-valid configuration has no valid
+          extension at all — the protocol already wedged itself, which only
+          unsafe-on-non-FIFO protocols (alternating bit with a large enough
+          exploration) do.  Theorem 2.1 presupposes a correct protocol, so
+          such rows are reported as n/a rather than as counterexamples. *)
+  within_bound : bool;  (** measured boundness <= k_t * k_r (true when n/a) *)
+}
+
+(** E-T21 — Theorem 2.1: measured boundness vs the k_t*k_r state product,
+    for the finite-control protocols. *)
+val t21 : ?quick:bool -> unit -> t21_row list
+
+type t31_pyramid_row = {
+  k : int;
+  i : int;
+  copies : int;  (** (k-i)! f(k+1)^{k+1-i}, saturating *)
+}
+
+(** E-T31a — the proof's bookkeeping: in-transit copies the adversary
+    maintains at stage i against a k-header, f-bounded protocol. *)
+val t31_pyramid : ?f:(int -> int) -> ks:int list -> unit -> t31_pyramid_row list
+
+type t31_row = {
+  protocol : string;
+  headers : string;  (** "4" or "unbounded" *)
+  outcome : string;  (** violated at epoch e / survived / blocked *)
+  headers_used : int;  (** distinct forward packets actually sent *)
+  messages : int;  (** messages delivered when the attack ended *)
+  violated : bool;
+}
+
+(** E-T31b — the executable adversary of Theorem 3.1 against every
+    protocol. *)
+val t31 : ?quick:bool -> ?seed:int -> unit -> t31_row list
+
+(** E-T31c — the staged construction of the Claim
+    ({!Adversary_m.attack_staged}): per protocol, how the tracked packet
+    set P_i grows and where it tops out. *)
+val t31_staged : ?quick:bool -> unit -> Adversary_m.staged_outcome list
+
+type t41_row = {
+  protocol : string;
+  l : int;  (** backlog actually built *)
+  bound : int;  (** floor(l/k) *)
+  cost : int option;  (** measured max packets to deliver under the regime *)
+  frozen : bool;
+}
+
+(** E-T41 — Theorem 4.1: delivery cost vs backlog, frozen and relaxed
+    regimes, for Flood / Afek3 / Stenning. *)
+val t41 : ?quick:bool -> unit -> t41_row list
+
+type t51_growth_row = {
+  q : float;
+  measured_rate : float;
+  lower : float;  (** 1 + q - eps_n *)
+  ideal : float;  (** 1 + q *)
+  total_sent_median : float;
+}
+
+(** E-T51a — the dominant-packet recurrence of the proof, per q. *)
+val t51_growth : ?quick:bool -> ?seed:int -> qs:float list -> unit -> t51_growth_row list
+
+type t51_sweep_row = {
+  protocol : string;
+  q : float;
+  n : int;
+  packets_median : float;
+  completion : float;
+}
+
+(** E-T51b — end-to-end packet counts over the probabilistic channel, with
+    the fitted per-message growth factor per protocol. *)
+val t51_sweep :
+  ?quick:bool ->
+  ?seed:int ->
+  q:float ->
+  unit ->
+  t51_sweep_row list * (string * Nfc_util.Fit.growth) list
+
+type lmf_row = {
+  base : int;  (** constant flood threshold = the protocol's boundness knob *)
+  boundness_proxy : int;  (** 2 * base: data + ack threshold per epoch *)
+  messages_survived : int;  (** deliveries before the adversary's phantom *)
+  predicted_ceiling : int;  (** k * H per [LMF88] *)
+}
+
+(** E-LMF — the predecessor bound the paper strengthens ([LMF88]): against
+    constant-threshold (hence constant-bounded) Flood variants, a
+    one-copy-per-epoch adversary produces a phantom after Theta(k) messages
+    with the fixed 4-header alphabet — messages grow linearly with the
+    boundness, never past k*H. *)
+val lmf : ?quick:bool -> unit -> lmf_row list
+
+type t51_safety_row = { ratio : float; violation_rate : float }
+
+(** E-T51c — Flood's threshold-ratio safety waterline at a given q. *)
+val t51_safety : ?quick:bool -> ?seed:int -> q:float -> unit -> t51_safety_row list
+
+(** E-TRANS lives in {!Nfc_transport.Experiment} (the transport library
+    sits above this one); [run_all] includes it.
+
+    Run everything and print all tables (the paper's full evaluation).
+    Returns the number of experiment groups executed. *)
+val run_all : ?quick:bool -> ?seed:int -> unit -> int

@@ -1,0 +1,104 @@
+module Rng = Nfc_util.Rng
+
+type growth_trial = { final_stock : float; total_sent : float; per_epoch_rate : float }
+
+(* A standard normal variate (Box–Muller). *)
+let gaussian rng =
+  let u1 = max 1e-12 (Rng.float rng 1.0) in
+  let u2 = Rng.float rng 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(* Binomial(n, p) draw on a float-valued n: exact Bernoulli summation for
+   small n, normal approximation beyond — the stock grows exponentially,
+   so exact O(n) sampling would dominate the run. *)
+let binomial_draw rng ~n ~p =
+  if n <= 10_000.0 then
+    float_of_int (Nfc_stats.Binomial.sample rng ~n:(int_of_float n) ~p)
+  else begin
+    let mean = n *. p and sd = sqrt (n *. p *. (1.0 -. p)) in
+    Float.max 0.0 (Float.min n (Float.round (mean +. (sd *. gaussian rng))))
+  end
+
+let dominant_growth rng ~q ~n ~m0 =
+  if n < 1 then invalid_arg "Prob_experiment.dominant_growth: n must be >= 1";
+  if m0 < 1 then invalid_arg "Prob_experiment.dominant_growth: m0 must be >= 1";
+  if q < 0.0 || q > 1.0 then invalid_arg "Prob_experiment.dominant_growth: q in [0,1]";
+  let m = ref (float_of_int m0) in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    (* The protocol must send at least m_i copies of the dominant packet
+       (fewer and the channel replays stale copies); each is delayed
+       independently with probability q and joins the stock. *)
+    let sent = !m in
+    total := !total +. sent;
+    let delayed = binomial_draw rng ~n:sent ~p:q in
+    m := !m +. delayed
+  done;
+  {
+    final_stock = !m;
+    total_sent = !total;
+    per_epoch_rate = (!m /. float_of_int m0) ** (1.0 /. float_of_int n);
+  }
+
+let dominant_growth_summary ~seed ~q ~n ~m0 ~trials =
+  if trials < 1 then invalid_arg "Prob_experiment.dominant_growth_summary: trials >= 1";
+  let rng = Rng.of_int seed in
+  let runs = List.init trials (fun _ -> dominant_growth (Rng.split rng) ~q ~n ~m0) in
+  ( Nfc_stats.Summary.of_list (List.map (fun r -> r.per_epoch_rate) runs),
+    Nfc_stats.Summary.of_list (List.map (fun r -> r.total_sent) runs) )
+
+type run = { n : int; packets : int; delivered : int; completed : bool; violated : bool }
+
+let packets_for proto ~q ~n ~seed =
+  let policy () = Nfc_channel.Policy.probabilistic ~q () in
+  let cfg =
+    {
+      Nfc_sim.Harness.default_config with
+      policy_tr = policy ();
+      policy_rt = policy ();
+      n_messages = n;
+      max_rounds = 1_000_000;
+      seed;
+      grace_rounds = 200;
+      stall_rounds = Some 30_000;
+    }
+  in
+  let res = Nfc_sim.Harness.run proto cfg in
+  let m = res.Nfc_sim.Harness.metrics in
+  {
+    n;
+    packets = Nfc_sim.Metrics.total_packets m;
+    delivered = m.Nfc_sim.Metrics.delivered;
+    completed = m.Nfc_sim.Metrics.completed;
+    violated = m.Nfc_sim.Metrics.dl_violation <> None;
+  }
+
+let sweep proto ~q ~ns ~trials ~seed =
+  if trials < 1 then invalid_arg "Prob_experiment.sweep: trials must be >= 1";
+  List.map
+    (fun n ->
+      let runs = List.init trials (fun t -> packets_for proto ~q ~n ~seed:(seed + (1000 * t))) in
+      let packets = List.map (fun r -> float_of_int r.packets) runs in
+      let ok = List.length (List.filter (fun r -> r.completed) runs) in
+      ( n,
+        Nfc_stats.Summary.of_list packets,
+        float_of_int ok /. float_of_int (List.length runs) ))
+    ns
+
+let growth_rate rows =
+  let points =
+    List.map (fun (n, s, _) -> (float_of_int n, s.Nfc_stats.Summary.median)) rows
+  in
+  Nfc_util.Fit.exponential points
+
+let safety_sweep ~q ~ratios ~n ~trials ~seed =
+  List.map
+    (fun ratio ->
+      let proto = Nfc_protocol.Flood.make ~base:1 ~ratio () in
+      let violations = ref 0 in
+      for t = 0 to trials - 1 do
+        let r = packets_for proto ~q ~n ~seed:(seed + (1000 * t)) in
+        if r.violated then incr violations
+      done;
+      (ratio, float_of_int !violations /. float_of_int trials))
+    ratios

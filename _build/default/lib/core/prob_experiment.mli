@@ -1,0 +1,73 @@
+(** The Theorem 5.1 experiments: probabilistic physical layer.
+
+    Three measurements, from the proof outward:
+
+    1. {b Dominant-packet growth} ([dominant_growth]) — the proof's core
+       process: in each extension the protocol must send at least as many
+       copies of the dominant packet as are in transit, and a q-fraction of
+       them is delayed, so the in-transit count multiplies by about
+       (1 + q) per delivered message.  We simulate exactly that recurrence
+       (m_{i+1} = m_i + Binomial(m_i, q)) and fit the growth rate, to be
+       compared with the paper's 1 + q - eps_n.
+
+    2. {b End-to-end packet counts} ([packets_for]) — run a protocol over
+       the probabilistic channel (PL2p) and count packets to deliver n
+       messages; across an n-sweep the fitted per-message growth factor
+       shows bounded-header protocols exponential and Stenning linear.
+
+    3. {b Safety/threshold trade-off} ([safety_sweep]) — the Flood
+       protocol's threshold ratio R is its defence against stale floods;
+       sweeping R against channels that delay aggressively shows the
+       violation frequency fall as R clears the q-dependent waterline —
+       the empirical face of "bounded headers pay exponentially or die". *)
+
+type growth_trial = {
+  final_stock : float;  (** m_n, copies in transit after n epochs *)
+  total_sent : float;  (** sum of per-epoch sends — the packet lower bound *)
+  per_epoch_rate : float;  (** (m_n / m_0)^(1/n) *)
+}
+
+(** [dominant_growth rng ~q ~n ~m0] simulates the proof's recurrence for
+    [n] epochs starting from [m0] in-transit copies. *)
+val dominant_growth : Nfc_util.Rng.t -> q:float -> n:int -> m0:int -> growth_trial
+
+(** Summary over [trials] runs: (rate summary, total-sent summary). *)
+val dominant_growth_summary :
+  seed:int ->
+  q:float ->
+  n:int ->
+  m0:int ->
+  trials:int ->
+  Nfc_stats.Summary.t * Nfc_stats.Summary.t
+
+type run = {
+  n : int;
+  packets : int;  (** total packets, both directions *)
+  delivered : int;
+  completed : bool;
+  violated : bool;
+}
+
+(** [packets_for proto ~q ~n ~seed] — one harness run over
+    [Policy.probabilistic ~q] (pure delay) with a generous round budget. *)
+val packets_for : Nfc_protocol.Spec.t -> q:float -> n:int -> seed:int -> run
+
+(** Packet-count summary over an n-sweep: for each n, [trials] runs;
+    returns [(n, summary of packets, completion fraction)] rows. *)
+val sweep :
+  Nfc_protocol.Spec.t ->
+  q:float ->
+  ns:int list ->
+  trials:int ->
+  seed:int ->
+  (int * Nfc_stats.Summary.t * float) list
+
+(** Fitted per-message growth factor from a sweep (log-linear fit of median
+    packets against n). *)
+val growth_rate : (int * Nfc_stats.Summary.t * float) list -> Nfc_util.Fit.growth
+
+(** [safety_sweep ~q ~ratios ~n ~trials ~seed] — fraction of runs in which
+    Flood with each threshold ratio violates DL1 against an aggressive
+    delay channel. *)
+val safety_sweep :
+  q:float -> ratios:float list -> n:int -> trials:int -> seed:int -> (float * float) list

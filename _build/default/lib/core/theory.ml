@@ -1,0 +1,101 @@
+type t = {
+  id : string;
+  statement : string;
+  experiment : string;
+  command : string;
+  modules : string list;
+}
+
+let all =
+  [
+    {
+      id = "Theorem 2.1";
+      statement =
+        "Any data link protocol A = (A^t, A^r) is k_t*k_r-bounded, where k_t and k_r \
+         are the numbers of states of the two automata.  Boundness is therefore an \
+         abstraction of the protocol's space: a lower bound on boundness is a lower \
+         bound on space.";
+      experiment = "E-T21";
+      command = "nfc experiment t21";
+      modules = [ "Nfc_mcheck.Boundness"; "Nfc_mcheck.Explore" ];
+    };
+    {
+      id = "Theorem 3.1";
+      statement =
+        "For any function f, any M_f-bounded data link protocol for sending n messages \
+         requires n headers.  Equivalently: a protocol using fewer than n headers has \
+         space that no function of n can bound.  The proof accumulates \
+         (k-i)!*f(k+1)^(k+1-i) stale copies per stage and replays a delivery from them, \
+         producing an execution with rm = sm + 1 (a DL1 violation).";
+      experiment = "E-T31";
+      command = "nfc experiment t31";
+      modules = [ "Nfc_core.Adversary_m"; "Nfc_core.Driver"; "Nfc_core.Bounds" ];
+    };
+    {
+      id = "[LMF88] (context, Section 1)";
+      statement =
+        "Any k-bounded protocol (constant boundness) requires Omega(n/k) headers to \
+         deliver n messages; with H headers it survives at most on the order of k*H \
+         messages.  Theorem 3.1 strengthens this from constant k to any function of n.";
+      experiment = "E-LMF";
+      command = "nfc experiment lmf";
+      modules = [ "Nfc_core.Adversary_m"; "Nfc_core.Bounds" ];
+    };
+    {
+      id = "Theorem 4.1";
+      statement =
+        "Any protocol delivering n messages with k < n headers is not P_f-bounded for \
+         any monotone f with f(l) <= floor(l/k) for some l < n: delivering a message \
+         costs at least 1/k times the number of packets delayed on the channel when it \
+         is sent.  [Afe88]'s three-header protocol is linear in the backlog, so the \
+         bound is tight up to a constant.";
+      experiment = "E-T41";
+      command = "nfc experiment t41";
+      modules = [ "Nfc_core.Adversary_p"; "Nfc_core.Boundness_def"; "Nfc_protocol.Afek3" ];
+    };
+    {
+      id = "Theorem 5.4 (Hoeffding, [Hoe63])";
+      statement =
+        "For independent 0/1 variables X_1..X_n with success probability q and alpha < \
+         q: Prob{sum X_i <= alpha*n} <= exp(-2n(alpha - q)^2).  The concentration tool \
+         behind Lemmas 5.2 and 5.3.";
+      experiment = "(support)";
+      command = "dune runtest  # suite stats";
+      modules = [ "Nfc_stats.Hoeffding"; "Nfc_stats.Binomial" ];
+    };
+    {
+      id = "Theorem 5.1";
+      statement =
+        "Over a probabilistic physical layer with error probability q (each packet \
+         delayed independently with probability q), any data link protocol with a \
+         fixed number k of headers must send at least (1 + q - eps_n)^Omega(n) packets \
+         to deliver n messages, with probability 1 - e^{-Omega(n)}, where eps_n = \
+         O(1/sqrt n).  The flooding protocols matching [AFWZ88]/[Afe88] show the bound \
+         tight: even the average case of bounded headers is intractable.";
+      experiment = "E-T51";
+      command = "nfc experiment t51";
+      modules = [ "Nfc_core.Prob_experiment"; "Nfc_core.Bounds"; "Nfc_stats.Hoeffding" ];
+    };
+    {
+      id = "Closing remark (transport layer)";
+      statement =
+        "All the results extend to transport layer protocols over non-FIFO virtual \
+         links: the same trade-offs apply one layer up, and the packet costs compound \
+         multiplicatively through the stack.";
+      experiment = "E-TRANS";
+      command = "nfc experiment trans";
+      modules = [ "Nfc_transport.Vlink"; "Nfc_transport.Stack"; "Nfc_transport.Experiment" ];
+    };
+  ]
+
+let find id = List.find_opt (fun t -> t.id = id) all
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s@,  @[<hov 0>%a@]@,  experiment: %s   (%s)@,  modules: %s@]"
+    t.id Format.pp_print_text t.statement t.experiment t.command
+    (String.concat ", " t.modules)
+
+let pp_all ppf () =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,") pp)
+    all

@@ -1,0 +1,21 @@
+(** The paper's results as data: a machine-readable index linking each
+    theorem to its statement, its executable reproduction, and the modules
+    that implement it.  Drives `nfc theorems` and keeps the documentation,
+    the CLI, and the experiment drivers pointing at the same ground
+    truth. *)
+
+type t = {
+  id : string;  (** e.g. "Theorem 3.1" *)
+  statement : string;  (** one-paragraph plain-text statement *)
+  experiment : string;  (** the experiment id in DESIGN.md §4 *)
+  command : string;  (** CLI invocation that regenerates it *)
+  modules : string list;  (** implementing modules *)
+}
+
+(** All results, in paper order (Thm 2.1, 3.1, [LMF88] context, 4.1,
+    Thm 5.4/Hoeffding, 5.1, transport remark). *)
+val all : t list
+
+val find : string -> t option
+val pp : Format.formatter -> t -> unit
+val pp_all : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+lib/mcheck/boundness.ml: Explore Format List Nfc_protocol Nfc_util Queue Set

@@ -1,0 +1,1 @@
+lib/mcheck/boundness.mli: Explore Format Nfc_protocol

@@ -1,0 +1,1 @@
+lib/mcheck/explore.ml: Action Array Execution Format List Map Nfc_automata Nfc_protocol Nfc_util Queue Set

@@ -1,0 +1,1 @@
+lib/mcheck/explore.mli: Format Nfc_automata Nfc_protocol

@@ -1,0 +1,246 @@
+module M = Nfc_util.Multiset.Int
+module Spec = Nfc_protocol.Spec
+
+type probe_bounds = { max_nodes : int; max_cost : int }
+
+let default_probe_bounds = { max_nodes = 50_000; max_cost = 1_000 }
+
+type report = {
+  protocol : string;
+  k_t : int;
+  k_r : int;
+  state_product : int;
+  configs_explored : int;
+  semi_valid_configs : int;
+  boundness : int option;
+  probes_exhausted : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: k_t=%d k_r=%d (product %d); %d configs, %d semi-valid;@ measured boundness %s \
+     (%d probes exhausted)@]"
+    r.protocol r.k_t r.k_r r.state_product r.configs_explored r.semi_valid_configs
+    (match r.boundness with None -> "unbounded?" | Some b -> string_of_int b)
+    r.probes_exhausted
+
+module Make (P : Spec.S) = struct
+  type config = {
+    sender : P.sender;
+    receiver : P.receiver;
+    tr : M.t;
+    rt : M.t;
+    submitted : int;
+    delivered : int;
+  }
+
+  let compare_config a b =
+    let c = compare (a.submitted, a.delivered) (b.submitted, b.delivered) in
+    if c <> 0 then c
+    else
+      let c = P.compare_sender a.sender b.sender in
+      if c <> 0 then c
+      else
+        let c = P.compare_receiver a.receiver b.receiver in
+        if c <> 0 then c
+        else
+          let c = M.compare a.tr b.tr in
+          if c <> 0 then c else M.compare a.rt b.rt
+
+  module Cset = Set.Make (struct
+    type t = config
+
+    let compare = compare_config
+  end)
+
+  (* Reachability under full adversarial channel semantics; mirrors
+     {!Explore} but keeps the configurations. *)
+  let reachable (bounds : Explore.bounds) =
+    let initial =
+      {
+        sender = P.sender_init;
+        receiver = P.receiver_init;
+        tr = M.empty;
+        rt = M.empty;
+        submitted = 0;
+        delivered = 0;
+      }
+    in
+    let visited = ref Cset.empty in
+    let n_visited = ref 0 in
+    let queue = Queue.create () in
+    let visit c =
+      if (not (Cset.mem c !visited)) && !n_visited < bounds.Explore.max_nodes then begin
+        visited := Cset.add c !visited;
+        incr n_visited;
+        Queue.push c queue
+      end
+    in
+    visit initial;
+    while not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      if c.submitted < bounds.Explore.submit_budget then
+        visit { c with sender = P.on_submit c.sender; submitted = c.submitted + 1 };
+      (match P.sender_poll c.sender with
+      | Some pkt, s' ->
+          if M.cardinal c.tr < bounds.Explore.capacity_tr then
+            visit { c with sender = s'; tr = M.add pkt c.tr }
+      | None, s' -> if P.compare_sender s' c.sender <> 0 then visit { c with sender = s' });
+      (match P.receiver_poll c.receiver with
+      | Some Spec.Rdeliver, r' ->
+          if c.delivered < c.submitted then
+            visit { c with receiver = r'; delivered = c.delivered + 1 }
+      | Some (Spec.Rsend pkt), r' ->
+          if M.cardinal c.rt < bounds.Explore.capacity_rt then
+            visit { c with receiver = r'; rt = M.add pkt c.rt }
+      | None, r' ->
+          if P.compare_receiver r' c.receiver <> 0 then visit { c with receiver = r' });
+      List.iter
+        (fun pkt ->
+          match M.remove_one pkt c.tr with
+          | Some tr' ->
+              visit { c with tr = tr'; receiver = P.on_data c.receiver pkt };
+              if bounds.Explore.allow_drop then visit { c with tr = tr' }
+          | None -> ())
+        (M.support c.tr);
+      List.iter
+        (fun pkt ->
+          match M.remove_one pkt c.rt with
+          | Some rt' ->
+              visit { c with rt = rt'; sender = P.on_ack c.sender pkt };
+              if bounds.Explore.allow_drop then visit { c with rt = rt' }
+          | None -> ())
+        (M.support c.rt)
+    done;
+    !visited
+
+  (* The boundness extension from one configuration: old in-transit packets
+     are frozen, every fresh packet may be delivered, only forward sends
+     cost.  0-1 breadth-first search; returns the minimum number of
+     send_pkt^{t->r} actions before a delivery, if found within budget. *)
+  type probe_state = {
+    psender : P.sender;
+    preceiver : P.receiver;
+    ptr : M.t;  (** fresh forward packets only *)
+    prt : M.t;  (** fresh reverse packets only *)
+  }
+
+  let compare_probe a b =
+    let c = P.compare_sender a.psender b.psender in
+    if c <> 0 then c
+    else
+      let c = P.compare_receiver a.preceiver b.preceiver in
+      if c <> 0 then c
+      else
+        let c = M.compare a.ptr b.ptr in
+        if c <> 0 then c else M.compare a.prt b.prt
+
+  module Pset = Set.Make (struct
+    type t = probe_state
+
+    let compare = compare_probe
+  end)
+
+  let probe (pb : probe_bounds) (c : config) =
+    let start = { psender = c.sender; preceiver = c.receiver; ptr = M.empty; prt = M.empty } in
+    (* Two-deque 0-1 BFS: states paired with their cost; visited marked on
+       pop so the first pop has the minimal cost. *)
+    let dq : (int * probe_state) Nfc_util.Deque.t ref = ref Nfc_util.Deque.empty in
+    let push_front x = dq := Nfc_util.Deque.push_front x !dq in
+    let push_back x = dq := Nfc_util.Deque.push_back x !dq in
+    let visited = ref Pset.empty in
+    let n_visited = ref 0 in
+    let result = ref None in
+    push_front (0, start);
+    (try
+       while not (Nfc_util.Deque.is_empty !dq) do
+         if !n_visited >= pb.max_nodes then raise Exit;
+         match Nfc_util.Deque.pop_front !dq with
+         | None -> raise Exit
+         | Some ((cost, st), rest) ->
+             dq := rest;
+             if cost > pb.max_cost then raise Exit;
+             if not (Pset.mem st !visited) then begin
+               visited := Pset.add st !visited;
+               incr n_visited;
+               (* Goal: a delivery is enabled. *)
+               (match P.receiver_poll st.preceiver with
+               | Some Spec.Rdeliver, _ ->
+                   result := Some cost;
+                   raise Exit
+               | Some (Spec.Rsend pkt), r' ->
+                   push_front (cost, { st with preceiver = r'; prt = M.add pkt st.prt })
+               | None, r' ->
+                   if P.compare_receiver r' st.preceiver <> 0 then
+                     push_front (cost, { st with preceiver = r' }));
+               (match P.sender_poll st.psender with
+               | Some pkt, s' ->
+                   push_back (cost + 1, { st with psender = s'; ptr = M.add pkt st.ptr })
+               | None, s' ->
+                   if P.compare_sender s' st.psender <> 0 then
+                     push_front (cost, { st with psender = s' }));
+               List.iter
+                 (fun pkt ->
+                   match M.remove_one pkt st.ptr with
+                   | Some tr' ->
+                       push_front
+                         (cost, { st with ptr = tr'; preceiver = P.on_data st.preceiver pkt })
+                   | None -> ())
+                 (M.support st.ptr);
+               List.iter
+                 (fun pkt ->
+                   match M.remove_one pkt st.prt with
+                   | Some rt' ->
+                       push_front
+                         (cost, { st with prt = rt'; psender = P.on_ack st.psender pkt })
+                   | None -> ())
+                 (M.support st.prt)
+             end
+       done
+     with Exit -> ());
+    !result
+
+  let measure ~(explore : Explore.bounds) ~(probe_bounds : probe_bounds) =
+    let configs = reachable explore in
+    let module Sset = Set.Make (struct
+      type t = P.sender
+
+      let compare = P.compare_sender
+    end) in
+    let module Rset = Set.Make (struct
+      type t = P.receiver
+
+      let compare = P.compare_receiver
+    end) in
+    let senders = Cset.fold (fun c acc -> Sset.add c.sender acc) configs Sset.empty in
+    let receivers = Cset.fold (fun c acc -> Rset.add c.receiver acc) configs Rset.empty in
+    let semi_valid = Cset.filter (fun c -> c.submitted = c.delivered + 1) configs in
+    let boundness = ref (Some 0) in
+    let exhausted = ref 0 in
+    Cset.iter
+      (fun c ->
+        match probe probe_bounds c with
+        | Some cost -> (
+            match !boundness with
+            | Some b -> boundness := Some (max b cost)
+            | None -> ())
+        | None ->
+            incr exhausted;
+            boundness := None)
+      semi_valid;
+    {
+      protocol = P.name;
+      k_t = Sset.cardinal senders;
+      k_r = Rset.cardinal receivers;
+      state_product = Sset.cardinal senders * Rset.cardinal receivers;
+      configs_explored = Cset.cardinal configs;
+      semi_valid_configs = Cset.cardinal semi_valid;
+      boundness = !boundness;
+      probes_exhausted = !exhausted;
+    }
+end
+
+let measure (proto : Spec.t) ~(explore : Explore.bounds) ~(probe : probe_bounds) =
+  let module P = (val proto) in
+  let module B = Make (P) in
+  B.measure ~explore ~probe_bounds:probe

@@ -1,0 +1,42 @@
+(** Measuring protocol boundness (Section 2.3 and Theorem 2.1).
+
+    A protocol is k-bounded when from every semi-valid execution (one
+    message pending) there is an extension that completes the delivery
+    using at most k [send_pkt^{t->r}] actions, without delivering any
+    packet that was already in transit.
+
+    [probe] computes that minimum for one reachable configuration by
+    uniform-cost search: old in-transit packets are frozen (per the
+    definition), fresh packets may be delivered at will, and only forward
+    sends cost 1.  [measure] takes the maximum over reachable
+    one-message-pending configurations and reports it next to the
+    k_t * k_r state-product bound of Theorem 2.1 — the measured boundness
+    must never exceed the product for finite-control protocols. *)
+
+type probe_bounds = {
+  max_nodes : int;  (** visited-set limit per probe *)
+  max_cost : int;  (** give up beyond this many forward sends *)
+}
+
+val default_probe_bounds : probe_bounds
+
+type report = {
+  protocol : string;
+  k_t : int;  (** distinct sender states in the explored region *)
+  k_r : int;
+  state_product : int;  (** k_t * k_r, Theorem 2.1's bound *)
+  configs_explored : int;
+  semi_valid_configs : int;  (** configurations with one message pending *)
+  boundness : int option;
+      (** max over semi-valid configs of the min forward-sends to finish;
+          [None] if some probe exhausted its budget (protocol looks
+          unbounded from there) *)
+  probes_exhausted : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Explore with [explore_bounds] (see {!Explore.bounds}), then probe every
+    semi-valid configuration found. *)
+val measure :
+  Nfc_protocol.Spec.t -> explore:Explore.bounds -> probe:probe_bounds -> report

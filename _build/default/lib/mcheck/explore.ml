@@ -1,0 +1,354 @@
+open Nfc_automata
+module M = Nfc_util.Multiset.Int
+module Spec = Nfc_protocol.Spec
+
+type bounds = {
+  capacity_tr : int;
+  capacity_rt : int;
+  submit_budget : int;
+  max_nodes : int;
+  allow_drop : bool;
+}
+
+let default_bounds =
+  { capacity_tr = 3; capacity_rt = 3; submit_budget = 3; max_nodes = 200_000; allow_drop = true }
+
+type stats = {
+  nodes : int;
+  sender_states : int;
+  receiver_states : int;
+  max_depth : int;
+}
+
+type outcome = Violation of Execution.t | No_violation of stats | Node_budget of stats
+type wedge_outcome = Wedged of Execution.t * stats | No_wedge of stats
+
+let pp_wedge_outcome ppf = function
+  | Wedged (t, s) ->
+      Format.fprintf ppf
+        "@[<v>WEDGED after %d actions (no continuation delivers; %d configurations):@,%a@]"
+        (List.length t) s.nodes Execution.pp t
+  | No_wedge s ->
+      Format.fprintf ppf "no wedge: every pending configuration can still deliver (%d configurations)"
+        s.nodes
+
+let pp_outcome ppf = function
+  | Violation t ->
+      Format.fprintf ppf "@[<v>VIOLATION (%d actions):@,%a@]" (List.length t) Execution.pp t
+  | No_violation s ->
+      Format.fprintf ppf "no violation in %d configurations (k_t=%d, k_r=%d, depth<=%d)"
+        s.nodes s.sender_states s.receiver_states s.max_depth
+  | Node_budget s ->
+      Format.fprintf ppf
+        "no violation within node budget (%d configurations, k_t=%d, k_r=%d, depth<=%d)"
+        s.nodes s.sender_states s.receiver_states s.max_depth
+
+module Make (P : Spec.S) = struct
+  type config = {
+    sender : P.sender;
+    receiver : P.receiver;
+    tr : M.t;
+    rt : M.t;
+    submitted : int;
+    delivered : int;
+  }
+
+  module Cfg = struct
+    type t = config
+
+    let compare a b =
+      let c = compare a.submitted b.submitted in
+      if c <> 0 then c
+      else
+        let c = compare a.delivered b.delivered in
+        if c <> 0 then c
+        else
+          let c = P.compare_sender a.sender b.sender in
+          if c <> 0 then c
+          else
+            let c = P.compare_receiver a.receiver b.receiver in
+            if c <> 0 then c
+            else
+              let c = M.compare a.tr b.tr in
+              if c <> 0 then c else M.compare a.rt b.rt
+  end
+
+  module Cset = Set.Make (Cfg)
+
+  let initial =
+    {
+      sender = P.sender_init;
+      receiver = P.receiver_init;
+      tr = M.empty;
+      rt = M.empty;
+      submitted = 0;
+      delivered = 0;
+    }
+
+  (* Successors with the action that labels the move ([None] = silent). *)
+  let successors bounds c =
+    let moves = ref [] in
+    let push act c' = moves := (act, c') :: !moves in
+    (* User submission. *)
+    if c.submitted < bounds.submit_budget then
+      push (Some (Action.Send_msg c.submitted))
+        { c with sender = P.on_submit c.sender; submitted = c.submitted + 1 };
+    (* Sender poll: emission or silent tick. *)
+    (match P.sender_poll c.sender with
+    | Some pkt, s' ->
+        if M.cardinal c.tr < bounds.capacity_tr then
+          push
+            (Some (Action.Send_pkt (Action.T_to_r, pkt)))
+            { c with sender = s'; tr = M.add pkt c.tr }
+    | None, s' -> if P.compare_sender s' c.sender <> 0 then push None { c with sender = s' });
+    (* Receiver poll: delivery, reverse send, or silent tick. *)
+    (match P.receiver_poll c.receiver with
+    | Some Spec.Rdeliver, r' ->
+        push
+          (Some (Action.Receive_msg c.delivered))
+          { c with receiver = r'; delivered = c.delivered + 1 }
+    | Some (Spec.Rsend pkt), r' ->
+        if M.cardinal c.rt < bounds.capacity_rt then
+          push
+            (Some (Action.Send_pkt (Action.R_to_t, pkt)))
+            { c with receiver = r'; rt = M.add pkt c.rt }
+    | None, r' -> if P.compare_receiver r' c.receiver <> 0 then push None { c with receiver = r' });
+    (* Adversarial channel: deliver any in-transit packet, either direction. *)
+    List.iter
+      (fun pkt ->
+        match M.remove_one pkt c.tr with
+        | Some tr' ->
+            push
+              (Some (Action.Receive_pkt (Action.T_to_r, pkt)))
+              { c with tr = tr'; receiver = P.on_data c.receiver pkt };
+            if bounds.allow_drop then
+              push (Some (Action.Drop_pkt (Action.T_to_r, pkt))) { c with tr = tr' }
+        | None -> ())
+      (M.support c.tr);
+    List.iter
+      (fun pkt ->
+        match M.remove_one pkt c.rt with
+        | Some rt' ->
+            push
+              (Some (Action.Receive_pkt (Action.R_to_t, pkt)))
+              { c with rt = rt'; sender = P.on_ack c.sender pkt };
+            if bounds.allow_drop then
+              push (Some (Action.Drop_pkt (Action.R_to_t, pkt))) { c with rt = rt' }
+        | None -> ())
+      (M.support c.rt);
+    List.rev !moves
+
+  type node = { cfg : config; parent : int; act : Action.t option; depth : int }
+
+  let search ?(stop_at_phantom = true) bounds =
+    let module Sset = Set.Make (struct
+      type t = P.sender
+
+      let compare = P.compare_sender
+    end) in
+    let module Rset = Set.Make (struct
+      type t = P.receiver
+
+      let compare = P.compare_receiver
+    end) in
+    let nodes : node array ref = ref (Array.make 1024 { cfg = initial; parent = -1; act = None; depth = 0 }) in
+    let n_nodes = ref 0 in
+    let add_node node =
+      if !n_nodes >= Array.length !nodes then begin
+        let bigger = Array.make (2 * Array.length !nodes) node in
+        Array.blit !nodes 0 bigger 0 !n_nodes;
+        nodes := bigger
+      end;
+      !nodes.(!n_nodes) <- node;
+      incr n_nodes;
+      !n_nodes - 1
+    in
+    let visited = ref Cset.empty in
+    let n_visited = ref 0 in
+    let senders = ref Sset.empty in
+    let receivers = ref Rset.empty in
+    let max_depth = ref 0 in
+    let queue = Queue.create () in
+    let visit cfg parent act depth =
+      if not (Cset.mem cfg !visited) then begin
+        visited := Cset.add cfg !visited;
+        incr n_visited;
+        senders := Sset.add cfg.sender !senders;
+        receivers := Rset.add cfg.receiver !receivers;
+        max_depth := max !max_depth depth;
+        let idx = add_node { cfg; parent; act; depth } in
+        Queue.push idx queue
+      end
+    in
+    let path_to idx =
+      let rec go idx acc =
+        if idx < 0 then acc
+        else
+          let node = !nodes.(idx) in
+          let acc = match node.act with None -> acc | Some a -> a :: acc in
+          go node.parent acc
+      in
+      go idx []
+    in
+    visit initial (-1) None 0;
+    let result = ref None in
+    (try
+       while not (Queue.is_empty queue) do
+         if !n_visited >= bounds.max_nodes then raise Exit;
+         let idx = Queue.pop queue in
+         let node = !nodes.(idx) in
+         List.iter
+           (fun (act, cfg') ->
+             (* Phantom delivery: more receive_msg than send_msg. *)
+             if stop_at_phantom && cfg'.delivered > cfg'.submitted then begin
+               let prefix = path_to idx in
+               let final = match act with Some a -> [ a ] | None -> [] in
+               result := Some (prefix @ final);
+               raise Exit
+             end;
+             visit cfg' idx act (node.depth + 1))
+           (successors bounds node.cfg)
+       done
+     with Exit -> ());
+    let stats =
+      {
+        nodes = !n_visited;
+        sender_states = Sset.cardinal !senders;
+        receiver_states = Rset.cardinal !receivers;
+        max_depth = !max_depth;
+      }
+    in
+    match !result with
+    | Some trace -> Violation trace
+    | None -> if !n_visited >= bounds.max_nodes then Node_budget stats else No_violation stats
+
+  (* Liveness: explore the graph fully (within budget), then propagate
+     "can eventually deliver" backwards.  A semi-valid configuration not
+     reached by the propagation is wedged.  Frontier (unexpanded) nodes
+     are conservatively assumed able to deliver. *)
+  let find_wedge_search bounds =
+    let module Cmap = Map.Make (Cfg) in
+    let nodes = ref [||] in
+    let n_nodes = ref 0 in
+    let index = ref Cmap.empty in
+    let parents = ref [||] in
+    let parent_act = ref [||] in
+    let preds : int list array ref = ref [||] in
+    let expanded = ref [||] in
+    let delivery_enabled = ref [||] in
+    let grow () =
+      let len = max 1024 (2 * Array.length !nodes) in
+      let resize a mk = 
+        let bigger = Array.make len mk in
+        Array.blit a 0 bigger 0 !n_nodes;
+        bigger
+      in
+      nodes := resize !nodes initial;
+      parents := resize !parents (-1);
+      parent_act := resize !parent_act None;
+      preds := resize !preds [];
+      expanded := resize !expanded false;
+      delivery_enabled := resize !delivery_enabled false
+    in
+    let add cfg parent act =
+      match Cmap.find_opt cfg !index with
+      | Some id ->
+          if parent >= 0 then !preds.(id) <- parent :: !preds.(id);
+          None
+      | None ->
+          if !n_nodes >= Array.length !nodes then grow ();
+          let id = !n_nodes in
+          incr n_nodes;
+          !nodes.(id) <- cfg;
+          !parents.(id) <- parent;
+          !parent_act.(id) <- act;
+          if parent >= 0 then !preds.(id) <- parent :: !preds.(id);
+          index := Cmap.add cfg id !index;
+          Some id
+    in
+    let queue = Queue.create () in
+    (match add initial (-1) None with Some id -> Queue.push id queue | None -> ());
+    (try
+       while not (Queue.is_empty queue) do
+         if !n_nodes >= bounds.max_nodes then raise Exit;
+         let id = Queue.pop queue in
+         !expanded.(id) <- true;
+         List.iter
+           (fun (act, cfg') ->
+             (match act with
+             | Some (Action.Receive_msg _) -> !delivery_enabled.(id) <- true
+             | _ -> ());
+             match add cfg' id act with
+             | Some id' -> Queue.push id' queue
+             | None -> ())
+           (successors bounds !nodes.(id))
+       done
+     with Exit -> ());
+    (* Backward propagation of "good" (can eventually deliver). *)
+    let good = Array.make !n_nodes false in
+    let work = Queue.create () in
+    for id = 0 to !n_nodes - 1 do
+      if !delivery_enabled.(id) || not !expanded.(id) then begin
+        good.(id) <- true;
+        Queue.push id work
+      end
+    done;
+    while not (Queue.is_empty work) do
+      let id = Queue.pop work in
+      List.iter
+        (fun p ->
+          if not good.(p) then begin
+            good.(p) <- true;
+            Queue.push p work
+          end)
+        !preds.(id)
+    done;
+    (* Shortest wedged semi-valid configuration = first in BFS order. *)
+    let wedged = ref None in
+    (try
+       for id = 0 to !n_nodes - 1 do
+         let c = !nodes.(id) in
+         if (not good.(id)) && c.submitted > c.delivered && !expanded.(id) then begin
+           wedged := Some id;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let stats =
+      {
+        nodes = !n_nodes;
+        sender_states = 0;
+        receiver_states = 0;
+        max_depth = 0;
+      }
+    in
+    match !wedged with
+    | None -> No_wedge stats
+    | Some id ->
+        let rec path id acc =
+          if id < 0 then acc
+          else
+            let acc =
+              match !parent_act.(id) with None -> acc | Some a -> a :: acc
+            in
+            path !parents.(id) acc
+        in
+        Wedged (path id [], stats)
+end
+
+let find_phantom (proto : Spec.t) bounds =
+  let module P = (val proto) in
+  let module E = Make (P) in
+  E.search ~stop_at_phantom:true bounds
+
+let reachable (proto : Spec.t) bounds =
+  let module P = (val proto) in
+  let module E = Make (P) in
+  match E.search ~stop_at_phantom:false bounds with
+  | Violation _ -> assert false
+  | No_violation s | Node_budget s -> s
+
+let find_wedge (proto : Spec.t) bounds =
+  let module P = (val proto) in
+  let module E = Make (P) in
+  E.find_wedge_search bounds

@@ -1,0 +1,68 @@
+(** Explicit-state model checking of protocol x non-FIFO-channel systems.
+
+    A configuration is (sender state, receiver state, forward multiset,
+    reverse multiset, submitted, delivered).  Successors follow the
+    semantics of Section 2: user submissions, automaton polls (including
+    silent timer ticks), adversary-chosen deliveries of any in-transit
+    packet, and (optionally) drops.  The exploration is a breadth-first
+    search with a visited set, so returned counterexamples are
+    shortest-in-moves.
+
+    Channel capacities and a submission budget make the space finite for
+    finite-control protocols; counter-based protocols are explored up to
+    the node budget.
+
+    [find_phantom] searches for the invalid executions at the heart of
+    Theorems 3.1 and 4.1: a reachable configuration in which the receiver
+    delivers an (n+1)-th message when only n were submitted (rm > sm, the
+    DL1 violation).  It finds the alternating-bit and stop-and-wait
+    counterexamples in milliseconds and proves small instances of
+    bounded-header impossibility mechanically. *)
+
+type bounds = {
+  capacity_tr : int;  (** max packets in transit t->r *)
+  capacity_rt : int;
+  submit_budget : int;  (** total messages the user may submit *)
+  max_nodes : int;  (** visited-set size limit *)
+  allow_drop : bool;  (** may the channel delete packets? *)
+}
+
+val default_bounds : bounds
+
+type outcome =
+  | Violation of Nfc_automata.Execution.t
+      (** shortest action sequence ending in the phantom [Receive_msg] *)
+  | No_violation of stats  (** full space explored, no violation *)
+  | Node_budget of stats  (** search stopped at [max_nodes] *)
+
+and stats = {
+  nodes : int;  (** distinct configurations visited *)
+  sender_states : int;  (** distinct sender states seen *)
+  receiver_states : int;
+  max_depth : int;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Search for a reachable DL1 violation (phantom delivery). *)
+val find_phantom : Nfc_protocol.Spec.t -> bounds -> outcome
+
+(** Explore the whole bounded space (no goal) and report statistics —
+    in particular the k_t and k_r of Theorem 2.1. *)
+val reachable : Nfc_protocol.Spec.t -> bounds -> stats
+
+type wedge_outcome =
+  | Wedged of Nfc_automata.Execution.t * stats
+      (** shortest path into a configuration with a message pending from
+          which {e no} reachable continuation ever delivers — a mechanical
+          liveness (DL3) counterexample.  Conservative under truncation:
+          unexpanded frontier configurations are assumed able to deliver. *)
+  | No_wedge of stats
+
+val pp_wedge_outcome : Format.formatter -> wedge_outcome -> unit
+
+(** Search for a wedged configuration (backward fixpoint over the explored
+    graph).  The alternating bit over a pure-reordering channel wedges —
+    its other failure mode besides the phantom — while the
+    sequence-number protocols never do within any explored space. *)
+val find_wedge : Nfc_protocol.Spec.t -> bounds -> wedge_outcome

@@ -1,0 +1,1 @@
+lib/protocol/afek3.ml: Format Nfc_util Spec Stdlib

@@ -1,0 +1,1 @@
+lib/protocol/alternating_bit.ml: Format Nfc_util Spec Stdlib

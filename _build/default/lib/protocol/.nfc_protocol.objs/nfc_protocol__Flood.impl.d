@@ -1,0 +1,1 @@
+lib/protocol/flood.ml: Format Printf Spec Stdlib

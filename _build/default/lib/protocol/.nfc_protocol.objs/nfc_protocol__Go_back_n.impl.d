@@ -1,0 +1,1 @@
+lib/protocol/go_back_n.ml: Format Nfc_util Printf Spec Stdlib

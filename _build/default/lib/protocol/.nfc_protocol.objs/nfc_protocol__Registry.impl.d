@@ -1,0 +1,1 @@
+lib/protocol/registry.ml: Afek3 Alternating_bit Flood Go_back_n List Printf Result Selective_repeat Spec Stenning Stop_and_wait String

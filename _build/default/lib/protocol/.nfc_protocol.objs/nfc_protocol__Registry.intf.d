@@ -1,0 +1,1 @@
+lib/protocol/registry.mli: Spec

@@ -1,0 +1,1 @@
+lib/protocol/selective_repeat.ml: Format Int Nfc_util Printf Set Spec Stdlib

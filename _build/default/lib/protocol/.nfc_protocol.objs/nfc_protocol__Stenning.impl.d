@@ -1,0 +1,1 @@
+lib/protocol/stenning.ml: Format Nfc_util Spec Stdlib

@@ -1,0 +1,1 @@
+lib/protocol/stop_and_wait.ml: Format Spec Stdlib

@@ -1,0 +1,127 @@
+(** A counting/flooding protocol with four headers — our executable
+    stand-in for the bounded-header protocol of [AFWZ88] (an unavailable
+    manuscript; see DESIGN.md, "Substitutions").
+
+    Packets: data with bit b is [b]; the acknowledgement for bit b is
+    [2 + b].
+
+    Mechanism.  Both stations share an a-priori threshold schedule
+    T(i) = ceil(base * ratio^i).  To deliver message i (bit b = i mod 2)
+    the sender floods copies of data packet b; the receiver delivers the
+    i-th message only after receiving T(i) copies of bit b counted from
+    the moment it started expecting bit b, then floods acknowledgements of
+    b; the sender completes the epoch after T(i) fresh acknowledgements.
+    Counting is the only defence a bounded-header protocol has against
+    stale copies: a delivery is trusted because stale copies of b in
+    transit are (with the schedule's margin) fewer than T(i).
+
+    Resource profile, as the paper describes for [AFWZ88]:
+    - headers: 4, constant;
+    - space: unbounded counters (not bounded by any function of the number
+      of messages — Theorem 3.1 proves this is forced);
+    - packets: at least T(i) per message, i.e. {e exponential} in the
+      number of messages delivered, even on a perfect channel.
+
+    Safety is conditional — exactly as Theorem 3.1 predicts it must be:
+    the protocol violates DL1 when an adversary accumulates at least T(i)
+    stale copies of the expected bit, which the Theorem 3.1 adversary
+    ({!Nfc_core.Adversary_m}) does.  Against the probabilistic channel of
+    Section 5 with error probability q, a ratio with margin over
+    1/(1 - q) makes violations vanishingly unlikely (Hoeffding), which the
+    Theorem 5.1 experiment sweeps empirically. *)
+
+let data_pkt b = b
+let ack_pkt b = 2 + b
+
+(* Threshold schedule, capped to keep arithmetic safe. *)
+let threshold ~base ~ratio i =
+  let cap = 1 lsl 40 in
+  let t = float_of_int base *. (ratio ** float_of_int i) in
+  if t >= float_of_int cap then cap else max 1 (int_of_float (ceil t))
+
+let make ?(base = 1) ?(ratio = 2.0) () : Spec.t =
+  if base < 1 then invalid_arg "Flood.make: base must be >= 1";
+  if ratio < 1.0 then invalid_arg "Flood.make: ratio must be >= 1.0";
+  (module struct
+    let name = Printf.sprintf "flood(b=%d,r=%.2f)" base ratio
+    let describe = "4 headers; exponential packet counts (AFWZ88 stand-in)"
+    let header_bound = Some 4
+
+    let t_sched i = threshold ~base ~ratio i
+
+    type sender = {
+      pending : int;
+      sending : bool;  (** an epoch is open *)
+      epoch : int;  (** messages completed *)
+      ack_since : int;  (** fresh acks of the current bit this epoch *)
+    }
+
+    type receiver = {
+      delivered : int;
+      deliver_due : int;
+      count_since : int;
+          (** receipts of the currently expected bit since the expectation
+              began *)
+    }
+
+    let sender_init = { pending = 0; sending = false; epoch = 0; ack_since = 0 }
+    let receiver_init = { delivered = 0; deliver_due = 0; count_since = 0 }
+    let on_submit s = { s with pending = s.pending + 1 }
+    let sender_bit s = s.epoch land 1
+
+    let on_ack s p =
+      if s.sending && (p = 2 || p = 3) && p - 2 = sender_bit s then begin
+        let ack_since = s.ack_since + 1 in
+        if ack_since >= t_sched s.epoch then
+          { s with sending = false; epoch = s.epoch + 1; ack_since = 0 }
+        else { s with ack_since }
+      end
+      else s
+
+    let sender_poll s =
+      if s.sending then (Some (data_pkt (sender_bit s)), s)
+      else if s.pending > 0 then
+        let s = { s with pending = s.pending - 1; sending = true; ack_since = 0 } in
+        (Some (data_pkt (sender_bit s)), s)
+      else (None, s)
+
+    let expecting r = (r.delivered + r.deliver_due) land 1
+    let expecting_index r = r.delivered + r.deliver_due
+
+    let on_data r p =
+      if (p = 0 || p = 1) && p = expecting r then begin
+        let c = r.count_since + 1 in
+        if c >= t_sched (expecting_index r) then
+          { r with deliver_due = r.deliver_due + 1; count_since = 0 }
+        else { r with count_since = c }
+      end
+      else r
+
+    let receiver_poll r =
+      if r.deliver_due > 0 then
+        (Some Spec.Rdeliver, { r with delivered = r.delivered + 1; deliver_due = r.deliver_due - 1 })
+      else if r.delivered + r.deliver_due > 0 then
+        (* Flood the acknowledgement of the last delivered message until the
+           next delivery; the state is a fixed point, one ack per round. *)
+        (Some (Spec.Rsend (ack_pkt ((r.delivered + r.deliver_due - 1) land 1))), r)
+      else (None, r)
+
+    let compare_sender = Stdlib.compare
+    let compare_receiver = Stdlib.compare
+
+    let pp_sender ppf s =
+      Format.fprintf ppf "{pending=%d; sending=%b; epoch=%d; ack_since=%d}" s.pending
+        s.sending s.epoch s.ack_since
+
+    let pp_receiver ppf r =
+      Format.fprintf ppf "{delivered=%d; due=%d; count_since=%d}" r.delivered r.deliver_due
+        r.count_since
+
+    let sender_space_bits s =
+      Spec.bits_for_int s.pending + 1 + Spec.bits_for_int s.epoch
+      + Spec.bits_for_int s.ack_since
+
+    let receiver_space_bits r =
+      Spec.bits_for_int r.delivered + Spec.bits_for_int r.deliver_due
+      + Spec.bits_for_int r.count_since
+  end)

@@ -1,0 +1,127 @@
+type entry = {
+  key : string;
+  aliases : string list;
+  summary : string;
+  spec_doc : string;
+  default : unit -> Spec.t;
+  parse : string list -> (Spec.t, string) result;
+}
+
+let no_params key = function
+  | [] -> None
+  | _ -> Some (Printf.sprintf "%s takes no parameters" key)
+
+let int_param name v =
+  match int_of_string_opt v with
+  | Some i when i >= 1 -> Ok i
+  | _ -> Error (Printf.sprintf "%s must be an integer >= 1" name)
+
+let all =
+  [
+    {
+      key = "stop-and-wait";
+      aliases = [ "sw" ];
+      summary = "no headers; duplicates messages on any loss";
+      spec_doc = "stop-and-wait";
+      default = (fun () -> Stop_and_wait.make ());
+      parse =
+        (fun params ->
+          match no_params "stop-and-wait" params with
+          | None -> Ok (Stop_and_wait.make ())
+          | Some e -> Error e);
+    };
+    {
+      key = "altbit";
+      aliases = [ "alternating-bit" ];
+      summary = "4 headers; safe on FIFO, unsafe on non-FIFO";
+      spec_doc = "altbit";
+      default = (fun () -> Alternating_bit.make ());
+      parse =
+        (fun params ->
+          match no_params "altbit" params with
+          | None -> Ok (Alternating_bit.make ())
+          | Some e -> Error e);
+    };
+    {
+      key = "stenning";
+      aliases = [];
+      summary = "unbounded headers; safe+live on any channel";
+      spec_doc = "stenning";
+      default = (fun () -> Stenning.make ());
+      parse =
+        (fun params ->
+          match no_params "stenning" params with
+          | None -> Ok (Stenning.make ())
+          | Some e -> Error e);
+    };
+    {
+      key = "gbn";
+      aliases = [ "go-back-n" ];
+      summary = "pipelined sequence numbers, cumulative acks";
+      spec_doc = "gbn[:WINDOW]";
+      default = (fun () -> Go_back_n.make ());
+      parse =
+        (fun params ->
+          match params with
+          | [] -> Ok (Go_back_n.make ())
+          | [ w ] -> Result.map (fun window -> Go_back_n.make ~window ()) (int_param "WINDOW" w)
+          | _ -> Error "gbn takes gbn[:WINDOW]");
+    };
+    {
+      key = "sr";
+      aliases = [ "selective-repeat" ];
+      summary = "pipelined sequence numbers, out-of-order buffering";
+      spec_doc = "sr[:WINDOW]";
+      default = (fun () -> Selective_repeat.make ());
+      parse =
+        (fun params ->
+          match params with
+          | [] -> Ok (Selective_repeat.make ())
+          | [ w ] ->
+              Result.map (fun window -> Selective_repeat.make ~window ()) (int_param "WINDOW" w)
+          | _ -> Error "sr takes sr[:WINDOW]");
+    };
+    {
+      key = "flood";
+      aliases = [];
+      summary = "4 headers, exponential packets (AFWZ88 stand-in)";
+      spec_doc = "flood[:BASE:RATIO]";
+      default = (fun () -> Flood.make ());
+      parse =
+        (fun params ->
+          match params with
+          | [] -> Ok (Flood.make ())
+          | [ b; r ] -> (
+              match (int_of_string_opt b, float_of_string_opt r) with
+              | Some base, Some ratio when base >= 1 && ratio >= 1.0 ->
+                  Ok (Flood.make ~base ~ratio ())
+              | _ -> Error "flood takes flood:BASE:RATIO with BASE >= 1, RATIO >= 1.0")
+          | _ -> Error "flood takes flood[:BASE:RATIO]");
+    };
+    {
+      key = "afek3";
+      aliases = [];
+      summary = "3 data headers + echoes, linear in backlog (Afe88 stand-in)";
+      spec_doc = "afek3";
+      default = (fun () -> Afek3.make ());
+      parse =
+        (fun params ->
+          match no_params "afek3" params with
+          | None -> Ok (Afek3.make ())
+          | Some e -> Error e);
+    };
+  ]
+
+let find name =
+  List.find_opt (fun e -> e.key = name || List.mem name e.aliases) all
+
+let parse s =
+  match String.split_on_char ':' s with
+  | [] -> Error "empty protocol name"
+  | key :: params -> (
+      match find key with
+      | Some e -> e.parse params
+      | None -> Error (Printf.sprintf "unknown protocol %S" key))
+
+let defaults () = List.map (fun e -> e.default ()) all
+let doc = String.concat " | " (List.map (fun e -> e.spec_doc) all)

@@ -1,0 +1,30 @@
+(** Central catalogue of the protocol implementations.
+
+    One place that knows every protocol, its constructor and its CLI
+    spelling, so the CLI, the experiment drivers, the examples and the
+    tests never drift apart. *)
+
+type entry = {
+  key : string;  (** canonical CLI name, e.g. "stenning" *)
+  aliases : string list;  (** alternative spellings, e.g. ["sw"] *)
+  summary : string;
+  spec_doc : string;  (** parameter syntax, e.g. "flood[:BASE:RATIO]" *)
+  default : unit -> Spec.t;  (** construct with default parameters *)
+  parse : string list -> (Spec.t, string) result;
+      (** construct from colon-separated parameters (excluding the key) *)
+}
+
+(** All protocols, in teaching order (weakest guarantees first). *)
+val all : entry list
+
+(** [find name] resolves a key or alias. *)
+val find : string -> entry option
+
+(** [parse "flood:2:1.5"] — full CLI-style parse: key[:params]. *)
+val parse : string -> (Spec.t, string) result
+
+(** The default instance of every protocol. *)
+val defaults : unit -> Spec.t list
+
+(** One-line "key | key | …" help string. *)
+val doc : string

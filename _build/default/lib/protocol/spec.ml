@@ -1,0 +1,84 @@
+(** The data link protocol interface (Section 2.3 of the paper).
+
+    A protocol is a pair of I/O automata: [A^t] (the transmitting station)
+    and [A^r] (the receiving station).  Their states are immutable values
+    with total step functions, which makes them drivable by all three
+    consumers: the discrete-event simulator, the explicit-state model
+    checker, and the lower-bound adversaries (which must rewind and replay
+    protocol states at will).
+
+    Inputs are always accepted (I/O automata are input-enabled):
+    [on_submit] is the [send_msg] input at the sender, [on_ack] is
+    [receive_pkt^{r->t}], [on_data] is [receive_pkt^{t->r}].  Locally
+    controlled actions are pulled: the harness gives each automaton one
+    [poll] per scheduler round; the automaton returns its next
+    locally-controlled action, if any is enabled, together with its
+    post-state.  Returning [None] still returns a post-state, so protocols
+    can implement poll-counted retransmission timers.
+
+    Packets are bare [int]s.  Following the paper, messages are all
+    identical, so a packet's value is pure header; a protocol's header
+    consumption is the set of distinct ints it sends.  [header_bound] is
+    [Some k] when the protocol guarantees at most [k] distinct values over
+    both directions combined, [None] when the number of headers grows with
+    the message count. *)
+
+(** A receiver's locally-controlled action. *)
+type remit =
+  | Rsend of int  (** put packet [p] on the reverse channel *)
+  | Rdeliver  (** [receive_msg]: hand the next message to the user *)
+
+module type S = sig
+  val name : string
+
+  (** One-line description used by reports. *)
+  val describe : string
+
+  (** [Some k]: at most [k] distinct packet values ever, both directions
+      combined; [None]: unbounded (grows with messages sent). *)
+  val header_bound : int option
+
+  type sender
+  type receiver
+
+  val sender_init : sender
+  val receiver_init : receiver
+
+  (** [send_msg] input: the user submits one (anonymous) message. *)
+  val on_submit : sender -> sender
+
+  (** [receive_pkt^{r->t}(p)] input at the sender. *)
+  val on_ack : sender -> int -> sender
+
+  (** One scheduler turn: the next enabled [send_pkt^{t->r}] if any. *)
+  val sender_poll : sender -> int option * sender
+
+  (** [receive_pkt^{t->r}(p)] input at the receiver. *)
+  val on_data : receiver -> int -> receiver
+
+  (** One scheduler turn: the next enabled locally-controlled receiver
+      action ([send_pkt^{r->t}] or message delivery), if any. *)
+  val receiver_poll : receiver -> remit option * receiver
+
+  val compare_sender : sender -> sender -> int
+  val compare_receiver : receiver -> receiver -> int
+  val pp_sender : Format.formatter -> sender -> unit
+  val pp_receiver : Format.formatter -> receiver -> unit
+
+  (** Space proxy: bits needed to encode the current state (Theorem 2.1
+      links boundness to state count, i.e. space). *)
+  val sender_space_bits : sender -> int
+
+  val receiver_space_bits : receiver -> int
+end
+
+type t = (module S)
+
+let name (module P : S) = P.name
+let header_bound (module P : S) = P.header_bound
+
+(** Number of bits to represent a non-negative int (at least 1). *)
+let bits_for_int n =
+  if n < 0 then invalid_arg "Spec.bits_for_int: negative";
+  let rec go acc n = if n = 0 then max 1 acc else go (acc + 1) (n lsr 1) in
+  go 0 n

@@ -1,0 +1,69 @@
+(** Header-free stop-and-wait, the baseline that motivates headers.
+
+    Packets: [data = 0] on the forward channel, [ack = 1] on the reverse
+    channel.  The sender transmits one data packet per message and
+    retransmits every [timeout] polls until an ack arrives; the receiver
+    delivers every data packet and acknowledges it.
+
+    With no header at all the receiver cannot tell a retransmission from
+    the next message: the protocol satisfies DL1–DL3 on a perfect FIFO
+    channel but duplicates deliveries as soon as a single packet or ack is
+    lost (and the model checker finds the violation in a handful of
+    steps).  This is the observation that opens the paper's Section 2.3:
+    protocols must append information to distinguish packets. *)
+
+let data = 0
+let ack = 1
+
+let make ?(timeout = 4) () : Spec.t =
+  if timeout < 1 then invalid_arg "Stop_and_wait.make: timeout must be >= 1";
+  (module struct
+    let name = "stop-and-wait"
+    let describe = "no headers; duplicates messages on any loss"
+    let header_bound = Some 2
+
+    type sender = {
+      pending : int;  (** submitted messages not yet put in flight *)
+      inflight : bool;  (** a data packet awaits acknowledgement *)
+      timer : int;  (** polls until retransmission *)
+    }
+
+    type receiver = {
+      deliver_due : int;  (** deliveries owed to the user *)
+      ack_due : int;  (** acknowledgements owed *)
+    }
+
+    let sender_init = { pending = 0; inflight = false; timer = 0 }
+    let receiver_init = { deliver_due = 0; ack_due = 0 }
+    let on_submit s = { s with pending = s.pending + 1 }
+
+    let on_ack s p = if p = ack && s.inflight then { s with inflight = false } else s
+
+    let sender_poll s =
+      if s.inflight then
+        if s.timer <= 0 then (Some data, { s with timer = timeout - 1 })
+        else (None, { s with timer = s.timer - 1 })
+      else if s.pending > 0 then
+        (Some data, { pending = s.pending - 1; inflight = true; timer = timeout - 1 })
+      else (None, s)
+
+    let on_data r p =
+      if p = data then { deliver_due = r.deliver_due + 1; ack_due = r.ack_due + 1 } else r
+
+    let receiver_poll r =
+      if r.deliver_due > 0 then (Some Spec.Rdeliver, { r with deliver_due = r.deliver_due - 1 })
+      else if r.ack_due > 0 then (Some (Spec.Rsend ack), { r with ack_due = r.ack_due - 1 })
+      else (None, r)
+
+    let compare_sender = Stdlib.compare
+    let compare_receiver = Stdlib.compare
+
+    let pp_sender ppf s =
+      Format.fprintf ppf "{pending=%d; inflight=%b; timer=%d}" s.pending s.inflight s.timer
+
+    let pp_receiver ppf r =
+      Format.fprintf ppf "{deliver_due=%d; ack_due=%d}" r.deliver_due r.ack_due
+
+    let sender_space_bits s = Spec.bits_for_int s.pending + 1 + Spec.bits_for_int s.timer
+    let receiver_space_bits r = Spec.bits_for_int r.deliver_due + Spec.bits_for_int r.ack_due
+  end)

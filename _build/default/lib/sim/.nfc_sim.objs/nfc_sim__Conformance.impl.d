@@ -1,0 +1,1 @@
+lib/sim/conformance.ml: Action Format List Nfc_automata Nfc_protocol Printf

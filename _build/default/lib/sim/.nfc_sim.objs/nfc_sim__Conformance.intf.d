@@ -1,0 +1,1 @@
+lib/sim/conformance.mli: Format Nfc_automata Nfc_protocol

@@ -1,0 +1,1 @@
+lib/sim/dl_check.ml: Action Int Nfc_automata Printf Set

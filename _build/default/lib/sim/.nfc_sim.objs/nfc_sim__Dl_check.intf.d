@@ -1,0 +1,1 @@
+lib/sim/dl_check.mli: Nfc_automata

@@ -1,0 +1,1 @@
+lib/sim/harness.ml: Action Array Dl_check Execution Hashtbl List Metrics Nfc_automata Nfc_channel Nfc_protocol Nfc_util

@@ -1,0 +1,1 @@
+lib/sim/harness.mli: Metrics Nfc_automata Nfc_channel Nfc_protocol

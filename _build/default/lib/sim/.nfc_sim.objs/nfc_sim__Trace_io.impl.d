@@ -1,0 +1,1 @@
+lib/sim/trace_io.ml: Action Buffer Execution Format Fun List Nfc_automata Printf Props String

@@ -1,0 +1,77 @@
+open Nfc_automata
+module Spec = Nfc_protocol.Spec
+
+type verdict =
+  | Conformant
+  | Deviation of { index : int; action : Action.t; reason : string }
+
+let pp_verdict ppf = function
+  | Conformant -> Format.pp_print_string ppf "conformant"
+  | Deviation d ->
+      Format.fprintf ppf "deviation at #%d %a: %s" d.index Action.pp d.action d.reason
+
+let check ?(poll_slack = 64) (proto : Spec.t) execution =
+  let module P = (val proto) in
+  let sender = ref P.sender_init in
+  let receiver = ref P.receiver_init in
+  let exception Fail of int * Action.t * string in
+  (* Poll an automaton until it produces an output, tolerating silent
+     state-changing polls (timers); fail after [poll_slack] tries. *)
+  let rec poll_sender_for i act n =
+    if n > poll_slack then
+      raise (Fail (i, act, "sender never emitted within the poll slack"))
+    else
+      match P.sender_poll !sender with
+      | Some p, s ->
+          sender := s;
+          p
+      | None, s ->
+          sender := s;
+          poll_sender_for i act (n + 1)
+  in
+  let rec poll_receiver_for i act n =
+    if n > poll_slack then
+      raise (Fail (i, act, "receiver never acted within the poll slack"))
+    else
+      match P.receiver_poll !receiver with
+      | Some out, r ->
+          receiver := r;
+          out
+      | None, r ->
+          receiver := r;
+          poll_receiver_for i act (n + 1)
+  in
+  try
+    List.iteri
+      (fun i act ->
+        match act with
+        | Action.Send_msg _ -> sender := P.on_submit !sender
+        | Action.Receive_pkt (Action.T_to_r, p) -> receiver := P.on_data !receiver p
+        | Action.Receive_pkt (Action.R_to_t, p) -> sender := P.on_ack !sender p
+        | Action.Drop_pkt _ -> ()
+        | Action.Send_pkt (Action.T_to_r, p) ->
+            let emitted = poll_sender_for i act 0 in
+            if emitted <> p then
+              raise
+                (Fail (i, act, Printf.sprintf "sender emitted packet %d instead" emitted))
+        | Action.Send_pkt (Action.R_to_t, p) -> (
+            match poll_receiver_for i act 0 with
+            | Spec.Rsend emitted when emitted = p -> ()
+            | Spec.Rsend emitted ->
+                raise
+                  (Fail (i, act, Printf.sprintf "receiver emitted packet %d instead" emitted))
+            | Spec.Rdeliver ->
+                raise (Fail (i, act, "receiver delivered a message instead of sending")))
+        | Action.Receive_msg _ -> (
+            match poll_receiver_for i act 0 with
+            | Spec.Rdeliver -> ()
+            | Spec.Rsend emitted ->
+                raise
+                  (Fail
+                     ( i,
+                       act,
+                       Printf.sprintf "receiver sent packet %d instead of delivering" emitted
+                     ))))
+      execution;
+    Conformant
+  with Fail (index, action, reason) -> Deviation { index; action; reason }

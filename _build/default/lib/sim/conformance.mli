@@ -1,0 +1,32 @@
+(** Conformance: is this execution an execution {e of this protocol}?
+
+    The channel-side checkers (PL1) and the service-side checkers
+    (DL1–DL3) say nothing about whether the recorded automaton actions are
+    ones the protocol could actually have taken.  This module replays an
+    execution against the protocol's transition functions:
+
+    - [Send_msg] feeds [on_submit]; [Receive_pkt] feeds [on_data]/[on_ack];
+    - every [Send_pkt (T_to_r, p)] must be producible by polling the sender
+      (allowing up to [poll_slack] silent polls for timer ticks), and the
+      emitted packet must equal [p]; reverse sends and [Receive_msg]
+      likewise against the receiver;
+    - [Drop_pkt] is channel-internal and ignored.
+
+    A counterexample that passes PL1 {e and} conformance is therefore a
+    genuine execution of the composed system — the standard the
+    model-checker and adversary outputs are held to in the test suite. *)
+
+type verdict =
+  | Conformant
+  | Deviation of {
+      index : int;  (** offending action's position *)
+      action : Nfc_automata.Action.t;
+      reason : string;
+    }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [check ?poll_slack proto execution] — [poll_slack] (default 64) bounds
+    the silent polls allowed before each locally-controlled action. *)
+val check :
+  ?poll_slack:int -> Nfc_protocol.Spec.t -> Nfc_automata.Execution.t -> verdict

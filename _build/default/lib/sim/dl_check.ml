@@ -1,0 +1,41 @@
+module Iset = Set.Make (Int)
+open Nfc_automata
+
+type t = {
+  mutable sent : Iset.t;
+  mutable received : Iset.t;
+  mutable last_delivered : int;
+  mutable violation : string option;
+}
+
+let create () =
+  { sent = Iset.empty; received = Iset.empty; last_delivered = min_int; violation = None }
+
+let fail t a reason =
+  if t.violation = None then
+    t.violation <- Some (Printf.sprintf "%s: %s" (Action.to_string a) reason);
+  t.violation
+
+let on_action t a =
+  match t.violation with
+  | Some _ as v -> v
+  | None -> (
+      match a with
+      | Action.Send_msg m ->
+          t.sent <- Iset.add m t.sent;
+          None
+      | Action.Receive_msg m ->
+          if not (Iset.mem m t.sent) then fail t a "delivered a message never sent (DL1)"
+          else if Iset.mem m t.received then fail t a "duplicate delivery (DL1)"
+          else if m <= t.last_delivered then fail t a "out-of-order delivery (DL2)"
+          else begin
+            t.received <- Iset.add m t.received;
+            t.last_delivered <- m;
+            None
+          end
+      | Action.Send_pkt _ | Action.Receive_pkt _ | Action.Drop_pkt _ -> None)
+
+let violated t = t.violation
+let submitted t = Iset.cardinal t.sent
+let delivered t = Iset.cardinal t.received
+let complete t = t.violation = None && Iset.equal t.sent t.received

@@ -1,0 +1,24 @@
+(** Online checker for the data-link correctness properties (DL1, DL2).
+
+    Feed every [Send_msg]/[Receive_msg] action as it happens; O(log n) per
+    action.  Message identifiers are assigned by the harness in submission
+    order, so DL1 is "each delivered identifier was submitted before and
+    never delivered twice" and DL2 is "delivered identifiers strictly
+    increase".  DL3 on a finite run is checked at quiescence with
+    {!complete}.  Property-tested against the declarative
+    {!Nfc_automata.Props}. *)
+
+type t
+
+val create : unit -> t
+
+(** Returns the violation the first time DL1 or DL2 breaks; sticky. *)
+val on_action : t -> Nfc_automata.Action.t -> string option
+
+val violated : t -> string option
+val submitted : t -> int
+val delivered : t -> int
+
+(** DL3 at quiescence: no violation and every submitted message was
+    delivered. *)
+val complete : t -> bool

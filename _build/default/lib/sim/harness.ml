@@ -1,0 +1,194 @@
+open Nfc_automata
+module Transit = Nfc_channel.Transit
+module Policy = Nfc_channel.Policy
+module Pl_check = Nfc_channel.Pl_check
+module Spec = Nfc_protocol.Spec
+
+type config = {
+  policy_tr : Policy.t;
+  policy_rt : Policy.t;
+  n_messages : int;
+  submit_every : int;
+  max_rounds : int;
+  seed : int;
+  record_trace : bool;
+  sender_polls : int;
+  receiver_polls : int;
+  stop_when_delivered : bool;
+  grace_rounds : int;
+  stall_rounds : int option;
+}
+
+let default_config =
+  {
+    policy_tr = Policy.uniform_reorder ~deliver:0.9 ~drop:0.0;
+    policy_rt = Policy.uniform_reorder ~deliver:0.9 ~drop:0.0;
+    n_messages = 10;
+    submit_every = 0;
+    max_rounds = 100_000;
+    seed = 1;
+    record_trace = false;
+    sender_polls = 1;
+    receiver_polls = 2;
+    stop_when_delivered = true;
+    grace_rounds = 50;
+    stall_rounds = None;
+  }
+
+type result = { metrics : Metrics.t; trace : Execution.t option }
+
+let run (module P : Spec.S) cfg =
+  if cfg.n_messages < 0 then invalid_arg "Harness.run: n_messages must be >= 0";
+  if cfg.max_rounds < 1 then invalid_arg "Harness.run: max_rounds must be >= 1";
+  let rng = Nfc_util.Rng.of_int cfg.seed in
+  let rng_tr = Nfc_util.Rng.split rng in
+  let rng_rt = Nfc_util.Rng.split rng in
+  let sender = ref P.sender_init in
+  let receiver = ref P.receiver_init in
+  let tr = Transit.create () in
+  let rt = Transit.create () in
+  let dl = Dl_check.create () in
+  let pl = Pl_check.create () in
+  let trace = ref [] in
+  let record a =
+    if cfg.record_trace then trace := a :: !trace;
+    ignore (Dl_check.on_action dl a);
+    ignore (Pl_check.on_action pl a)
+  in
+  let submitted = ref 0 in
+  let delivered = ref 0 in
+  let rounds = ref 0 in
+  let last_progress = ref 0 in
+  let submit_round : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let latencies = ref [] in
+  let max_transit_tr = ref 0 in
+  let max_transit_rt = ref 0 in
+  let max_sender_space = ref (P.sender_space_bits !sender) in
+  let max_receiver_space = ref (P.receiver_space_bits !receiver) in
+  let process_tr_events events =
+    List.iter
+      (fun ev ->
+        match ev with
+        | Policy.Delivered (_, pkt) ->
+            record (Action.Receive_pkt (Action.T_to_r, pkt));
+            receiver := P.on_data !receiver pkt
+        | Policy.Dropped (_, pkt) -> record (Action.Drop_pkt (Action.T_to_r, pkt)))
+      events
+  in
+  let process_rt_events events =
+    List.iter
+      (fun ev ->
+        match ev with
+        | Policy.Delivered (_, pkt) ->
+            record (Action.Receive_pkt (Action.R_to_t, pkt));
+            sender := P.on_ack !sender pkt
+        | Policy.Dropped (_, pkt) -> record (Action.Drop_pkt (Action.R_to_t, pkt)))
+      events
+  in
+  let submit () =
+    record (Action.Send_msg !submitted);
+    Hashtbl.replace submit_round !submitted !rounds;
+    incr submitted;
+    sender := P.on_submit !sender
+  in
+  let sender_turn () =
+    match P.sender_poll !sender with
+    | None, s -> sender := s
+    | Some pkt, s ->
+        sender := s;
+        record (Action.Send_pkt (Action.T_to_r, pkt));
+        let tag = Transit.send tr pkt in
+        process_tr_events (cfg.policy_tr.Policy.on_send rng_tr tr ~tag ~pkt)
+  in
+  let receiver_turn () =
+    match P.receiver_poll !receiver with
+    | None, r -> receiver := r
+    | Some Spec.Rdeliver, r ->
+        receiver := r;
+        record (Action.Receive_msg !delivered);
+        (match Hashtbl.find_opt submit_round !delivered with
+        | Some r0 -> latencies := (!rounds - r0) :: !latencies
+        | None -> () (* phantom: no submission to measure against *));
+        incr delivered;
+        last_progress := !rounds
+    | Some (Spec.Rsend pkt), r ->
+        receiver := r;
+        record (Action.Send_pkt (Action.R_to_t, pkt));
+        let tag = Transit.send rt pkt in
+        process_rt_events (cfg.policy_rt.Policy.on_send rng_rt rt ~tag ~pkt)
+  in
+  (* After all messages are delivered, keep simulating for [grace_rounds] so
+     that delayed stale packets still in transit get a chance to cause the
+     phantom (n+1)-th delivery a faulty protocol would produce. *)
+  let grace_started_at = ref None in
+  let stalled () =
+    match cfg.stall_rounds with
+    | None -> false
+    | Some s -> !rounds - !last_progress >= s
+  in
+  let finished () =
+    Dl_check.violated dl <> None
+    || Pl_check.violated pl <> None
+    || stalled ()
+    ||
+    if cfg.stop_when_delivered && !delivered >= cfg.n_messages && !submitted >= cfg.n_messages
+    then begin
+      match !grace_started_at with
+      | None ->
+          grace_started_at := Some !rounds;
+          cfg.grace_rounds <= 0
+      | Some r0 -> !rounds - r0 >= cfg.grace_rounds
+    end
+    else false
+  in
+  while (not (finished ())) && !rounds < cfg.max_rounds do
+    let round = !rounds in
+    if cfg.submit_every = 0 then begin
+      if round = 0 then
+        for _ = 1 to cfg.n_messages do
+          submit ()
+        done
+    end
+    else if !submitted < cfg.n_messages && round mod cfg.submit_every = 0 then submit ();
+    for _ = 1 to cfg.sender_polls do
+      sender_turn ()
+    done;
+    process_tr_events (cfg.policy_tr.Policy.on_poll rng_tr tr);
+    for _ = 1 to cfg.receiver_polls do
+      receiver_turn ()
+    done;
+    process_rt_events (cfg.policy_rt.Policy.on_poll rng_rt rt);
+    max_transit_tr := max !max_transit_tr (Transit.in_transit tr);
+    max_transit_rt := max !max_transit_rt (Transit.in_transit rt);
+    max_sender_space := max !max_sender_space (P.sender_space_bits !sender);
+    max_receiver_space := max !max_receiver_space (P.receiver_space_bits !receiver);
+    incr rounds
+  done;
+  let metrics =
+    {
+      Metrics.submitted = !submitted;
+      delivered = !delivered;
+      rounds = !rounds;
+      pkts_tr_sent = Transit.sent_total tr;
+      pkts_tr_received = Transit.delivered_total tr;
+      pkts_tr_dropped = Transit.dropped_total tr;
+      pkts_rt_sent = Transit.sent_total rt;
+      pkts_rt_received = Transit.delivered_total rt;
+      pkts_rt_dropped = Transit.dropped_total rt;
+      headers_tr = Transit.distinct_sent tr;
+      headers_rt = Transit.distinct_sent rt;
+      max_in_transit_tr = !max_transit_tr;
+      max_in_transit_rt = !max_transit_rt;
+      max_sender_space_bits = !max_sender_space;
+      max_receiver_space_bits = !max_receiver_space;
+      completed =
+        Dl_check.violated dl = None
+        && Pl_check.violated pl = None
+        && !delivered = cfg.n_messages
+        && !submitted = cfg.n_messages;
+      dl_violation = Dl_check.violated dl;
+      pl_violation = Pl_check.violated pl;
+      latencies = Array.of_list (List.rev !latencies);
+    }
+  in
+  { metrics; trace = (if cfg.record_trace then Some (List.rev !trace) else None) }

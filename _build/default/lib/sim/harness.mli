@@ -1,0 +1,49 @@
+(** The discrete-event simulation harness: one protocol, two channels, a
+    round-based fair scheduler.
+
+    Each round: (1) due user submissions enter the sender; (2) the sender
+    gets [sender_polls] turns, each sent packet passing through the forward
+    channel policy; (3) the forward channel gets a poll (releasing delayed
+    packets); (4) the receiver gets [receiver_polls] turns (deliveries and
+    reverse-channel sends); (5) the reverse channel gets a poll.  Every
+    action is recorded against the online DL1/DL2 and PL1 checkers and,
+    optionally, in a full execution trace.
+
+    This fair round-robin scheduler realises the liveness assumptions
+    (PL2/DL3) under the stochastic policies; the lower-bound adversaries of
+    {!Nfc_core} bypass it and drive the transit structures directly. *)
+
+type config = {
+  policy_tr : Nfc_channel.Policy.t;  (** forward (t->r) channel behaviour *)
+  policy_rt : Nfc_channel.Policy.t;  (** reverse (r->t) channel behaviour *)
+  n_messages : int;
+  submit_every : int;
+      (** 0 = submit everything in round 0; k > 0 = one message every k
+          rounds *)
+  max_rounds : int;
+  seed : int;
+  record_trace : bool;
+  sender_polls : int;  (** sender turns per round *)
+  receiver_polls : int;  (** receiver turns per round *)
+  stop_when_delivered : bool;  (** stop once all messages arrive… *)
+  grace_rounds : int;
+      (** …but only after this many extra rounds, so that delayed stale
+          packets still get the chance to trigger a phantom delivery that
+          the checkers would catch *)
+  stall_rounds : int option;
+      (** abort the run if no message has been delivered for this many
+          rounds — bounded-header protocols can lose epoch synchronisation
+          on bad channels and stop making progress *)
+}
+
+(** 10 messages, both channels [uniform_reorder ~deliver:0.9 ~drop:0.0],
+    all submitted upfront, 100k rounds, 50 grace rounds, seed 1,
+    no trace. *)
+val default_config : config
+
+type result = {
+  metrics : Metrics.t;
+  trace : Nfc_automata.Execution.t option;  (** chronological, if recorded *)
+}
+
+val run : Nfc_protocol.Spec.t -> config -> result

@@ -1,0 +1,66 @@
+type t = {
+  submitted : int;
+  delivered : int;
+  rounds : int;
+  pkts_tr_sent : int;
+  pkts_tr_received : int;
+  pkts_tr_dropped : int;
+  pkts_rt_sent : int;
+  pkts_rt_received : int;
+  pkts_rt_dropped : int;
+  headers_tr : int;
+  headers_rt : int;
+  max_in_transit_tr : int;
+  max_in_transit_rt : int;
+  max_sender_space_bits : int;
+  max_receiver_space_bits : int;
+  completed : bool;
+  dl_violation : string option;
+  pl_violation : string option;
+  latencies : int array;
+}
+
+let total_packets t = t.pkts_tr_sent + t.pkts_rt_sent
+let total_headers t = t.headers_tr + t.headers_rt
+
+let latency_percentiles t =
+  if Array.length t.latencies = 0 then None
+  else begin
+    let sorted = Array.copy t.latencies in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    let at p =
+      let rank = p *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      (float_of_int sorted.(lo) *. (1.0 -. frac)) +. (float_of_int sorted.(hi) *. frac)
+    in
+    Some (at 0.5, at 0.95, sorted.(n - 1))
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>messages: %d submitted, %d delivered (%s) in %d rounds@,\
+     packets t->r: %d sent, %d received, %d dropped (headers %d, max transit %d)@,\
+     packets r->t: %d sent, %d received, %d dropped (headers %d, max transit %d)@,\
+     space bits: sender <= %d, receiver <= %d%a%a%a@]"
+    t.submitted t.delivered
+    (if t.completed then "complete" else "incomplete")
+    t.rounds t.pkts_tr_sent t.pkts_tr_received t.pkts_tr_dropped t.headers_tr
+    t.max_in_transit_tr t.pkts_rt_sent t.pkts_rt_received t.pkts_rt_dropped t.headers_rt
+    t.max_in_transit_rt t.max_sender_space_bits t.max_receiver_space_bits
+    (fun ppf m ->
+      match latency_percentiles m with
+      | None -> ()
+      | Some (p50, p95, worst) ->
+          Format.fprintf ppf "@,latency rounds: p50=%.0f p95=%.0f max=%d" p50 p95 worst)
+    t
+    (fun ppf -> function
+      | None -> ()
+      | Some v -> Format.fprintf ppf "@,DL VIOLATION: %s" v)
+    t.dl_violation
+    (fun ppf -> function
+      | None -> ()
+      | Some v -> Format.fprintf ppf "@,PL VIOLATION: %s" v)
+    t.pl_violation

@@ -1,0 +1,40 @@
+(** Resource accounting for one simulation run — the paper's three
+    efficiency parameters (packets, headers, space) plus channel and
+    progress counters. *)
+
+type t = {
+  submitted : int;
+  delivered : int;
+  rounds : int;
+  pkts_tr_sent : int;  (** sp^{t->r} *)
+  pkts_tr_received : int;  (** rp^{t->r} *)
+  pkts_tr_dropped : int;
+  pkts_rt_sent : int;  (** sp^{r->t} *)
+  pkts_rt_received : int;  (** rp^{r->t} *)
+  pkts_rt_dropped : int;
+  headers_tr : int;  (** distinct packet values sent t->r *)
+  headers_rt : int;  (** distinct packet values sent r->t *)
+  max_in_transit_tr : int;
+  max_in_transit_rt : int;
+  max_sender_space_bits : int;
+  max_receiver_space_bits : int;
+  completed : bool;  (** all submitted messages delivered, no violation *)
+  dl_violation : string option;
+  pl_violation : string option;
+  latencies : int array;
+      (** per delivered message, rounds from its [send_msg] to its
+          [receive_msg], in delivery order *)
+}
+
+(** Total packets sent, both directions — the quantity Theorem 5.1
+    bounds. *)
+val total_packets : t -> int
+
+(** Total distinct headers, both directions. *)
+val total_headers : t -> int
+
+(** (median, p95, max) delivery latency in rounds; [None] if nothing was
+    delivered. *)
+val latency_percentiles : t -> (float * float * int) option
+
+val pp : Format.formatter -> t -> unit

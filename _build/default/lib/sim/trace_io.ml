@@ -1,0 +1,95 @@
+open Nfc_automata
+
+let dir_to_string = function Action.T_to_r -> "tr" | Action.R_to_t -> "rt"
+
+let render_action = function
+  | Action.Send_msg m -> Printf.sprintf "send_msg %d" m
+  | Action.Receive_msg m -> Printf.sprintf "receive_msg %d" m
+  | Action.Send_pkt (d, p) -> Printf.sprintf "send_pkt %s %d" (dir_to_string d) p
+  | Action.Receive_pkt (d, p) -> Printf.sprintf "receive_pkt %s %d" (dir_to_string d) p
+  | Action.Drop_pkt (d, p) -> Printf.sprintf "drop_pkt %s %d" (dir_to_string d) p
+
+let render t = String.concat "\n" (List.map render_action t) ^ "\n"
+
+let parse_dir = function
+  | "tr" -> Some Action.T_to_r
+  | "rt" -> Some Action.R_to_t
+  | _ -> None
+
+let parse_line line =
+  let parts = String.split_on_char ' ' (String.trim line) in
+  let parts = List.filter (fun s -> s <> "") parts in
+  match parts with
+  | [ "send_msg"; m ] -> (
+      match int_of_string_opt m with
+      | Some m -> Ok (Some (Action.Send_msg m))
+      | None -> Error "bad message id")
+  | [ "receive_msg"; m ] -> (
+      match int_of_string_opt m with
+      | Some m -> Ok (Some (Action.Receive_msg m))
+      | None -> Error "bad message id")
+  | [ ("send_pkt" | "receive_pkt" | "drop_pkt") as verb; d; p ] -> (
+      match (parse_dir d, int_of_string_opt p) with
+      | Some dir, Some pkt ->
+          Ok
+            (Some
+               (match verb with
+               | "send_pkt" -> Action.Send_pkt (dir, pkt)
+               | "receive_pkt" -> Action.Receive_pkt (dir, pkt)
+               | _ -> Action.Drop_pkt (dir, pkt)))
+      | None, _ -> Error "bad direction (tr|rt)"
+      | _, None -> Error "bad packet id")
+  | [] -> Ok None
+  | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> Ok None
+  | verb :: _ -> Error (Printf.sprintf "unknown action %S" verb)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line line with
+        | Ok None -> go (i + 1) acc rest
+        | Ok (Some a) -> go (i + 1) (a :: acc) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" i msg))
+  in
+  go 1 [] lines
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render t))
+
+let load path =
+  match open_in path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          parse (really_input_string ic n))
+  | exception Sys_error msg -> Error msg
+
+let judge t =
+  let buf = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  addf "actions: %d" (List.length t);
+  addf "sm=%d rm=%d sp^tr=%d rp^tr=%d sp^rt=%d rp^rt=%d (Definition 2)" (Execution.sm t)
+    (Execution.rm t)
+    (Execution.sp Action.T_to_r t)
+    (Execution.rp Action.T_to_r t)
+    (Execution.sp Action.R_to_t t)
+    (Execution.rp Action.R_to_t t);
+  let verdict name = function
+    | None -> addf "%s: ok" name
+    | Some v -> addf "%s: VIOLATED — %s" name (Format.asprintf "%a" Props.pp_violation v)
+  in
+  verdict "DL1" (Props.dl1 t);
+  verdict "DL2" (Props.dl2 t);
+  addf "DL3 (complete at quiescence): %s" (if Props.dl3_complete t then "yes" else "no");
+  verdict "PL1 t->r" (Props.pl1 Action.T_to_r t);
+  verdict "PL1 r->t" (Props.pl1 Action.R_to_t t);
+  (match Props.invalid_phantom t with
+  | None -> addf "phantom delivery: none"
+  | Some v ->
+      addf "phantom delivery: YES — %s" (Format.asprintf "%a" Props.pp_violation v));
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Serialisation of recorded executions.
+
+    One action per line, in a stable, grep-friendly format close to the
+    paper's notation:
+
+    {v
+    send_msg 0
+    send_pkt tr 4
+    receive_pkt tr 4
+    receive_msg 0
+    drop_pkt rt 1
+    v}
+
+    Blank lines and lines starting with ['#'] are ignored on input.
+    Round-trips exactly ([parse (render t) = Ok t]); used by
+    [nfc mcheck --save] / [nfc replay] to move counterexamples between
+    runs and by tests as a structural fuzzing surface. *)
+
+val render : Nfc_automata.Execution.t -> string
+
+val parse : string -> (Nfc_automata.Execution.t, string) result
+(** [Error msg] names the first offending line. *)
+
+val save : string -> Nfc_automata.Execution.t -> unit
+val load : string -> (Nfc_automata.Execution.t, string) result
+
+(** Re-judge a stored execution: returns the DL1/DL2/PL1 verdicts plus the
+    Definition-2 counters, as a printable report. *)
+val judge : Nfc_automata.Execution.t -> string

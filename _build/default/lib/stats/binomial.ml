@@ -1,0 +1,63 @@
+(* Log-factorials are cached in a growable table: experiments query many
+   tails with the same modest n, and the incremental sum is exact enough
+   (each entry is a sum of at most n logs). *)
+let log_fact_table = ref [| 0.0 |]
+
+let log_fact n =
+  if n < 0 then invalid_arg "Binomial.log_fact: negative";
+  let table = !log_fact_table in
+  if n < Array.length table then table.(n)
+  else begin
+    let old_len = Array.length table in
+    let len = max (n + 1) (2 * old_len) in
+    let bigger = Array.make len 0.0 in
+    Array.blit table 0 bigger 0 old_len;
+    for i = old_len to len - 1 do
+      bigger.(i) <- bigger.(i - 1) +. log (float_of_int i)
+    done;
+    log_fact_table := bigger;
+    bigger.(n)
+  end
+
+let log_choose n k =
+  if k < 0 || k > n then neg_infinity
+  else log_fact n -. log_fact k -. log_fact (n - k)
+
+let check ~n ~p =
+  if n < 0 then invalid_arg "Binomial: n must be >= 0";
+  if p < 0.0 || p > 1.0 then invalid_arg "Binomial: p must lie in [0,1]"
+
+let pmf ~n ~p k =
+  check ~n ~p;
+  if k < 0 || k > n then 0.0
+  else if p = 0.0 then if k = 0 then 1.0 else 0.0
+  else if p = 1.0 then if k = n then 1.0 else 0.0
+  else
+    exp
+      (log_choose n k
+      +. (float_of_int k *. log p)
+      +. (float_of_int (n - k) *. log (1.0 -. p)))
+
+let cdf ~n ~p k =
+  check ~n ~p;
+  if k < 0 then 0.0
+  else if k >= n then 1.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to k do
+      acc := !acc +. pmf ~n ~p i
+    done;
+    min 1.0 !acc
+  end
+
+let survival ~n ~p k = 1.0 -. cdf ~n ~p k
+let mean ~n ~p = float_of_int n *. p
+let variance ~n ~p = float_of_int n *. p *. (1.0 -. p)
+
+let sample rng ~n ~p =
+  check ~n ~p;
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Nfc_util.Rng.bool rng p then incr count
+  done;
+  !count

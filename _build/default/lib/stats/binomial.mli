@@ -1,0 +1,25 @@
+(** Binomial distribution utilities.
+
+    The probabilistic physical layer delays each packet independently with
+    probability q, so per-burst delay counts are Binomial(n, q).  Exact
+    tails here cross-check the Hoeffding bounds and calibrate the Theorem
+    5.1 experiment. *)
+
+(** [log_choose n k] = log (n choose k), computed stably via lgamma. *)
+val log_choose : int -> int -> float
+
+(** [pmf ~n ~p k] = Prob{ Binomial(n,p) = k }. *)
+val pmf : n:int -> p:float -> int -> float
+
+(** [cdf ~n ~p k] = Prob{ Binomial(n,p) <= k }. *)
+val cdf : n:int -> p:float -> int -> float
+
+(** [survival ~n ~p k] = Prob{ Binomial(n,p) > k }. *)
+val survival : n:int -> p:float -> int -> float
+
+val mean : n:int -> p:float -> float
+val variance : n:int -> p:float -> float
+
+(** [sample rng ~n ~p] draws a Binomial(n,p) variate (sum of Bernoulli
+    trials; O(n)). *)
+val sample : Nfc_util.Rng.t -> n:int -> p:float -> int

@@ -1,0 +1,34 @@
+let check_common ~n ~q =
+  if n < 1 then invalid_arg "Hoeffding: n must be >= 1";
+  if q < 0.0 || q > 1.0 then invalid_arg "Hoeffding: q must lie in [0,1]"
+
+let lower_tail ~n ~q ~alpha =
+  check_common ~n ~q;
+  if alpha < 0.0 then invalid_arg "Hoeffding.lower_tail: alpha must be >= 0";
+  if alpha > q then invalid_arg "Hoeffding.lower_tail: requires alpha <= q";
+  let d = q -. alpha in
+  exp (-2.0 *. float_of_int n *. d *. d)
+
+let upper_tail ~n ~q ~alpha =
+  check_common ~n ~q;
+  if alpha > 1.0 then invalid_arg "Hoeffding.upper_tail: alpha must be <= 1";
+  if alpha < q then invalid_arg "Hoeffding.upper_tail: requires alpha >= q";
+  let d = alpha -. q in
+  exp (-2.0 *. float_of_int n *. d *. d)
+
+let deviation ~n ~q ~eps =
+  check_common ~n ~q;
+  if eps <= 0.0 then invalid_arg "Hoeffding.deviation: eps must be positive";
+  min 1.0 (2.0 *. exp (-2.0 *. float_of_int n *. eps *. eps))
+
+let epsilon_n ~c n =
+  if n < 1 then invalid_arg "Hoeffding.epsilon_n: n must be >= 1";
+  c /. sqrt (float_of_int n)
+
+let sample_size ~q ~eps ~delta =
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Hoeffding.sample_size: delta must lie in (0,1)";
+  if eps <= 0.0 then invalid_arg "Hoeffding.sample_size: eps must be positive";
+  ignore q;
+  (* n >= ln(2/delta) / (2 eps^2) *)
+  int_of_float (ceil (log (2.0 /. delta) /. (2.0 *. eps *. eps)))

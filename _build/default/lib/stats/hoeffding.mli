@@ -1,0 +1,29 @@
+(** Hoeffding's inequality (Theorem 5.4 of the paper, citing [Hoe63]).
+
+    For independent 0/1 random variables X_1..X_n with success probability
+    q, and alpha < q:
+
+      Prob{ sum X_i <= alpha*n } <= exp(-2 n (alpha - q)^2)
+
+    These closed forms drive the "predicted" columns of the Theorem 5.1
+    experiment: the probability that the adversarially-relevant packet
+    counts fail to concentrate. *)
+
+(** [lower_tail ~n ~q ~alpha] is the Hoeffding upper bound on
+    Prob{ sum <= alpha*n } for [alpha <= q].  Requires [0 <= alpha],
+    [q <= 1], [n >= 1]. *)
+val lower_tail : n:int -> q:float -> alpha:float -> float
+
+(** [upper_tail ~n ~q ~alpha] bounds Prob{ sum >= alpha*n } for
+    [alpha >= q], by symmetry. *)
+val upper_tail : n:int -> q:float -> alpha:float -> float
+
+(** [deviation ~n ~q ~eps] bounds Prob{ |sum/n - q| >= eps } (two-sided,
+    union bound: 2 exp(-2 n eps^2)). *)
+val deviation : n:int -> q:float -> eps:float -> float
+
+(** [epsilon_n ~c n] is the paper's ε_n = c / sqrt(n) slack sequence. *)
+val epsilon_n : c:float -> int -> float
+
+(** Smallest [n] such that [deviation ~n ~q ~eps <= delta]. *)
+val sample_size : q:float -> eps:float -> delta:float -> int

@@ -1,0 +1,61 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p10 : float;
+  p90 : float;
+}
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Summary.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p outside [0,100]";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+  end
+
+let of_list xs =
+  if xs = [] then invalid_arg "Summary.of_list: empty sample";
+  let n = List.length xs in
+  let nf = float_of_int n in
+  let mean = List.fold_left ( +. ) 0.0 xs /. nf in
+  let ss = List.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 xs in
+  let stddev = if n > 1 then sqrt (ss /. (nf -. 1.0)) else 0.0 in
+  {
+    count = n;
+    mean;
+    stddev;
+    min = List.fold_left min infinity xs;
+    max = List.fold_left max neg_infinity xs;
+    median = percentile xs 50.0;
+    p10 = percentile xs 10.0;
+    p90 = percentile xs 90.0;
+  }
+
+let of_ints xs = of_list (List.map float_of_int xs)
+
+let z_of_confidence c =
+  (* The confidences used by the experiment drivers. *)
+  if abs_float (c -. 0.90) < 1e-9 then 1.6449
+  else if abs_float (c -. 0.95) < 1e-9 then 1.9600
+  else if abs_float (c -. 0.99) < 1e-9 then 2.5758
+  else invalid_arg "Summary.mean_ci: supported confidences are 0.90, 0.95, 0.99"
+
+let mean_ci ?(confidence = 0.95) t =
+  let z = z_of_confidence confidence in
+  let half = z *. t.stddev /. sqrt (float_of_int t.count) in
+  (t.mean -. half, t.mean +. half)
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3g sd=%.3g min=%.3g med=%.3g max=%.3g" t.count t.mean
+    t.stddev t.min t.median t.max

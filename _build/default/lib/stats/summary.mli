@@ -1,0 +1,28 @@
+(** Empirical summaries of repeated-trial measurements. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p10 : float;
+  p90 : float;
+}
+
+(** [of_list xs] summarises a non-empty sample.
+    Raises [Invalid_argument] on []. *)
+val of_list : float list -> t
+
+val of_ints : int list -> t
+
+(** [percentile xs p] with [0 <= p <= 100], linear interpolation between
+    order statistics. *)
+val percentile : float list -> float -> float
+
+(** Normal-approximation two-sided confidence interval for the mean:
+    (lo, hi) at the given [confidence] (default 0.95). *)
+val mean_ci : ?confidence:float -> t -> float * float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/transport/experiment.ml: List Nfc_channel Nfc_protocol Nfc_util Printf Stack Vlink

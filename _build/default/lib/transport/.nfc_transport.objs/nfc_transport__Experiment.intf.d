@@ -1,0 +1,1 @@
+lib/transport/experiment.mli: Nfc_util

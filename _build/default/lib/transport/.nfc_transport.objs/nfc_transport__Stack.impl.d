@@ -1,0 +1,1 @@
+lib/transport/stack.ml: Format Nfc_automata Nfc_protocol Nfc_sim Vlink

@@ -1,0 +1,1 @@
+lib/transport/stack.mli: Format Nfc_protocol Vlink

@@ -1,0 +1,1 @@
+lib/transport/vlink.ml: List Nfc_channel Nfc_protocol Nfc_util Queue

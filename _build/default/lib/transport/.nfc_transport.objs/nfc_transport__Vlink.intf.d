@@ -1,0 +1,1 @@
+lib/transport/vlink.mli: Nfc_channel Nfc_protocol

@@ -1,0 +1,108 @@
+type row = {
+  stack : string;
+  delivered : int;
+  n : int;
+  transport_packets : int;
+  physical_packets : int;
+  verdict : string;
+}
+
+let rows_to_table rows =
+  let table =
+    Nfc_util.Table.create
+      ~title:
+        "E-TRANS  transport protocols over virtual links (the paper's closing remark): \
+         correctness composes, failures and costs compound"
+      ~columns:
+        [
+          ("transport / data link / channel", Nfc_util.Table.Left);
+          ("delivered", Nfc_util.Table.Right);
+          ("transport pkts", Nfc_util.Table.Right);
+          ("physical pkts", Nfc_util.Table.Right);
+          ("verdict", Nfc_util.Table.Left);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Nfc_util.Table.add_row table
+        [
+          r.stack;
+          Printf.sprintf "%d/%d" r.delivered r.n;
+          Nfc_util.Table.cell_int r.transport_packets;
+          Nfc_util.Table.cell_int r.physical_packets;
+          r.verdict;
+        ])
+    rows;
+  table
+
+let scenario ~stack ~transport ~dl ~policy ~n ~seed ~max_rounds ?(stall = 20_000) () =
+  let link ~seed =
+    Vlink.create ~protocol:(dl ()) ~policy_tr:(policy ()) ~policy_rt:(policy ()) ~seed ()
+  in
+  let result =
+    Stack.run ~transport
+      ~link
+      {
+        Stack.n_messages = n;
+        max_rounds;
+        seed;
+        submit_every = 3;
+        stall_rounds = stall;
+      }
+  in
+  let verdict =
+    match (result.Stack.transport_violation, result.Stack.link_degraded) with
+    | Some v, _ -> "TRANSPORT DL1/DL2 violated: " ^ v
+    | None, Some _ when not result.Stack.completed -> "link degraded (duplication); stalled"
+    | None, Some _ -> "link degraded but transport recovered"
+    | None, None when result.Stack.completed -> "ok"
+    | None, None -> "stalled"
+  in
+  {
+    stack;
+    delivered = result.Stack.delivered;
+    n;
+    transport_packets = result.Stack.transport_packets;
+    physical_packets = result.Stack.physical_packets;
+    verdict;
+  }
+
+let run ?(quick = false) ?(silent = false) ?(seed = 5) () =
+  let n = if quick then 6 else 12 in
+  let reorder () = Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.05 in
+  let nasty () = Nfc_channel.Policy.uniform_reorder ~deliver:0.3 ~drop:0.0 in
+  let prob () = Nfc_channel.Policy.probabilistic ~q:0.2 () in
+  let rows =
+    [
+      scenario ~stack:"stenning / stenning / reorder+loss"
+        ~transport:(Nfc_protocol.Stenning.make ())
+        ~dl:(fun () -> Nfc_protocol.Stenning.make ())
+        ~policy:reorder ~n ~seed ~max_rounds:200_000 ();
+      scenario ~stack:"altbit / stenning / reorder+loss"
+        ~transport:(Nfc_protocol.Alternating_bit.make ())
+        ~dl:(fun () -> Nfc_protocol.Stenning.make ())
+        ~policy:reorder ~n ~seed ~max_rounds:200_000 ();
+      scenario ~stack:"stenning / altbit / heavy-reorder"
+        ~transport:(Nfc_protocol.Stenning.make ())
+        ~dl:(fun () -> Nfc_protocol.Alternating_bit.make ())
+        ~policy:nasty ~n:(2 * n) ~seed ~max_rounds:(if quick then 30_000 else 120_000) ();
+      (* Over an exponential-cost link the transport must be patient: a
+         short retransmission timeout floods the link with data-link
+         messages and the per-message thresholds compound.  Even with a
+         patient transport, physical packets dwarf transport packets. *)
+      scenario ~stack:"altbit(patient) / flood(r=1.5) / prob(q=0.2)"
+        ~transport:(Nfc_protocol.Alternating_bit.make ~timeout:4000 ())
+        ~dl:(fun () -> Nfc_protocol.Flood.make ~base:1 ~ratio:1.5 ())
+        ~policy:prob
+        ~n:(if quick then 3 else 4)
+        ~seed ~max_rounds:600_000 ~stall:200_000 ();
+      scenario ~stack:"stenning(patient) / flood(r=1.5) / prob(q=0.2)"
+        ~transport:(Nfc_protocol.Stenning.make ~timeout:4000 ())
+        ~dl:(fun () -> Nfc_protocol.Flood.make ~base:1 ~ratio:1.5 ())
+        ~policy:prob
+        ~n:(if quick then 3 else 4)
+        ~seed ~max_rounds:600_000 ~stall:200_000 ();
+    ]
+  in
+  if not silent then Nfc_util.Table.print (rows_to_table rows);
+  rows

@@ -1,0 +1,35 @@
+(** E-TRANS — the paper's closing remark, executable: the results extend to
+    transport protocols over virtual links.
+
+    Four stacked scenarios, one table:
+
+    - a correct transport over a correct data link over nasty physical
+      channels works, at a multiplicative packet cost;
+    - a correct {e data link} rehabilitates the alternating bit one layer
+      up (the virtual link it provides is FIFO and exactly-once);
+    - over a virtual link whose data link is unsafe for its channels
+      (alternating bit over heavy reordering), the link itself degrades —
+      duplicated payloads and wedging — and no transport protocol can
+      complete over it;
+    - Flood over Flood compounds the exponential: physical packets are the
+      product of the per-layer blow-ups.
+
+    Modeling note (DESIGN.md, Substitutions): data-link messages are all
+    identical, so virtual-link payloads ride on delivery order; a degraded
+    link therefore manifests as duplication or wedging rather than as
+    observable reordering.  The quantitative conclusions (what composes,
+    what compounds) are unaffected. *)
+
+type row = {
+  stack : string;  (** "transport / data-link / channel" *)
+  delivered : int;
+  n : int;
+  transport_packets : int;
+  physical_packets : int;
+  verdict : string;
+}
+
+val rows_to_table : row list -> Nfc_util.Table.t
+
+(** Run the four scenarios; prints the table unless [silent]. *)
+val run : ?quick:bool -> ?silent:bool -> ?seed:int -> unit -> row list

@@ -1,0 +1,120 @@
+module Spec = Nfc_protocol.Spec
+
+type config = {
+  n_messages : int;
+  max_rounds : int;
+  seed : int;
+  submit_every : int;
+  stall_rounds : int;
+}
+
+let default_config =
+  { n_messages = 8; max_rounds = 200_000; seed = 1; submit_every = 3; stall_rounds = 30_000 }
+
+type result = {
+  submitted : int;
+  delivered : int;
+  rounds : int;
+  transport_packets : int;
+  physical_packets : int;
+  completed : bool;
+  transport_violation : string option;
+  link_degraded : string option;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>transport: %d/%d delivered in %d rounds (%s)@,\
+     packets: %d transport-level, %d physical-level%a%a@]"
+    r.delivered r.submitted r.rounds
+    (if r.completed then "complete" else "incomplete")
+    r.transport_packets r.physical_packets
+    (fun ppf -> function
+      | None -> ()
+      | Some v -> Format.fprintf ppf "@,TRANSPORT VIOLATION: %s" v)
+    r.transport_violation
+    (fun ppf -> function
+      | None -> ()
+      | Some v -> Format.fprintf ppf "@,virtual link degraded: %s" v)
+    r.link_degraded
+
+let run ~transport ~link config =
+  let module P = (val transport : Spec.S) in
+  let fwd = link ~seed:(config.seed * 2) in
+  let rev = link ~seed:((config.seed * 2) + 1) in
+  let sender = ref P.sender_init in
+  let receiver = ref P.receiver_init in
+  let dl = Nfc_sim.Dl_check.create () in
+  let submitted = ref 0 in
+  let delivered = ref 0 in
+  let transport_packets = ref 0 in
+  let rounds = ref 0 in
+  let last_progress = ref 0 in
+  let submit () =
+    ignore (Nfc_sim.Dl_check.on_action dl (Nfc_automata.Action.Send_msg !submitted));
+    incr submitted;
+    sender := P.on_submit !sender
+  in
+  let finished () =
+    Nfc_sim.Dl_check.violated dl <> None
+    || (!delivered >= config.n_messages && !submitted >= config.n_messages
+       && !rounds - !last_progress > 100 (* grace for late phantoms *))
+    || !rounds - !last_progress >= config.stall_rounds
+  in
+  while (not (finished ())) && !rounds < config.max_rounds do
+    if config.submit_every = 0 then begin
+      if !rounds = 0 then
+        for _ = 1 to config.n_messages do
+          submit ()
+        done
+    end
+    else if !submitted < config.n_messages && !rounds mod config.submit_every = 0 then
+      submit ();
+    (* Transport sender turn: its packets ride the forward vlink. *)
+    (match P.sender_poll !sender with
+    | Some pkt, s ->
+        sender := s;
+        incr transport_packets;
+        Vlink.send fwd pkt
+    | None, s -> sender := s);
+    (* Both vlinks advance. *)
+    Vlink.step fwd;
+    Vlink.step rev;
+    (* Forward deliveries feed the transport receiver. *)
+    (match Vlink.poll_delivery fwd with
+    | Some pkt -> receiver := P.on_data !receiver pkt
+    | None -> ());
+    (* Transport receiver turns. *)
+    for _ = 1 to 2 do
+      match P.receiver_poll !receiver with
+      | Some Spec.Rdeliver, r ->
+          receiver := r;
+          ignore (Nfc_sim.Dl_check.on_action dl (Nfc_automata.Action.Receive_msg !delivered));
+          incr delivered;
+          last_progress := !rounds
+      | Some (Spec.Rsend pkt), r ->
+          receiver := r;
+          incr transport_packets;
+          Vlink.send rev pkt
+      | None, r -> receiver := r
+    done;
+    (* Reverse deliveries feed the transport sender. *)
+    (match Vlink.poll_delivery rev with
+    | Some pkt -> sender := P.on_ack !sender pkt
+    | None -> ());
+    incr rounds
+  done;
+  {
+    submitted = !submitted;
+    delivered = !delivered;
+    rounds = !rounds;
+    transport_packets = !transport_packets;
+    physical_packets = Vlink.packets_used fwd + Vlink.packets_used rev;
+    completed =
+      Nfc_sim.Dl_check.violated dl = None
+      && !delivered = config.n_messages
+      && !submitted = config.n_messages;
+    transport_violation = Nfc_sim.Dl_check.violated dl;
+    link_degraded =
+      (match Vlink.degraded fwd with Some _ as v -> v | None -> Vlink.degraded rev);
+  }

@@ -1,0 +1,40 @@
+(** A transport layer stacked on virtual links.
+
+    The same protocol implementations ({!Nfc_protocol.Spec.S}) run
+    unchanged one layer up: the transport sender's packets travel through a
+    forward {!Vlink} (itself a complete data-link stack over physical
+    channels) and its acknowledgements through a reverse one.  DL1/DL2 are
+    checked at the transport layer, so a virtual link that degrades (its
+    data link was unsafe over its physical channels) surfaces as transport
+    misbehaviour — the paper's remark, executable.
+
+    Layer count is two here (transport over data link); the construction
+    composes, so deeper stacks are a fold over [run]'s link factory. *)
+
+type config = {
+  n_messages : int;
+  max_rounds : int;
+  seed : int;
+  submit_every : int;  (** 0 = all upfront *)
+  stall_rounds : int;
+}
+
+val default_config : config
+
+type result = {
+  submitted : int;
+  delivered : int;
+  rounds : int;
+  transport_packets : int;  (** packets the transport automata emitted *)
+  physical_packets : int;  (** packets the two vlinks put on real channels *)
+  completed : bool;
+  transport_violation : string option;  (** DL1/DL2 at the transport layer *)
+  link_degraded : string option;  (** either vlink's own verdict *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [run ~transport ~link config] — [link] builds one vlink per direction
+    (called twice, with distinct seeds derived from [config.seed]). *)
+val run :
+  transport:Nfc_protocol.Spec.t -> link:(seed:int -> Vlink.t) -> config -> result

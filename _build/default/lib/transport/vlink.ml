@@ -1,0 +1,104 @@
+module Policy = Nfc_channel.Policy
+module Transit = Nfc_channel.Transit
+module Spec = Nfc_protocol.Spec
+
+(* The data-link protocol's state types are existential; the vlink is a
+   record of closures over them (same technique as {!Nfc_core.Driver}). *)
+type t = {
+  f_send : int -> unit;
+  f_step : unit -> unit;
+  f_poll : unit -> int option;
+  f_packets : unit -> int;
+  f_submitted : unit -> int;
+  f_delivered : unit -> int;
+  f_degraded : unit -> string option;
+}
+
+let create ~protocol ~policy_tr ~policy_rt ~seed () =
+  let module P = (val protocol : Spec.S) in
+  let rng = Nfc_util.Rng.of_int seed in
+  let rng_tr = Nfc_util.Rng.split rng in
+  let rng_rt = Nfc_util.Rng.split rng in
+  let sender = ref P.sender_init in
+  let receiver = ref P.receiver_init in
+  let tr = Transit.create () in
+  let rt = Transit.create () in
+  let payloads_in = Queue.create () in
+  let payloads_out = Queue.create () in
+  let submitted = ref 0 in
+  let delivered = ref 0 in
+  let last_payload = ref None in
+  let degraded = ref None in
+  let degrade reason = if !degraded = None then degraded := Some reason in
+  let on_deliver () =
+    (* Pair the j-th data-link delivery with the j-th payload; a delivery
+       beyond the submitted payloads is a phantom: the link duplicates. *)
+    incr delivered;
+    match Queue.take_opt payloads_in with
+    | Some payload ->
+        last_payload := Some payload;
+        Queue.push payload payloads_out
+    | None -> (
+        degrade "phantom data-link delivery: virtual link duplicated a payload";
+        match !last_payload with
+        | Some payload -> Queue.push payload payloads_out
+        | None -> () (* phantom before any payload: nothing to duplicate *))
+  in
+  let process_tr events =
+    List.iter
+      (function
+        | Policy.Delivered (_, pkt) -> receiver := P.on_data !receiver pkt
+        | Policy.Dropped (_, _) -> ())
+      events
+  in
+  let process_rt events =
+    List.iter
+      (function
+        | Policy.Delivered (_, pkt) -> sender := P.on_ack !sender pkt
+        | Policy.Dropped (_, _) -> ())
+      events
+  in
+  let f_send payload =
+    Queue.push payload payloads_in;
+    incr submitted;
+    sender := P.on_submit !sender
+  in
+  let f_step () =
+    (match P.sender_poll !sender with
+    | Some pkt, s ->
+        sender := s;
+        let tag = Transit.send tr pkt in
+        process_tr (policy_tr.Policy.on_send rng_tr tr ~tag ~pkt)
+    | None, s -> sender := s);
+    process_tr (policy_tr.Policy.on_poll rng_tr tr);
+    for _ = 1 to 2 do
+      match P.receiver_poll !receiver with
+      | Some Spec.Rdeliver, r ->
+          receiver := r;
+          on_deliver ()
+      | Some (Spec.Rsend pkt), r ->
+          receiver := r;
+          let tag = Transit.send rt pkt in
+          process_rt (policy_rt.Policy.on_send rng_rt rt ~tag ~pkt)
+      | None, r -> receiver := r
+    done;
+    process_rt (policy_rt.Policy.on_poll rng_rt rt)
+  in
+  let f_poll () = Queue.take_opt payloads_out in
+  {
+    f_send;
+    f_step;
+    f_poll;
+    f_packets = (fun () -> Transit.sent_total tr + Transit.sent_total rt);
+    f_submitted = (fun () -> !submitted);
+    f_delivered = (fun () -> !delivered);
+    f_degraded = (fun () -> !degraded);
+  }
+
+let send t payload = t.f_send payload
+let step t = t.f_step ()
+let poll_delivery t = t.f_poll ()
+let packets_used t = t.f_packets ()
+let submitted t = t.f_submitted ()
+let delivered t = t.f_delivered ()
+let degraded t = t.f_degraded ()

@@ -1,0 +1,51 @@
+(** Virtual links: a data link protocol instance, packaged as a channel.
+
+    The paper's final remark extends its results from the data link layer
+    to the {e transport layer} over "non-FIFO virtual links": a virtual
+    link is whatever service a (possibly imperfect) lower layer actually
+    provides.  A [Vlink.t] runs one complete data-link stack — sender and
+    receiver automata plus two physical channels — and exposes a
+    message-in/message-out interface suitable for carrying a higher
+    layer's packets.
+
+    Payloads ride on delivery {e order}: the paper's data link messages are
+    all identical, so the vlink queues submitted payloads at its sending
+    end and pairs the j-th data-link delivery with the j-th payload.  With
+    a correct protocol underneath (DL1–DL3) this is exact; with an unsafe
+    protocol a phantom delivery surfaces as a {e duplicate} of the most
+    recent payload and a reordering failure scrambles the pairing — i.e.
+    the virtual link is then itself non-FIFO, which is precisely the
+    situation the remark is about. *)
+
+type t
+
+(** [create ~protocol ~policy_tr ~policy_rt ~seed ()] assembles one
+    unidirectional virtual link. *)
+val create :
+  protocol:Nfc_protocol.Spec.t ->
+  policy_tr:Nfc_channel.Policy.t ->
+  policy_rt:Nfc_channel.Policy.t ->
+  seed:int ->
+  unit ->
+  t
+
+(** Submit a payload at the transmitting end. *)
+val send : t -> int -> unit
+
+(** Advance the underlying data-link simulation by one scheduler round. *)
+val step : t -> unit
+
+(** Next payload delivered at the receiving end, if any. *)
+val poll_delivery : t -> int option
+
+(** Physical packets sent underneath so far (both directions). *)
+val packets_used : t -> int
+
+(** Payloads submitted / delivered so far. *)
+val submitted : t -> int
+
+val delivered : t -> int
+
+(** Whether the underlying data link has violated DL1/DL2 (the virtual
+    link stopped being FIFO/exactly-once). *)
+val degraded : t -> string option

@@ -1,0 +1,40 @@
+type linear = { slope : float; intercept : float; r2 : float }
+
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let geometric_mean l =
+  let logs = List.map log l in
+  exp (mean logs)
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Fit.linear: need at least two points";
+  let xs = List.map fst points and ys = List.map snd points in
+  let mx = mean xs and my = mean ys in
+  let sxx = List.fold_left (fun acc x -> acc +. ((x -. mx) *. (x -. mx))) 0.0 xs in
+  if sxx = 0.0 then invalid_arg "Fit.linear: all x equal";
+  let sxy =
+    List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0.0 points
+  in
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. my) *. (y -. my))) 0.0 ys in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        acc +. (e *. e))
+      0.0 points
+  in
+  let r2 = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept; r2 }
+
+type growth = { rate : float; scale : float; log_r2 : float }
+
+let exponential points =
+  let usable = List.filter (fun (_, y) -> y > 0.0) points in
+  let logged = List.map (fun (x, y) -> (x, log y)) usable in
+  let { slope; intercept; r2 } = linear logged in
+  { rate = exp slope; scale = exp intercept; log_r2 = r2 }

@@ -1,0 +1,31 @@
+(** Least-squares curve fitting for experiment analysis.
+
+    Theorem 4.1's experiment needs a linear fit (cost vs. backlog) and
+    Theorem 5.1's needs an exponential-growth fit (log packets vs. messages,
+    whose slope exponentiates to the per-message growth factor compared
+    against 1+q). *)
+
+type linear = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination; 1.0 = perfect fit *)
+}
+
+(** [linear points] fits y = slope*x + intercept.
+    Requires at least two points with distinct x; raises [Invalid_argument]
+    otherwise. *)
+val linear : (float * float) list -> linear
+
+type growth = {
+  rate : float;  (** per-unit-x multiplicative growth factor *)
+  scale : float;  (** value at x = 0 *)
+  log_r2 : float;
+}
+
+(** [exponential points] fits y = scale * rate^x by linear regression on
+    log y.  Points with y <= 0 are dropped; requires two surviving points
+    with distinct x. *)
+val exponential : (float * float) list -> growth
+
+val mean : float list -> float
+val geometric_mean : float list -> float

@@ -1,0 +1,119 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val add : ?count:int -> elt -> t -> t
+  val remove_one : elt -> t -> t option
+  val remove_all : elt -> t -> t
+  val count : elt -> t -> int
+  val mem : elt -> t -> bool
+  val cardinal : t -> int
+  val distinct : t -> int
+  val support : t -> elt list
+  val to_list : t -> elt list
+  val of_list : elt list -> t
+  val union : t -> t -> t
+  val diff : t -> t -> t
+  val subset : t -> t -> bool
+  val fold : (elt -> int -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (elt -> int -> unit) -> t -> unit
+  val max_multiplicity : t -> (elt * int) option
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val nth : t -> int -> elt
+end
+
+module Make (Ord : ORDERED) : S with type elt = Ord.t = struct
+  module M = Map.Make (Ord)
+
+  type elt = Ord.t
+
+  (* Invariant: every stored multiplicity is >= 1; [card] caches the total. *)
+  type t = { map : int M.t; card : int }
+
+  let empty = { map = M.empty; card = 0 }
+  let is_empty t = t.card = 0
+
+  let add ?(count = 1) x t =
+    if count < 0 then invalid_arg "Multiset.add: negative count";
+    if count = 0 then t
+    else
+      let map =
+        M.update x (function None -> Some count | Some c -> Some (c + count)) t.map
+      in
+      { map; card = t.card + count }
+
+  let count x t = match M.find_opt x t.map with None -> 0 | Some c -> c
+  let mem x t = M.mem x t.map
+
+  let remove_one x t =
+    match M.find_opt x t.map with
+    | None -> None
+    | Some 1 -> Some { map = M.remove x t.map; card = t.card - 1 }
+    | Some c -> Some { map = M.add x (c - 1) t.map; card = t.card - 1 }
+
+  let remove_all x t =
+    match M.find_opt x t.map with
+    | None -> t
+    | Some c -> { map = M.remove x t.map; card = t.card - c }
+
+  let cardinal t = t.card
+  let distinct t = M.cardinal t.map
+  let support t = M.fold (fun x _ acc -> x :: acc) t.map [] |> List.rev
+
+  let to_list t =
+    M.fold (fun x c acc -> List.rev_append (List.init c (fun _ -> x)) acc) t.map []
+    |> List.rev
+
+  let of_list l = List.fold_left (fun t x -> add x t) empty l
+  let union a b = M.fold (fun x c t -> add ~count:c x t) b.map a
+
+  let diff a b =
+    M.fold
+      (fun x cb t ->
+        let ca = count x t in
+        if ca = 0 then t
+        else
+          let keep = max 0 (ca - cb) in
+          let map = if keep = 0 then M.remove x t.map else M.add x keep t.map in
+          { map; card = t.card - (ca - keep) })
+      b.map a
+
+  let subset a b = M.for_all (fun x c -> count x b >= c) a.map
+  let fold f t acc = M.fold f t.map acc
+  let iter f t = M.iter f t.map
+
+  let max_multiplicity t =
+    M.fold
+      (fun x c best ->
+        match best with Some (_, c') when c' >= c -> best | _ -> Some (x, c))
+      t.map None
+
+  let equal a b = a.card = b.card && M.equal Stdlib.Int.equal a.map b.map
+  let compare a b = M.compare Stdlib.Int.compare a.map b.map
+
+  let nth t i =
+    if i < 0 || i >= t.card then invalid_arg "Multiset.nth: out of bounds";
+    let exception Found of elt in
+    try
+      let _ =
+        M.fold (fun x c seen -> if seen + c > i then raise (Found x) else seen + c) t.map 0
+      in
+      assert false
+    with Found x -> x
+end
+
+module Int = Make (Stdlib.Int)
+
+let pp_int ppf (t : Int.t) =
+  let items = Int.fold (fun x c acc -> (x, c) :: acc) t [] |> List.rev in
+  let pp_item ppf (x, c) = Format.fprintf ppf "%d^%d" x c in
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_item) items

@@ -1,0 +1,81 @@
+(** Immutable multisets (bags).
+
+    The non-FIFO physical channel of the paper is, semantically, a multiset
+    of packets in transit: order carries no information, multiplicity does.
+    This module provides the persistent multiset used by the model checker
+    and the adversary constructions, as a functor over ordered element types
+    plus a ready-made instance for [int] packets. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+
+  (** [add ?count x t] inserts [count] (default 1) copies of [x].
+      Raises [Invalid_argument] if [count < 0]. *)
+  val add : ?count:int -> elt -> t -> t
+
+  (** [remove_one x t] removes one copy of [x], or returns [None] if no copy
+      is present. *)
+  val remove_one : elt -> t -> t option
+
+  (** [remove_all x t] removes every copy of [x]. *)
+  val remove_all : elt -> t -> t
+
+  (** [count x t] is the multiplicity of [x]. *)
+  val count : elt -> t -> int
+
+  val mem : elt -> t -> bool
+
+  (** Total number of copies, all elements included. *)
+  val cardinal : t -> int
+
+  (** Number of distinct elements. *)
+  val distinct : t -> int
+
+  (** Distinct elements in increasing order. *)
+  val support : t -> elt list
+
+  (** All copies, in increasing element order. *)
+  val to_list : t -> elt list
+
+  val of_list : elt list -> t
+
+  (** Multiset union: multiplicities add. *)
+  val union : t -> t -> t
+
+  (** Multiset difference: multiplicities subtract, floored at zero. *)
+  val diff : t -> t -> t
+
+  (** [subset a b] iff every multiplicity in [a] is at most that in [b]. *)
+  val subset : t -> t -> bool
+
+  val fold : (elt -> int -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (elt -> int -> unit) -> t -> unit
+
+  (** Element with the largest multiplicity, with that multiplicity. *)
+  val max_multiplicity : t -> (elt * int) option
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  (** [nth t i] is the [i]-th copy in increasing element order,
+      [0 <= i < cardinal t].  Used for uniform random choice of an
+      in-transit packet. *)
+  val nth : t -> int -> elt
+end
+
+module Make (Ord : ORDERED) : S with type elt = Ord.t
+
+(** Multisets of [int] packets. *)
+module Int : S with type elt = int
+
+val pp_int : Format.formatter -> Int.t -> unit

@@ -1,0 +1,82 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9e3779b97f4a7c15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  (* The gamma-mixing variant: seed the child from one output, so parent and
+     child streams do not overlap. *)
+  let seed = next_int64 t in
+  create (mix (Int64.logxor seed 0x5851f42d4c957f2dL))
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if n <= 1 lsl 30 then begin
+    (* Rejection sampling for exact uniformity. *)
+    let rec draw () =
+      let r = bits t in
+      let v = r mod n in
+      if r - v + (n - 1) < 0 then draw () else v
+    in
+    draw ()
+  end
+  else begin
+    let mask = 0x3FFFFFFFFFFFFFFFL in
+    let rec draw () =
+      let r = Int64.to_int (Int64.logand (next_int64 t) mask) in
+      let v = r mod n in
+      if r - v + (n - 1) < 0 then draw () else v
+    in
+    draw ()
+  end
+
+let float t x =
+  (* 53 uniform bits in the mantissa. *)
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  x *. (r /. 9007199254740992.0)
+
+let bool t p = if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let pick t l =
+  match l with
+  | [] -> None
+  | l -> Some (List.nth l (int t (List.length l)))
+
+let pick_weighted t l =
+  let positive = List.filter (fun (w, _) -> w > 0.0) l in
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 positive in
+  if total <= 0.0 then None
+  else begin
+    let target = float t total in
+    let rec go acc = function
+      | [] -> None
+      | [ (_, v) ] -> Some v
+      | (w, v) :: rest -> if acc +. w > target then Some v else go (acc +. w) rest
+    in
+    go 0.0 positive
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,64 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+let cell_sci f = Printf.sprintf "%.2e" f
+
+let widths t =
+  let rows = List.rev t.rows in
+  List.mapi
+    (fun i (header, _) ->
+      List.fold_left
+        (fun acc row -> max acc (String.length (List.nth row i)))
+        (String.length header) rows)
+    t.columns
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else match align with Left -> s ^ String.make n ' ' | Right -> String.make n ' ' ^ s
+
+let render t =
+  let ws = widths t in
+  let aligns = List.map snd t.columns in
+  let buf = Buffer.create 256 in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') ws) ^ "+"
+  in
+  let render_row cells =
+    let padded =
+      List.map2 (fun (w, a) c -> " " ^ pad a w c ^ " ") (List.combine ws aligns) cells
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  if t.title <> "" then Buffer.add_string buf (t.title ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (render_row (List.map fst t.columns) ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) (List.rev t.rows);
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  String.concat "\n" (line (List.map fst t.columns) :: List.rev_map line t.rows)
+
+let print t = print_endline (render t)

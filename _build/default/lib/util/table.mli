@@ -1,0 +1,34 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every experiment driver prints its results as an aligned text table (and
+    optionally CSV), mirroring how the paper's results would appear as
+    tables. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title ~columns] starts an empty table.  [columns] gives header
+    text and alignment per column. *)
+val create : title:string -> columns:(string * align) list -> t
+
+(** [add_row t cells] appends a row.  Raises [Invalid_argument] if the cell
+    count differs from the column count. *)
+val add_row : t -> string list -> unit
+
+(** Convenience cell formatters. *)
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+
+(** Scientific notation with 3 significant digits, e.g. ["1.23e+09"]. *)
+val cell_sci : float -> string
+
+(** Render with box-drawing rules, title on top. *)
+val render : t -> string
+
+(** Render as CSV (no title). *)
+val to_csv : t -> string
+
+(** [print t] renders to stdout followed by a newline. *)
+val print : t -> unit

@@ -1,0 +1,1 @@
+test/test_automata.ml: Action Alcotest Automaton Composition Execution List Nfc_automata Nfc_sim Nfc_util Props QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_boundness_def.ml: Alcotest Boundness_def Bounds Format List Nfc_core Nfc_protocol String Theory

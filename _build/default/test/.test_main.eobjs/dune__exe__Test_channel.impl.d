@@ -1,0 +1,1 @@
+test/test_channel.ml: Action Alcotest Array Fun List Nfc_automata Nfc_channel Nfc_util Pl_check Policy Props QCheck QCheck_alcotest Transit

@@ -1,0 +1,1 @@
+test/test_core.ml: Adversary_m Adversary_p Alcotest Bounds Driver Experiments Fun List Nfc_automata Nfc_core Nfc_protocol Nfc_stats Nfc_util Printf Prob_experiment String Sys Unix

@@ -1,0 +1,1 @@
+test/test_edge.ml: Action Alcotest Execution Filename Fun List Nfc_automata Nfc_channel Nfc_protocol Nfc_sim Nfc_transport Nfc_util Props QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest List Nfc_channel Nfc_protocol Nfc_sim Printf String

@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Alcotest Boundness Explore Format List Nfc_automata Nfc_mcheck Nfc_protocol Nfc_sim

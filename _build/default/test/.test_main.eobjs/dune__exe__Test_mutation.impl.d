@@ -1,0 +1,1 @@
+test/test_mutation.ml: Action Alcotest Format List Nfc_automata Nfc_channel Nfc_core Nfc_mcheck Nfc_protocol Nfc_sim Props QCheck QCheck_alcotest String

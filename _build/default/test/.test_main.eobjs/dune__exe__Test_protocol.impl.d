@@ -1,0 +1,1 @@
+test/test_protocol.ml: Afek3 Alcotest Alternating_bit Flood Go_back_n List Nfc_channel Nfc_protocol Nfc_sim QCheck QCheck_alcotest Registry Result Selective_repeat Spec Stenning Stop_and_wait

@@ -1,0 +1,1 @@
+test/test_sim.ml: Action Alcotest Array Dl_check Execution Format Harness List Metrics Nfc_automata Nfc_channel Nfc_protocol Nfc_sim Props QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Binomial Gen Hoeffding List Nfc_stats Nfc_util QCheck QCheck_alcotest Summary

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Experiment List Nfc_channel Nfc_protocol Nfc_transport Stack String Vlink

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Deque Fit Fun List Multiset Nfc_util QCheck QCheck_alcotest Rng String Table

@@ -1,0 +1,242 @@
+(* Tests for Nfc_automata: Action, Execution counters (Definition 2),
+   Props (DL1-DL3, PL1, semi-validity), Automaton, Composition. *)
+open Nfc_automata
+open Action
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* A small well-formed execution: two messages, each one packet + ack. *)
+let happy_two =
+  [
+    Send_msg 0;
+    Send_pkt (T_to_r, 0);
+    Receive_pkt (T_to_r, 0);
+    Receive_msg 0;
+    Send_pkt (R_to_t, 2);
+    Receive_pkt (R_to_t, 2);
+    Send_msg 1;
+    Send_pkt (T_to_r, 1);
+    Receive_pkt (T_to_r, 1);
+    Receive_msg 1;
+  ]
+
+(* ----------------------------------------------------------- Execution *)
+
+let test_counters () =
+  checki "sm" 2 (Execution.sm happy_two);
+  checki "rm" 2 (Execution.rm happy_two);
+  checki "sp tr" 2 (Execution.sp T_to_r happy_two);
+  checki "rp tr" 2 (Execution.rp T_to_r happy_two);
+  checki "sp rt" 1 (Execution.sp R_to_t happy_two);
+  checki "rp rt" 1 (Execution.rp R_to_t happy_two);
+  checki "outstanding" 0 (Execution.outstanding T_to_r happy_two)
+
+let test_outstanding_and_transit () =
+  let t = [ Send_pkt (T_to_r, 5); Send_pkt (T_to_r, 5); Receive_pkt (T_to_r, 5) ] in
+  checki "outstanding 1" 1 (Execution.outstanding T_to_r t);
+  let m = Execution.in_transit T_to_r t in
+  checki "one copy of 5" 1 (Nfc_util.Multiset.Int.count 5 m)
+
+let test_drop_counts () =
+  let t = [ Send_pkt (T_to_r, 1); Drop_pkt (T_to_r, 1) ] in
+  checki "dp" 1 (Execution.dp T_to_r t);
+  checki "outstanding 0" 0 (Execution.outstanding T_to_r t)
+
+let test_prefixes () =
+  let t = [ Send_msg 0; Receive_msg 0 ] in
+  checki "3 prefixes" 3 (List.length (Execution.prefixes t))
+
+let test_restrict () =
+  let only_msgs =
+    Execution.restrict
+      (function Send_msg _ | Receive_msg _ -> true | _ -> false)
+      happy_two
+  in
+  checki "4 message actions" 4 (List.length only_msgs)
+
+(* ---------------------------------------------------------------- Props *)
+
+let test_dl1_ok () = checkb "happy is DL1" true (Props.dl1 happy_two = None)
+
+let test_dl1_never_sent () =
+  let t = [ Receive_msg 0 ] in
+  match Props.dl1 t with
+  | Some v -> checkb "reason" true (v.reason = "delivered a message never sent")
+  | None -> Alcotest.fail "should violate DL1"
+
+let test_dl1_duplicate () =
+  let t = [ Send_msg 0; Receive_msg 0; Receive_msg 0 ] in
+  match Props.dl1 t with
+  | Some v -> checki "at index 2" 2 v.index
+  | None -> Alcotest.fail "duplicate not caught"
+
+let test_dl2_order () =
+  let t = [ Send_msg 0; Send_msg 1; Receive_msg 1; Receive_msg 0 ] in
+  checkb "dl1 fine" true (Props.dl1 t = None);
+  checkb "dl2 violated" true (Props.dl2 t <> None)
+
+let test_dl3_complete () =
+  checkb "happy complete" true (Props.dl3_complete happy_two);
+  checkb "missing delivery" false (Props.dl3_complete [ Send_msg 0 ])
+
+let test_valid () =
+  checkb "happy valid" true (Props.valid happy_two);
+  checkb "incomplete invalid" false (Props.valid [ Send_msg 0 ])
+
+let test_semi_valid () =
+  (* Valid prefix + one pending submission. *)
+  let t = happy_two @ [ Send_msg 2; Send_pkt (T_to_r, 2) ] in
+  checkb "semi-valid" true (Props.semi_valid t);
+  checkb "empty not semi-valid" false (Props.semi_valid []);
+  (* Two pending submissions: not semi-valid. *)
+  let t2 = happy_two @ [ Send_msg 2; Send_msg 3 ] in
+  checkb "two pending" false (Props.semi_valid t2);
+  (* Definition 4 allows alpha_2's message to have been delivered already:
+     a valid execution with at least one submission is semi-valid. *)
+  checkb "valid with a submission is semi-valid" true (Props.semi_valid happy_two)
+
+let test_invalid_phantom () =
+  let t = [ Send_msg 0; Receive_msg 0; Receive_msg 1 ] in
+  (match Props.invalid_phantom t with
+  | Some v -> checki "phantom at 2" 2 v.index
+  | None -> Alcotest.fail "phantom not caught");
+  checkb "happy has none" true (Props.invalid_phantom happy_two = None)
+
+let test_pl1_ok_and_violations () =
+  checkb "happy PL1 tr" true (Props.pl1 T_to_r happy_two = None);
+  checkb "happy PL1 rt" true (Props.pl1 R_to_t happy_two = None);
+  let dup = [ Send_pkt (T_to_r, 0); Receive_pkt (T_to_r, 0); Receive_pkt (T_to_r, 0) ] in
+  checkb "duplication caught" true (Props.pl1 T_to_r dup <> None);
+  let phantom_drop = [ Drop_pkt (T_to_r, 0) ] in
+  checkb "drop of nothing caught" true (Props.pl1 T_to_r phantom_drop <> None);
+  (* Wrong direction does not interfere. *)
+  let cross = [ Send_pkt (T_to_r, 0); Receive_pkt (R_to_t, 0) ] in
+  checkb "cross-direction receive caught" true (Props.pl1 R_to_t cross <> None)
+
+let test_pl2_window () =
+  let starved = List.init 10 (fun _ -> Send_pkt (T_to_r, 0)) in
+  checkb "starvation flagged" true (Props.pl2_window ~window:10 T_to_r starved <> None);
+  checkb "under window fine" true (Props.pl2_window ~window:11 T_to_r starved = None);
+  let with_delivery =
+    List.concat [ starved; [ Receive_pkt (T_to_r, 0) ]; starved ]
+  in
+  checkb "delivery resets" true (Props.pl2_window ~window:11 T_to_r with_delivery = None)
+
+(* Property: Dl_check (online) agrees with Props (declarative) on random
+   message-action traces. *)
+let msg_trace_gen =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map Action.to_string l))
+    QCheck.Gen.(
+      list_size (int_range 0 40)
+        (oneof
+           [
+             map (fun i -> Send_msg i) (int_bound 5);
+             map (fun i -> Receive_msg i) (int_bound 5);
+           ]))
+
+let prop_online_matches_declarative =
+  QCheck.Test.make ~name:"online DL checker = declarative DL1/DL2" ~count:500 msg_trace_gen
+    (fun t ->
+      let online = Nfc_sim.Dl_check.create () in
+      let rec feed = function
+        | [] -> None
+        | a :: rest -> (
+            match Nfc_sim.Dl_check.on_action online a with
+            | Some _ as v -> v
+            | None -> feed rest)
+      in
+      let online_verdict = feed t = None in
+      let declarative_verdict = Props.dl1 t = None && Props.dl2 t = None in
+      online_verdict = declarative_verdict)
+
+(* ------------------------------------------------------------ Automaton *)
+
+(* A counter automaton: input Inc, output Emit when counter = 3. *)
+type cact = Inc | Emit
+
+let counter_automaton : (int, cact) Automaton.t =
+  {
+    name = "counter";
+    initial = 0;
+    classify = (function Inc -> Some Automaton.Input | Emit -> Some Automaton.Output);
+    apply_input = (fun s -> function Inc -> s + 1 | Emit -> s);
+    enabled = (fun s -> if s >= 3 then [ (Emit, 0) ] else []);
+  }
+
+let test_automaton_step () =
+  checkb "input accepted" true (Automaton.step counter_automaton 0 Inc = Some 1);
+  checkb "output disabled" true (Automaton.step counter_automaton 0 Emit = None);
+  checkb "output enabled" true (Automaton.step counter_automaton 3 Emit = Some 0)
+
+let test_automaton_run () =
+  match Automaton.run counter_automaton [ Inc; Inc; Inc; Emit; Inc ] with
+  | Ok s -> checki "final" 1 s
+  | Error _ -> Alcotest.fail "run refused a legal trace"
+
+let test_automaton_run_refuses () =
+  match Automaton.run counter_automaton [ Inc; Emit ] with
+  | Error (1, Emit) -> ()
+  | _ -> Alcotest.fail "expected refusal at action 1"
+
+let sink_automaton : (int, cact) Automaton.t =
+  {
+    name = "sink";
+    initial = 0;
+    classify = (function Emit -> Some Automaton.Input | Inc -> None);
+    apply_input = (fun s -> function Emit -> s + 1 | Inc -> s);
+    enabled = (fun _ -> []);
+  }
+
+let test_composition_synchronises () =
+  let c = Composition.compose ~probe:[ Inc; Emit ] counter_automaton sink_automaton in
+  match Automaton.run c [ Inc; Inc; Inc; Emit ] with
+  | Ok (0, 1) -> ()
+  | Ok _ -> Alcotest.fail "wrong composite state"
+  | Error _ -> Alcotest.fail "composition refused legal trace"
+
+let test_composition_rejects_output_clash () =
+  Alcotest.check_raises "both output Emit"
+    (Invalid_argument
+       "Composition.compose: counter and counter have incompatible signatures") (fun () ->
+      ignore (Composition.compose ~probe:[ Emit ] counter_automaton counter_automaton))
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_figure_1_renders () =
+  let s = Composition.figure_1 () in
+  checkb "mentions A^t" true (contains_substring s "A^t");
+  checkb "mentions forward channel" true (contains_substring s "PL^{t->r}");
+  checkb "mentions data link" true (contains_substring s "data link layer")
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_online_matches_declarative ]
+
+let suite =
+  [
+    ("counters (Definition 2)", `Quick, test_counters);
+    ("outstanding and in_transit", `Quick, test_outstanding_and_transit);
+    ("drop counts", `Quick, test_drop_counts);
+    ("prefixes", `Quick, test_prefixes);
+    ("restrict", `Quick, test_restrict);
+    ("DL1 ok", `Quick, test_dl1_ok);
+    ("DL1 never sent", `Quick, test_dl1_never_sent);
+    ("DL1 duplicate", `Quick, test_dl1_duplicate);
+    ("DL2 order", `Quick, test_dl2_order);
+    ("DL3 complete", `Quick, test_dl3_complete);
+    ("valid (Definition 3)", `Quick, test_valid);
+    ("semi-valid (Definition 4)", `Quick, test_semi_valid);
+    ("invalid phantom", `Quick, test_invalid_phantom);
+    ("PL1", `Quick, test_pl1_ok_and_violations);
+    ("PL2 window", `Quick, test_pl2_window);
+    ("automaton step", `Quick, test_automaton_step);
+    ("automaton run", `Quick, test_automaton_run);
+    ("automaton run refuses", `Quick, test_automaton_run_refuses);
+    ("composition synchronises", `Quick, test_composition_synchronises);
+    ("composition rejects clash", `Quick, test_composition_rejects_output_clash);
+    ("figure 1 renders", `Quick, test_figure_1_renders);
+  ]
+  @ qsuite

@@ -1,0 +1,105 @@
+(* Tests for Nfc_core.Boundness_def (Definitions 5/6 executable) and
+   Nfc_core.Theory. *)
+open Nfc_core
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let report ?(samples = 15) ?(seed = 3) proto =
+  Boundness_def.sample_extensions ~samples ~seed proto
+
+let test_samples_collected () =
+  let r = report (Nfc_protocol.Stenning.make ()) in
+  checki "requested samples" 15 (List.length r.Boundness_def.samples);
+  checkb "protocol named" true (r.Boundness_def.protocol = "stenning");
+  List.iter
+    (fun (s : Boundness_def.sample) ->
+      checkb "sm positive" true (s.sm >= 1);
+      checkb "backlog non-negative" true (s.backlog >= 0))
+    r.Boundness_def.samples
+
+let test_stenning_constant_bounded () =
+  let r = report (Nfc_protocol.Stenning.make ()) in
+  (* Stenning completes any pending message with at most a couple of fresh
+     sends: M_f-bounded for constant f — possible only because its headers
+     grow (Theorem 3.1's contrapositive). *)
+  checkb "M_4-bounded" true (Boundness_def.respects_m ~f:(fun _ -> 4) r);
+  checkb "P_const-bounded" true (Boundness_def.respects_p ~f:(fun _ -> 4) r)
+
+let test_selective_repeat_constant_bounded () =
+  let r = report (Nfc_protocol.Selective_repeat.make ()) in
+  checkb "M_4-bounded" true (Boundness_def.respects_m ~f:(fun _ -> 4) r)
+
+let test_flood_needs_exponential_f () =
+  let r = report (Nfc_protocol.Flood.make ~base:1 ~ratio:2.0 ()) in
+  (* Not constant-bounded: the threshold schedule grows. *)
+  checkb "refutes constant f" false (Boundness_def.respects_m ~f:(fun _ -> 4) r);
+  (match Boundness_def.refutation_m ~f:(fun _ -> 4) r with
+  | Some s -> checkb "refutation sample is expensive or wedged" true
+      (match s.cost with None -> true | Some c -> c > 4)
+  | None -> Alcotest.fail "expected a refutation sample");
+  (* But M_f-bounded for an exponential f — the AFWZ profile. *)
+  checkb "respects exponential f" true
+    (Boundness_def.respects_m ~f:(fun n -> Bounds.sat_pow 2 (n + 2)) r);
+  (* And not P_f-bounded for a linear f: its schedule tracks messages, not
+     backlog (the distinction Definitions 5 and 6 draw). *)
+  checkb "refutes linear-in-backlog f" false
+    (Boundness_def.respects_p ~f:(fun l -> (4 * l) + 8) r)
+
+let test_refutation_agrees_with_respects () =
+  let r = report (Nfc_protocol.Flood.make ~base:1 ~ratio:2.0 ()) in
+  let f _ = 4 in
+  checkb "refutation iff not respects" true
+    (Boundness_def.respects_m ~f r = (Boundness_def.refutation_m ~f r = None))
+
+let test_deterministic () =
+  let a = report (Nfc_protocol.Stenning.make ()) in
+  let b = report (Nfc_protocol.Stenning.make ()) in
+  checkb "same seed same samples" true (a = b)
+
+let test_pp_renders () =
+  let r = report ~samples:3 (Nfc_protocol.Stenning.make ()) in
+  let s = Format.asprintf "%a" Boundness_def.pp_report r in
+  checkb "mentions protocol" true (String.length s > 10)
+
+(* ---------------------------------------------------------------- Theory *)
+
+let test_theory_complete () =
+  checki "seven results" 7 (List.length Theory.all);
+  List.iter
+    (fun (t : Theory.t) ->
+      checkb (t.id ^ " has statement") true (String.length t.statement > 50);
+      checkb (t.id ^ " has command") true (String.length t.command > 0);
+      checkb (t.id ^ " has modules") true (t.modules <> []))
+    Theory.all
+
+let test_theory_find () =
+  checkb "finds 3.1" true (Theory.find "Theorem 3.1" <> None);
+  checkb "misses junk" true (Theory.find "Theorem 9.9" = None)
+
+let test_theory_ids_unique () =
+  let ids = List.map (fun (t : Theory.t) -> t.id) Theory.all in
+  checki "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let test_theory_experiments_match_design () =
+  (* Every experiment id referenced must be one DESIGN.md section 4 knows. *)
+  let known = [ "E-T21"; "E-T31"; "E-LMF"; "E-T41"; "E-T51"; "E-TRANS"; "(support)" ] in
+  List.iter
+    (fun (t : Theory.t) ->
+      checkb (t.id ^ " experiment known") true (List.mem t.experiment known))
+    Theory.all
+
+let suite =
+  [
+    ("samples collected", `Quick, test_samples_collected);
+    ("stenning constant bounded", `Quick, test_stenning_constant_bounded);
+    ("selective repeat constant bounded", `Quick, test_selective_repeat_constant_bounded);
+    ("flood needs exponential f", `Quick, test_flood_needs_exponential_f);
+    ("refutation agrees", `Quick, test_refutation_agrees_with_respects);
+    ("deterministic", `Quick, test_deterministic);
+    ("pp renders", `Quick, test_pp_renders);
+    ("theory complete", `Quick, test_theory_complete);
+    ("theory find", `Quick, test_theory_find);
+    ("theory ids unique", `Quick, test_theory_ids_unique);
+    ("theory experiments known", `Quick, test_theory_experiments_match_design);
+  ]

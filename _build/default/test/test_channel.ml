@@ -1,0 +1,357 @@
+(* Tests for Nfc_channel: Transit, Policy, Pl_check. *)
+open Nfc_channel
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* -------------------------------------------------------------- Transit *)
+
+let test_transit_send_counts () =
+  let t = Transit.create () in
+  let tag0 = Transit.send t 5 in
+  let tag1 = Transit.send t 5 in
+  let tag2 = Transit.send t 7 in
+  checki "tags consecutive" 1 (tag1 - tag0);
+  checki "tag2" 2 tag2;
+  checki "in transit" 3 (Transit.in_transit t);
+  checki "count 5" 2 (Transit.count t 5);
+  checki "sent total" 3 (Transit.sent_total t);
+  checki "distinct sent" 2 (Transit.distinct_sent t);
+  Alcotest.(check (list int)) "support" [ 5; 7 ] (Transit.support t)
+
+let test_transit_deliver_oldest_fifo () =
+  let t = Transit.create () in
+  ignore (Transit.send t 1);
+  ignore (Transit.send t 2);
+  ignore (Transit.send t 3);
+  (match Transit.deliver_oldest t with
+  | Some (_, 1) -> ()
+  | _ -> Alcotest.fail "expected packet 1 first");
+  (match Transit.deliver_oldest t with
+  | Some (_, 2) -> ()
+  | _ -> Alcotest.fail "expected packet 2 second");
+  checki "delivered" 2 (Transit.delivered_total t);
+  checki "left" 1 (Transit.in_transit t)
+
+let test_transit_deliver_pkt_oldest_copy () =
+  let t = Transit.create () in
+  let tag0 = Transit.send t 9 in
+  let _tag1 = Transit.send t 9 in
+  (match Transit.deliver_pkt t 9 with
+  | Some tag -> checki "oldest copy first" tag0 tag
+  | None -> Alcotest.fail "deliver_pkt failed");
+  checkb "absent pkt" true (Transit.deliver_pkt t 1 = None)
+
+let test_transit_deliver_tag () =
+  let t = Transit.create () in
+  let tag = Transit.send t 4 in
+  checkb "tag delivered" true (Transit.deliver_tag t tag = Some 4);
+  checkb "tag consumed" true (Transit.deliver_tag t tag = None);
+  checki "empty" 0 (Transit.in_transit t)
+
+let test_transit_no_duplication () =
+  (* PL1: a copy can be consumed exactly once, through any access path. *)
+  let t = Transit.create () in
+  let tag = Transit.send t 2 in
+  checkb "first consume ok" true (Transit.deliver_pkt t 2 <> None);
+  checkb "tag gone" true (Transit.deliver_tag t tag = None);
+  checkb "pkt gone" true (Transit.deliver_pkt t 2 = None);
+  checkb "oldest gone" true (Transit.deliver_oldest t = None)
+
+let test_transit_drop () =
+  let t = Transit.create () in
+  ignore (Transit.send t 1);
+  ignore (Transit.send t 2);
+  (match Transit.drop_pkt t 1 with Some _ -> () | None -> Alcotest.fail "drop failed");
+  checki "dropped total" 1 (Transit.dropped_total t);
+  checki "in transit" 1 (Transit.in_transit t);
+  checki "delivered stays 0" 0 (Transit.delivered_total t)
+
+let test_transit_random_ops () =
+  let t = Transit.create () in
+  let rng = Nfc_util.Rng.of_int 5 in
+  for i = 1 to 50 do
+    ignore (Transit.send t (i mod 3))
+  done;
+  let seen = ref 0 in
+  for _ = 1 to 50 do
+    match Transit.deliver_random t rng with
+    | Some (_, p) ->
+        incr seen;
+        checkb "valid packet" true (p >= 0 && p < 3)
+    | None -> Alcotest.fail "random delivery failed"
+  done;
+  checki "all delivered" 50 !seen;
+  checkb "empty now" true (Transit.deliver_random t rng = None)
+
+let test_transit_snapshot () =
+  let t = Transit.create () in
+  ignore (Transit.send t 1);
+  ignore (Transit.send t 1);
+  ignore (Transit.send t 2);
+  let m = Transit.snapshot t in
+  checki "snapshot count 1" 2 (Nfc_util.Multiset.Int.count 1 m);
+  checki "snapshot cardinal" 3 (Nfc_util.Multiset.Int.cardinal m)
+
+let test_transit_per_pkt_counters () =
+  let t = Transit.create () in
+  ignore (Transit.send t 3);
+  ignore (Transit.send t 3);
+  ignore (Transit.deliver_pkt t 3);
+  checki "sent per pkt" 2 (Transit.sent_count t 3);
+  checki "delivered per pkt" 1 (Transit.delivered_count t 3);
+  Alcotest.(check (list int)) "sent support" [ 3 ] (Transit.sent_support t)
+
+(* Property: conservation — sent = delivered + dropped + in_transit under
+   arbitrary op sequences. *)
+let prop_transit_conservation =
+  QCheck.Test.make ~name:"transit conserves copies" ~count:200
+    QCheck.(small_list (int_bound 5))
+    (fun ops ->
+      let t = Transit.create () in
+      let rng = Nfc_util.Rng.of_int 77 in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 | 1 -> ignore (Transit.send t op)
+          | 2 -> ignore (Transit.deliver_oldest t)
+          | 3 -> ignore (Transit.deliver_random t rng)
+          | 4 -> ignore (Transit.drop_oldest t)
+          | _ -> ignore (Transit.drop_random t rng))
+        ops;
+      Transit.sent_total t
+      = Transit.delivered_total t + Transit.dropped_total t + Transit.in_transit t)
+
+(* --------------------------------------------------------------- Policy *)
+
+let run_policy policy n =
+  (* Send n packets through the policy, then poll n times; return
+     (delivered, dropped, left). *)
+  let t = Transit.create () in
+  let rng = Nfc_util.Rng.of_int 42 in
+  let delivered = ref 0 and dropped = ref 0 in
+  let count events =
+    List.iter
+      (function Policy.Delivered _ -> incr delivered | Policy.Dropped _ -> incr dropped)
+      events
+  in
+  for i = 0 to n - 1 do
+    let pkt = i mod 4 in
+    let tag = Transit.send t pkt in
+    count (policy.Policy.on_send rng t ~tag ~pkt)
+  done;
+  for _ = 1 to n do
+    count (policy.Policy.on_poll rng t)
+  done;
+  (!delivered, !dropped, Transit.in_transit t)
+
+let test_policy_fifo_reliable () =
+  let d, x, left = run_policy Policy.fifo_reliable 50 in
+  checki "all delivered" 50 d;
+  checki "none dropped" 0 x;
+  checki "none left" 0 left
+
+let test_policy_fifo_reliable_in_order () =
+  let t = Transit.create () in
+  let rng = Nfc_util.Rng.of_int 1 in
+  let order = ref [] in
+  for i = 0 to 9 do
+    let tag = Transit.send t i in
+    List.iter
+      (function Policy.Delivered (_, p) -> order := p :: !order | Policy.Dropped _ -> ())
+      (Policy.fifo_reliable.Policy.on_send rng t ~tag ~pkt:i)
+  done;
+  Alcotest.(check (list int)) "in order" (List.init 10 Fun.id) (List.rev !order)
+
+let test_policy_fifo_lossy () =
+  let d, x, left = run_policy (Policy.fifo_lossy ~loss:0.5) 400 in
+  checki "nothing lingers" 0 left;
+  checkb "some delivered" true (d > 100);
+  checkb "some dropped" true (x > 100);
+  checki "conservation" 400 (d + x)
+
+let test_policy_fifo_lossy_zero_loss () =
+  let d, x, _ = run_policy (Policy.fifo_lossy ~loss:0.0) 50 in
+  checki "all delivered" 50 d;
+  checki "none dropped" 0 x
+
+let test_policy_uniform_reorder () =
+  let d, x, left = run_policy (Policy.uniform_reorder ~deliver:1.0 ~drop:0.0) 50 in
+  checki "one per poll" 50 d;
+  checki "no drops" 0 x;
+  checki "none left" 0 left
+
+let test_policy_probabilistic_delay_only () =
+  let d, x, left = run_policy (Policy.probabilistic ~q:0.4 ()) 300 in
+  checki "no loss in delay mode" 0 x;
+  checki "conservation" 300 (d + left);
+  (* Roughly 60% delivered immediately, plus some released. *)
+  checkb "most delivered" true (d > 150)
+
+let test_policy_probabilistic_lossy () =
+  let d, x, left = run_policy (Policy.probabilistic ~q:0.4 ~lose:true ()) 300 in
+  checki "nothing lingers when losing" 0 left;
+  checki "conservation" 300 (d + x);
+  checkb "drops near q" true (x > 60 && x < 180)
+
+let test_policy_fifo_delayed () =
+  (* Exactly [latency] polls pass before each delivery, in order. *)
+  let policy = Nfc_channel.Policy.fifo_delayed ~latency:3 () in
+  let t = Transit.create () in
+  let rng = Nfc_util.Rng.of_int 1 in
+  let tag = Transit.send t 7 in
+  Alcotest.(check (list int)) "nothing at send" []
+    (List.filter_map
+       (function Policy.Delivered (_, p) -> Some p | Policy.Dropped _ -> None)
+       (policy.Policy.on_send rng t ~tag ~pkt:7));
+  checkb "poll 1 empty" true (policy.Policy.on_poll rng t = []);
+  checkb "poll 2 empty" true (policy.Policy.on_poll rng t = []);
+  (match policy.Policy.on_poll rng t with
+  | [ Policy.Delivered (_, 7) ] -> ()
+  | _ -> Alcotest.fail "expected delivery on poll 3");
+  (* Order preserved across a batch. *)
+  let tags = List.map (fun p -> (Transit.send t p, p)) [ 1; 2; 3 ] in
+  List.iter (fun (tag, pkt) -> ignore (policy.Policy.on_send rng t ~tag ~pkt)) tags;
+  let order = ref [] in
+  for _ = 1 to 5 do
+    List.iter
+      (function Policy.Delivered (_, p) -> order := p :: !order | Policy.Dropped _ -> ())
+      (policy.Policy.on_poll rng t)
+  done;
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_policy_fifo_delayed_loss () =
+  let d, x, left = run_policy (Nfc_channel.Policy.fifo_delayed ~latency:0 ~loss:0.4 ()) 300 in
+  checkb "some dropped" true (x > 60);
+  checki "conservation" 300 (d + x + left)
+
+let test_policy_gilbert_elliott () =
+  let d, x, left = run_policy (Policy.gilbert_elliott ()) 500 in
+  checki "nothing lingers" 0 left;
+  checki "conservation" 500 (d + x);
+  (* Default params: long-run loss between the good and bad rates. *)
+  checkb "some loss" true (x > 5);
+  checkb "mostly delivered" true (d > 250)
+
+let test_policy_gilbert_elliott_bursty () =
+  (* Loss must arrive in bursts: the variance of per-window loss counts is
+     higher than an independent-loss channel with the same mean would give.
+     We check the cruder signature: at least one long loss-free stretch AND
+    one dense-loss stretch. *)
+  let policy = Policy.gilbert_elliott ~good_loss:0.0 ~bad_loss:0.9 ~p_gb:0.02 ~p_bg:0.1 () in
+  let t = Transit.create () in
+  let rng = Nfc_util.Rng.of_int 7 in
+  let outcomes = Array.make 2000 false in
+  for i = 0 to 1999 do
+    let tag = Transit.send t 0 in
+    let events = policy.Policy.on_send rng t ~tag ~pkt:0 in
+    outcomes.(i) <- List.exists (function Policy.Dropped _ -> true | _ -> false) events
+  done;
+  let max_run value =
+    let best = ref 0 and cur = ref 0 in
+    Array.iter (fun b ->
+        if b = value then begin incr cur; best := max !best !cur end else cur := 0)
+      outcomes;
+    !best
+  in
+  checkb "a long clean stretch exists" true (max_run false >= 50);
+  checkb "a loss burst exists" true (max_run true >= 3)
+
+let test_policy_gilbert_elliott_validation () =
+  Alcotest.check_raises "bad bad_loss"
+    (Invalid_argument "Policy.gilbert_elliott: bad_loss must lie in [0,0.99]") (fun () ->
+      ignore (Policy.gilbert_elliott ~bad_loss:1.5 ()))
+
+let test_policy_silent () =
+  let d, x, left = run_policy Policy.silent 20 in
+  checki "no deliveries" 0 d;
+  checki "no drops" 0 x;
+  checki "everything held" 20 left
+
+let test_policy_validation () =
+  Alcotest.check_raises "bad loss" (Invalid_argument "Policy.fifo_lossy: loss must lie in [0,1)")
+    (fun () -> ignore (Policy.fifo_lossy ~loss:1.0));
+  Alcotest.check_raises "bad q" (Invalid_argument "Policy.probabilistic: q must lie in [0,1]")
+    (fun () -> ignore (Policy.probabilistic ~q:1.5 ()))
+
+(* ------------------------------------------------------------- Pl_check *)
+
+let test_pl_check_clean () =
+  let open Nfc_automata in
+  let c = Pl_check.create () in
+  checkb "send ok" true (Pl_check.on_action c (Action.Send_pkt (Action.T_to_r, 1)) = None);
+  checkb "receive ok" true
+    (Pl_check.on_action c (Action.Receive_pkt (Action.T_to_r, 1)) = None);
+  checkb "no violation" true (Pl_check.violated c = None)
+
+let test_pl_check_duplication () =
+  let open Nfc_automata in
+  let c = Pl_check.create () in
+  ignore (Pl_check.on_action c (Action.Send_pkt (Action.T_to_r, 1)));
+  ignore (Pl_check.on_action c (Action.Receive_pkt (Action.T_to_r, 1)));
+  checkb "second receive flagged" true
+    (Pl_check.on_action c (Action.Receive_pkt (Action.T_to_r, 1)) <> None);
+  checkb "sticky" true (Pl_check.violated c <> None)
+
+let test_pl_check_directions_independent () =
+  let open Nfc_automata in
+  let c = Pl_check.create () in
+  ignore (Pl_check.on_action c (Action.Send_pkt (Action.T_to_r, 1)));
+  checkb "other direction has no copy" true
+    (Pl_check.on_action c (Action.Receive_pkt (Action.R_to_t, 1)) <> None)
+
+let test_pl_check_matches_declarative () =
+  (* The online checker agrees with Props.pl1 on a random policy-driven
+     execution assembled action by action. *)
+  let open Nfc_automata in
+  let rng = Nfc_util.Rng.of_int 9 in
+  let t = Transit.create () in
+  let actions = ref [] in
+  for i = 0 to 199 do
+    let pkt = i mod 5 in
+    ignore (Transit.send t pkt);
+    actions := Action.Send_pkt (Action.T_to_r, pkt) :: !actions;
+    if Nfc_util.Rng.bool rng 0.5 then
+      match Transit.deliver_random t rng with
+      | Some (_, p) -> actions := Action.Receive_pkt (Action.T_to_r, p) :: !actions
+      | None -> ()
+  done;
+  let trace = List.rev !actions in
+  let c = Pl_check.create () in
+  List.iter (fun a -> ignore (Pl_check.on_action c a)) trace;
+  checkb "both accept" true
+    (Pl_check.violated c = None && Props.pl1 Action.T_to_r trace = None)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_transit_conservation ]
+
+let suite =
+  [
+    ("transit send counts", `Quick, test_transit_send_counts);
+    ("transit fifo delivery", `Quick, test_transit_deliver_oldest_fifo);
+    ("transit deliver pkt oldest", `Quick, test_transit_deliver_pkt_oldest_copy);
+    ("transit deliver tag", `Quick, test_transit_deliver_tag);
+    ("transit no duplication", `Quick, test_transit_no_duplication);
+    ("transit drop", `Quick, test_transit_drop);
+    ("transit random ops", `Quick, test_transit_random_ops);
+    ("transit snapshot", `Quick, test_transit_snapshot);
+    ("transit per-pkt counters", `Quick, test_transit_per_pkt_counters);
+    ("policy fifo reliable", `Quick, test_policy_fifo_reliable);
+    ("policy fifo order", `Quick, test_policy_fifo_reliable_in_order);
+    ("policy fifo lossy", `Quick, test_policy_fifo_lossy);
+    ("policy fifo lossless", `Quick, test_policy_fifo_lossy_zero_loss);
+    ("policy uniform reorder", `Quick, test_policy_uniform_reorder);
+    ("policy probabilistic delay", `Quick, test_policy_probabilistic_delay_only);
+    ("policy probabilistic lossy", `Quick, test_policy_probabilistic_lossy);
+    ("policy fifo delayed", `Quick, test_policy_fifo_delayed);
+    ("policy fifo delayed loss", `Quick, test_policy_fifo_delayed_loss);
+    ("policy gilbert-elliott", `Quick, test_policy_gilbert_elliott);
+    ("policy gilbert-elliott bursty", `Quick, test_policy_gilbert_elliott_bursty);
+    ("policy gilbert-elliott validation", `Quick, test_policy_gilbert_elliott_validation);
+    ("policy silent", `Quick, test_policy_silent);
+    ("policy validation", `Quick, test_policy_validation);
+    ("pl_check clean", `Quick, test_pl_check_clean);
+    ("pl_check duplication", `Quick, test_pl_check_duplication);
+    ("pl_check directions", `Quick, test_pl_check_directions_independent);
+    ("pl_check matches declarative", `Quick, test_pl_check_matches_declarative);
+  ]
+  @ qsuite

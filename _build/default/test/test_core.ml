@@ -1,0 +1,428 @@
+(* Tests for Nfc_core: Bounds, Driver, Adversary_m, Adversary_p,
+   Prob_experiment, Experiments. *)
+open Nfc_core
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf tol = Alcotest.(check (float tol))
+
+(* --------------------------------------------------------------- Bounds *)
+
+let test_sat_arith () =
+  checki "mul" 12 (Bounds.sat_mul 3 4);
+  checki "mul by zero" 0 (Bounds.sat_mul 0 7);
+  checkb "mul saturates" true (Bounds.sat_mul max_int 2 = max_int / 2);
+  checki "pow" 32 (Bounds.sat_pow 2 5);
+  checki "pow zero exp" 1 (Bounds.sat_pow 7 0);
+  checkb "pow saturates" true (Bounds.sat_pow 10 40 = max_int / 2);
+  checki "factorial" 120 (Bounds.sat_factorial 5);
+  checki "factorial 0" 1 (Bounds.sat_factorial 0);
+  Alcotest.check_raises "neg factorial" (Invalid_argument "Bounds.sat_factorial: negative")
+    (fun () -> ignore (Bounds.sat_factorial (-1)))
+
+let test_t31_copies () =
+  let f _ = 2 in
+  (* (k-i)! * f(k+1)^(k+1-i) with k=3: i=0 -> 3! * 2^4 = 96. *)
+  checki "k=3 i=0" 96 (Bounds.t31_copies ~k:3 ~i:0 ~f);
+  checki "k=3 i=2" 4 (Bounds.t31_copies ~k:3 ~i:2 ~f);
+  (* The stock shrinks as the adversary converts it into new packets. *)
+  checkb "monotone decreasing in i" true
+    (Bounds.t31_copies ~k:4 ~i:1 ~f < Bounds.t31_copies ~k:4 ~i:0 ~f);
+  Alcotest.check_raises "bad i" (Invalid_argument "Bounds.t31_copies: i must lie in [0,k]")
+    (fun () -> ignore (Bounds.t31_copies ~k:3 ~i:4 ~f))
+
+let test_t31_initial_flood () =
+  (* k! * f(k+1)^k - k + 1 with k=2, f=2: 2*4 - 1 = 7. *)
+  checki "k=2" 7 (Bounds.t31_initial_flood ~k:2 ~f:(fun _ -> 2))
+
+let test_t41_bound () =
+  checki "floor" 3 (Bounds.t41_bound ~k:3 ~l:10);
+  checki "zero" 0 (Bounds.t41_bound ~k:5 ~l:4);
+  Alcotest.check_raises "bad k" (Invalid_argument "Bounds.t41_bound: k must be >= 1")
+    (fun () -> ignore (Bounds.t41_bound ~k:0 ~l:5))
+
+let test_t51_formulas () =
+  checkf 1e-9 "epsilon" 0.1 (Bounds.t51_epsilon 100);
+  checkf 1e-9 "rate" 1.2 (Bounds.t51_rate ~q:0.3 100);
+  checkb "rate floored at 1" true (Bounds.t51_rate ~q:0.0 4 = 1.0);
+  checkb "packets grow with n" true
+    (Bounds.t51_packets ~q:0.3 ~k:2 100 > Bounds.t51_packets ~q:0.3 ~k:2 50);
+  let p = Bounds.t51_probability ~q:0.3 ~k:2 ~n:1000 in
+  checkb "probability in (0,1)" true (p > 0.0 && p < 1.0);
+  checkb "probability grows with n" true
+    (Bounds.t51_probability ~q:0.3 ~k:2 ~n:2000 > p)
+
+(* --------------------------------------------------------------- Driver *)
+
+let test_driver_basic_exchange () =
+  let d = Driver.create (Nfc_protocol.Stenning.make ()) in
+  Driver.submit d;
+  checki "submitted" 1 (Driver.submitted d);
+  checkb "fresh run delivers" true (Driver.run_fresh_until_delivered d ~target:1 ~max_polls:100);
+  checki "delivered" 1 (Driver.delivered d);
+  let trace = Driver.trace d in
+  checkb "trace valid" true (Nfc_automata.Props.valid trace)
+
+let test_driver_withholding_accumulates () =
+  let d = Driver.create (Nfc_protocol.Flood.make ~base:1 ~ratio:2.0 ()) in
+  Driver.submit d;
+  for _ = 1 to 5 do
+    ignore (Driver.sender_poll d ~deliver:false)
+  done;
+  checki "five copies in transit" 5
+    (Nfc_util.Multiset.Int.cardinal (Driver.data_in_transit d));
+  checki "all same packet" 5 (Nfc_util.Multiset.Int.count 0 (Driver.data_in_transit d))
+
+let test_driver_deliver_and_drop () =
+  let d = Driver.create (Nfc_protocol.Flood.make ~base:1 ~ratio:2.0 ()) in
+  Driver.submit d;
+  ignore (Driver.sender_poll d ~deliver:false);
+  ignore (Driver.sender_poll d ~deliver:false);
+  checkb "deliver one" true (Driver.deliver_data d 0);
+  checkb "drop one" true (Driver.drop_data d 0);
+  checkb "nothing left" false (Driver.deliver_data d 0);
+  (* PL1 must hold on the recorded trace. *)
+  checkb "pl1" true
+    (Nfc_automata.Props.pl1 Nfc_automata.Action.T_to_r (Driver.trace d) = None)
+
+let test_driver_snapshot_restore () =
+  let d = Driver.create (Nfc_protocol.Stenning.make ()) in
+  Driver.submit d;
+  let restore = Driver.snapshot d in
+  ignore (Driver.run_fresh_until_delivered d ~target:1 ~max_polls:100);
+  checki "delivered after run" 1 (Driver.delivered d);
+  restore ();
+  checki "delivered rewound" 0 (Driver.delivered d);
+  checki "submitted rewound" 1 (Driver.submitted d);
+  (* And the run can be replayed identically. *)
+  checkb "replay works" true (Driver.run_fresh_until_delivered d ~target:1 ~max_polls:100)
+
+let test_driver_headers_census () =
+  let d = Driver.create (Nfc_protocol.Stenning.make ()) in
+  Driver.submit d;
+  ignore (Driver.run_fresh_until_delivered d ~target:1 ~max_polls:100);
+  Driver.submit d;
+  ignore (Driver.run_fresh_until_delivered d ~target:2 ~max_polls:100);
+  let tr, rt = Driver.headers_used d in
+  checki "two data headers" 2 tr;
+  checki "two ack headers" 2 rt
+
+let test_driver_phantom_probe_negative () =
+  (* Fresh stenning state with nothing in transit: no phantom possible. *)
+  let d = Driver.create (Nfc_protocol.Stenning.make ()) in
+  Driver.submit d;
+  ignore (Driver.run_fresh_until_delivered d ~target:1 ~max_polls:100);
+  checkb "no phantom" true (Driver.phantom_probe d = None)
+
+let test_driver_phantom_probe_positive () =
+  (* Stop-and-wait with one stale data copy: instant phantom. *)
+  let d = Driver.create (Nfc_protocol.Stop_and_wait.make ~timeout:1 ()) in
+  Driver.submit d;
+  ignore (Driver.sender_poll d ~deliver:false);
+  (* withheld copy *)
+  ignore (Driver.sender_poll d ~deliver:true);
+  (* fresh copy delivers message 0 *)
+  let rec drain n =
+    if n > 0 then begin
+      ignore (Driver.receiver_poll d ~deliver_acks:true);
+      drain (n - 1)
+    end
+  in
+  drain 4;
+  checki "message delivered" 1 (Driver.delivered d);
+  match Driver.phantom_probe d with
+  | Some ext ->
+      let full = Driver.trace d @ ext in
+      checkb "phantom exec confirmed" true (Nfc_automata.Props.invalid_phantom full <> None)
+  | None -> Alcotest.fail "expected a phantom from the stale copy"
+
+(* ---------------------------------------------------------- Adversary_m *)
+
+let test_adversary_m_violates_bounded_protocols () =
+  List.iter
+    (fun proto ->
+      match Adversary_m.attack ~max_messages:6 ~probe_nodes:100_000 proto with
+      | Adversary_m.Violation v ->
+          checkb "checker confirms" true
+            (Nfc_automata.Props.invalid_phantom v.execution <> None);
+          checkb "PL1 holds" true
+            (Nfc_automata.Props.pl1 Nfc_automata.Action.T_to_r v.execution = None)
+      | _ -> Alcotest.fail (Nfc_protocol.Spec.name proto ^ ": expected violation"))
+    [
+      Nfc_protocol.Stop_and_wait.make ();
+      Nfc_protocol.Alternating_bit.make ();
+      Nfc_protocol.Flood.make ~base:1 ~ratio:2.0 ();
+    ]
+
+let test_adversary_m_prefix_is_legal () =
+  (* Before the phantom extension, the adversary's execution is a legal,
+     checker-clean run (it only delays/delivers packets). *)
+  match Adversary_m.attack ~max_messages:6 (Nfc_protocol.Alternating_bit.make ()) with
+  | Adversary_m.Violation v ->
+      (* Strip everything from the phantom receive on. *)
+      let phantom_idx =
+        match Nfc_automata.Props.invalid_phantom v.execution with
+        | Some viol -> viol.Nfc_automata.Props.index
+        | None -> Alcotest.fail "no phantom?"
+      in
+      let prefix = List.filteri (fun i _ -> i < phantom_idx) v.execution in
+      checkb "prefix satisfies DL1" true (Nfc_automata.Props.dl1 prefix = None);
+      checkb "prefix satisfies DL2" true (Nfc_automata.Props.dl2 prefix = None)
+  | _ -> Alcotest.fail "expected violation"
+
+let test_adversary_m_stenning_survives () =
+  match Adversary_m.attack ~max_messages:5 ~probe_nodes:50_000 (Nfc_protocol.Stenning.make ()) with
+  | Adversary_m.Survived s ->
+      checki "delivered all" 5 s.messages;
+      (* Theorem 3.1: survival required (at least) n forward headers. *)
+      checkb "n forward headers" true (s.headers_tr >= 5)
+  | _ -> Alcotest.fail "stenning must survive"
+
+let test_adversary_m_afek3_blocks () =
+  match Adversary_m.attack ~max_messages:5 ~poll_budget:50_000 (Nfc_protocol.Afek3.make ()) with
+  | Adversary_m.Stuck _ -> ()
+  | Adversary_m.Violation _ -> Alcotest.fail "afek3 must not be violated"
+  | Adversary_m.Survived _ -> Alcotest.fail "afek3 should block under farming"
+
+let test_adversary_staged_violates_bounded () =
+  List.iter
+    (fun proto ->
+      let o =
+        Adversary_m.attack_staged ~reps:8 ~max_messages:5 ~probe_nodes:40_000 proto
+      in
+      match o.Adversary_m.result with
+      | Adversary_m.Violation v ->
+          checkb "confirmed" true (Nfc_automata.Props.invalid_phantom v.execution <> None);
+          (* The tracked set never needs more members than the protocol has
+             forward headers. *)
+          List.iter
+            (fun (s : Adversary_m.stage) ->
+              checkb "tracked set bounded by headers" true (List.length s.tracked <= 2))
+            o.stages
+      | _ -> Alcotest.fail (Nfc_protocol.Spec.name proto ^ ": expected violation"))
+    [
+      Nfc_protocol.Alternating_bit.make ();
+      Nfc_protocol.Flood.make ~base:1 ~ratio:2.0 ();
+    ]
+
+let test_adversary_staged_stenning_tracks_fresh_packets () =
+  let o =
+    Adversary_m.attack_staged ~reps:6 ~max_messages:4 ~probe_nodes:30_000
+      (Nfc_protocol.Stenning.make ())
+  in
+  (match o.Adversary_m.result with
+  | Adversary_m.Survived _ -> ()
+  | _ -> Alcotest.fail "stenning must survive");
+  (* Every stage gains a packet value never tracked before: the executable
+     face of "n headers are needed". *)
+  let sizes = List.map (fun (s : Adversary_m.stage) -> List.length s.tracked) o.stages in
+  checkb "tracked set grows every stage" true
+    (sizes = List.init (List.length sizes) (fun i -> i + 1))
+
+let test_adversary_staged_stocks_accumulate () =
+  let o =
+    Adversary_m.attack_staged ~reps:6 ~max_messages:4 ~probe_nodes:30_000
+      (Nfc_protocol.Stenning.make ())
+  in
+  (* Later stages start with the copies gained earlier still in transit. *)
+  match (o.Adversary_m.stages : Adversary_m.stage list) with
+  | _ :: ({ stock; _ } : Adversary_m.stage) :: _ ->
+      checkb "second stage starts stocked" true (Nfc_util.Multiset.Int.cardinal stock > 0)
+  | _ -> Alcotest.fail "expected at least two stages"
+
+(* ---------------------------------------------------------- Adversary_p *)
+
+let test_adversary_p_stenning_constant () =
+  let m = Adversary_p.measure ~l:32 ~per_epoch:8 (Nfc_protocol.Stenning.make ()) in
+  checki "backlog built" 32 m.Adversary_p.backlog;
+  (match m.Adversary_p.cost with
+  | Some c -> checkb "constant cost" true (c <= 3)
+  | None -> Alcotest.fail "stenning should complete");
+  checki "bound is 0 for unbounded headers" 0 m.Adversary_p.bound
+
+let test_adversary_p_flood_exceeds_bound () =
+  let m = Adversary_p.measure ~l:16 ~per_epoch:1 (Nfc_protocol.Flood.make ~base:2 ~ratio:1.3 ()) in
+  match m.Adversary_p.cost with
+  | Some c -> checkb "cost >= floor(l/k)" true (c >= m.Adversary_p.bound)
+  | None -> Alcotest.fail "flood should complete"
+
+let test_adversary_p_afek3_linear_relaxed () =
+  let cost_at l =
+    let m = Adversary_p.measure ~l ~per_epoch:l (Nfc_protocol.Afek3.make ()) in
+    match m.Adversary_p.cost with
+    | Some c -> (m.Adversary_p.backlog, c)
+    | None -> Alcotest.fail "afek3 should complete in relaxed regime"
+  in
+  let l1, c1 = cost_at 64 and l2, c2 = cost_at 256 in
+  checkb "backlog built" true (l1 >= 64 && l2 >= 256);
+  (* Roughly linear: quadrupling the backlog at least doubles the cost, and
+     cost stays within a small constant of the backlog. *)
+  checkb "cost grows" true (c2 > c1);
+  checkb "cost linear-ish" true (c2 <= l2 && c2 >= l2 / 8)
+
+let test_adversary_p_afek3_frozen_blocks () =
+  let m = Adversary_p.measure ~l:32 ~per_epoch:32 ~frozen:true (Nfc_protocol.Afek3.make ()) in
+  checkb "frozen regime: no completion" true (m.Adversary_p.cost = None)
+
+(* ------------------------------------------------------ Prob_experiment *)
+
+let test_dominant_growth_tracks_one_plus_q () =
+  List.iter
+    (fun q ->
+      let rates, _ = Prob_experiment.dominant_growth_summary ~seed:11 ~q ~n:120 ~m0:20 ~trials:20 in
+      let r = rates.Nfc_stats.Summary.mean in
+      checkb
+        (Printf.sprintf "rate %.3f within 2%% of 1+q=%.2f" r (1.0 +. q))
+        true
+        (abs_float (r -. (1.0 +. q)) < 0.02 *. (1.0 +. q));
+      checkb "above paper lower bound" true (r >= Bounds.t51_rate ~q 120 -. 0.02))
+    [ 0.1; 0.3; 0.5 ]
+
+let test_dominant_growth_deterministic () =
+  let rng1 = Nfc_util.Rng.of_int 5 and rng2 = Nfc_util.Rng.of_int 5 in
+  let a = Prob_experiment.dominant_growth rng1 ~q:0.3 ~n:50 ~m0:10 in
+  let b = Prob_experiment.dominant_growth rng2 ~q:0.3 ~n:50 ~m0:10 in
+  checkb "same seed same trial" true (a = b)
+
+let test_dominant_growth_validation () =
+  let rng = Nfc_util.Rng.of_int 1 in
+  Alcotest.check_raises "bad n"
+    (Invalid_argument "Prob_experiment.dominant_growth: n must be >= 1") (fun () ->
+      ignore (Prob_experiment.dominant_growth rng ~q:0.3 ~n:0 ~m0:1))
+
+let test_packets_for_and_sweep () =
+  let r = Prob_experiment.packets_for (Nfc_protocol.Stenning.make ()) ~q:0.3 ~n:5 ~seed:1 in
+  checkb "completed" true r.Prob_experiment.completed;
+  checkb "sent at least n packets" true (r.Prob_experiment.packets >= 5);
+  let rows =
+    Prob_experiment.sweep (Nfc_protocol.Stenning.make ()) ~q:0.3 ~ns:[ 2; 4 ] ~trials:2 ~seed:1
+  in
+  checki "two rows" 2 (List.length rows)
+
+let test_flood_growth_exceeds_stenning () =
+  let flood =
+    Prob_experiment.sweep (Nfc_protocol.Flood.make ()) ~q:0.3 ~ns:[ 4; 6; 8 ] ~trials:3 ~seed:5
+  in
+  let sten =
+    Prob_experiment.sweep (Nfc_protocol.Stenning.make ()) ~q:0.3 ~ns:[ 4; 6; 8 ] ~trials:3 ~seed:5
+  in
+  let gf = Prob_experiment.growth_rate flood and gs = Prob_experiment.growth_rate sten in
+  checkb "flood grows faster" true (gf.Nfc_util.Fit.rate > gs.Nfc_util.Fit.rate);
+  checkb "flood exponential" true (gf.Nfc_util.Fit.rate > 1.2);
+  checkb "stenning near-linear" true (gs.Nfc_util.Fit.rate < 1.25)
+
+let test_safety_sweep_monotone_boundary () =
+  let rows = Prob_experiment.safety_sweep ~q:0.6 ~ratios:[ 1.0; 2.0 ] ~n:8 ~trials:8 ~seed:3 in
+  match rows with
+  | [ (_, bad); (_, good) ] ->
+      checkb "low ratio violates often" true (bad > 0.5);
+      checkb "high ratio safe" true (good < 0.2)
+  | _ -> Alcotest.fail "expected two rows"
+
+(* ---------------------------------------------------------- Experiments *)
+
+let with_buffer f =
+  (* The experiment drivers print; capture to keep test output clean. *)
+  let dev_null = open_out (if Sys.win32 then "nul" else "/dev/null") in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel dev_null) Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      close_out dev_null)
+    f
+
+let test_experiments_t21_shapes () =
+  let rows = with_buffer (fun () -> Experiments.t21 ~quick:true ()) in
+  checkb "3 protocols" true (List.length rows = 3);
+  List.iter
+    (fun (r : Experiments.t21_row) ->
+      checkb (r.protocol ^ " within bound") true r.within_bound)
+    rows
+
+let test_experiments_t31_shapes () =
+  let rows = with_buffer (fun () -> Experiments.t31 ~quick:true ()) in
+  let find name = List.find (fun (r : Experiments.t31_row) -> r.protocol = name) rows in
+  checkb "s&w violated" true (find "stop-and-wait").violated;
+  checkb "altbit violated" true (find "alternating-bit").violated;
+  checkb "stenning survived" false (find "stenning").violated;
+  checkb "stenning needed n headers" true
+    ((find "stenning").headers_used >= (find "stenning").messages)
+
+let test_experiments_t31_pyramid () =
+  let rows = with_buffer (fun () -> Experiments.t31_pyramid ~ks:[ 2; 3 ] ()) in
+  checkb "5 rows" true (List.length rows = 5);
+  List.iter
+    (fun (r : Experiments.t31_pyramid_row) -> checkb "positive" true (r.copies > 0))
+    rows
+
+let test_experiments_t41_shapes () =
+  let rows = with_buffer (fun () -> Experiments.t41 ~quick:true ()) in
+  (* Flood cost always at least the floor(l/k) bound when it completes. *)
+  List.iter
+    (fun (r : Experiments.t41_row) ->
+      match r.cost with
+      | Some c when String.length r.protocol >= 5 && String.sub r.protocol 0 5 = "flood" ->
+          checkb "flood >= bound" true (c >= r.bound)
+      | _ -> ())
+    rows;
+  (* Afek3 frozen never completes; relaxed always does. *)
+  let afek_frozen =
+    List.filter (fun (r : Experiments.t41_row) -> r.protocol = "afek3" && r.frozen) rows
+  in
+  checkb "afek3 frozen blocks" true
+    (List.for_all (fun (r : Experiments.t41_row) -> r.cost = None) afek_frozen)
+
+let test_experiments_t51_growth () =
+  let rows =
+    with_buffer (fun () -> Experiments.t51_growth ~quick:true ~qs:[ 0.2; 0.4 ] ())
+  in
+  List.iter
+    (fun (r : Experiments.t51_growth_row) ->
+      checkb "measured above paper bound" true (r.measured_rate >= r.lower -. 0.05);
+      checkb "measured near 1+q" true (abs_float (r.measured_rate -. r.ideal) < 0.05))
+    rows
+
+let qsuite = []
+
+let suite =
+  [
+    ("saturating arithmetic", `Quick, test_sat_arith);
+    ("t31 copies formula", `Quick, test_t31_copies);
+    ("t31 initial flood", `Quick, test_t31_initial_flood);
+    ("t41 bound", `Quick, test_t41_bound);
+    ("t51 formulas", `Quick, test_t51_formulas);
+    ("driver basic exchange", `Quick, test_driver_basic_exchange);
+    ("driver withholding", `Quick, test_driver_withholding_accumulates);
+    ("driver deliver/drop", `Quick, test_driver_deliver_and_drop);
+    ("driver snapshot/restore", `Quick, test_driver_snapshot_restore);
+    ("driver header census", `Quick, test_driver_headers_census);
+    ("driver probe negative", `Quick, test_driver_phantom_probe_negative);
+    ("driver probe positive", `Quick, test_driver_phantom_probe_positive);
+    ("adversary_m violates bounded", `Quick, test_adversary_m_violates_bounded_protocols);
+    ("adversary_m prefix legal", `Quick, test_adversary_m_prefix_is_legal);
+    ("adversary_m stenning survives", `Quick, test_adversary_m_stenning_survives);
+    ("adversary_m afek3 blocks", `Quick, test_adversary_m_afek3_blocks);
+    ("staged attack violates bounded", `Quick, test_adversary_staged_violates_bounded);
+    ("staged attack: stenning needs n headers", `Quick, test_adversary_staged_stenning_tracks_fresh_packets);
+    ("staged attack: stocks accumulate", `Quick, test_adversary_staged_stocks_accumulate);
+    ("adversary_p stenning constant", `Quick, test_adversary_p_stenning_constant);
+    ("adversary_p flood exceeds bound", `Quick, test_adversary_p_flood_exceeds_bound);
+    ("adversary_p afek3 linear", `Quick, test_adversary_p_afek3_linear_relaxed);
+    ("adversary_p afek3 frozen blocks", `Quick, test_adversary_p_afek3_frozen_blocks);
+    ("dominant growth tracks 1+q", `Quick, test_dominant_growth_tracks_one_plus_q);
+    ("dominant growth deterministic", `Quick, test_dominant_growth_deterministic);
+    ("dominant growth validation", `Quick, test_dominant_growth_validation);
+    ("packets_for and sweep", `Quick, test_packets_for_and_sweep);
+    ("flood outgrows stenning", `Quick, test_flood_growth_exceeds_stenning);
+    ("safety boundary", `Quick, test_safety_sweep_monotone_boundary);
+    ("experiments t21", `Quick, test_experiments_t21_shapes);
+    ("experiments t31", `Quick, test_experiments_t31_shapes);
+    ("experiments t31 pyramid", `Quick, test_experiments_t31_pyramid);
+    ("experiments t41", `Quick, test_experiments_t41_shapes);
+    ("experiments t51 growth", `Quick, test_experiments_t51_growth);
+  ]
+  @ qsuite

@@ -1,0 +1,18 @@
+(* Aggregates all suites; one alcotest binary for `dune runtest`. *)
+let () =
+  Alcotest.run "nonfifo"
+    [
+      ("util", Test_util.suite);
+      ("stats", Test_stats.suite);
+      ("automata", Test_automata.suite);
+      ("channel", Test_channel.suite);
+      ("protocol", Test_protocol.suite);
+      ("sim", Test_sim.suite);
+      ("mcheck", Test_mcheck.suite);
+      ("core", Test_core.suite);
+      ("transport", Test_transport.suite);
+      ("mutation", Test_mutation.suite);
+      ("boundness-def", Test_boundness_def.suite);
+      ("matrix", Test_matrix.suite);
+      ("edge", Test_edge.suite);
+    ]

@@ -1,0 +1,90 @@
+(* The full protocol x channel matrix, driven from the registry.
+
+   Global invariants across every combination:
+   - PL1 never breaks (the transit structure enforces it; a violation here
+     means the harness or a policy is buggy);
+   - DL1/DL2 violations only ever come from the protocols that are
+     *supposed* to be unsafe on adversarial channels (stop-and-wait,
+     alternating-bit, flood);
+   - the sequence-number protocols (stenning, go-back-n, selective-repeat)
+     complete every workload on every channel. *)
+
+let unsafe_ok = [ "stop-and-wait"; "alternating-bit"; "flood" ]
+let must_complete = [ "stenning"; "go-back-"; "selective-repeat" ]
+
+let has_prefix prefix name =
+  String.length name >= String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+
+let channels =
+  [
+    ("reliable", fun () -> Nfc_channel.Policy.fifo_reliable);
+    ("lossy", fun () -> Nfc_channel.Policy.fifo_lossy ~loss:0.2);
+    ("reorder", fun () -> Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.05);
+    ("probabilistic", fun () -> Nfc_channel.Policy.probabilistic ~q:0.3 ());
+    ("delayed", fun () -> Nfc_channel.Policy.fifo_delayed ~latency:5 ~loss:0.1 ());
+    ("gilbert-elliott", fun () -> Nfc_channel.Policy.gilbert_elliott ());
+  ]
+
+let run_cell proto channel seed =
+  Nfc_sim.Harness.run proto
+    {
+      Nfc_sim.Harness.default_config with
+      policy_tr = channel ();
+      policy_rt = channel ();
+      n_messages = 6;
+      submit_every = 3;
+      seed;
+      max_rounds = 150_000;
+      stall_rounds = Some 30_000;
+    }
+
+let test_matrix () =
+  List.iter
+    (fun (entry : Nfc_protocol.Registry.entry) ->
+      List.iter
+        (fun (cname, channel) ->
+          for seed = 1 to 2 do
+            let proto = entry.Nfc_protocol.Registry.default () in
+            let pname = Nfc_protocol.Spec.name proto in
+            let cell = Printf.sprintf "%s/%s/seed%d" pname cname seed in
+            let m = (run_cell proto channel seed).Nfc_sim.Harness.metrics in
+            Alcotest.(check bool) (cell ^ ": PL1 holds") true (m.Nfc_sim.Metrics.pl_violation = None);
+            (match m.Nfc_sim.Metrics.dl_violation with
+            | Some v ->
+                if not (List.exists (fun p -> has_prefix p pname) unsafe_ok) then
+                  Alcotest.failf "%s: unexpected DL violation: %s" cell v
+            | None -> ());
+            if List.exists (fun p -> has_prefix p pname) must_complete then
+              Alcotest.(check bool) (cell ^ ": completed") true m.Nfc_sim.Metrics.completed
+          done)
+        channels)
+    Nfc_protocol.Registry.all
+
+(* Latency sanity across the matrix: every measured latency is
+   non-negative, and on the delayed channel the median respects the
+   propagation delay. *)
+let test_matrix_latencies () =
+  List.iter
+    (fun (entry : Nfc_protocol.Registry.entry) ->
+      let proto = entry.Nfc_protocol.Registry.default () in
+      let pname = Nfc_protocol.Spec.name proto in
+      if List.exists (fun p -> has_prefix p pname) must_complete then begin
+        let m =
+          (run_cell proto (fun () -> Nfc_channel.Policy.fifo_delayed ~latency:8 ()) 1)
+            .Nfc_sim.Harness.metrics
+        in
+        match Nfc_sim.Metrics.latency_percentiles m with
+        | Some (p50, p95, worst) ->
+            Alcotest.(check bool) (pname ^ ": median >= ~latency") true (p50 >= 7.0);
+            Alcotest.(check bool) (pname ^ ": percentiles ordered") true
+              (p50 <= p95 && p95 <= float_of_int worst)
+        | None -> Alcotest.failf "%s: no latencies measured" pname
+      end)
+    Nfc_protocol.Registry.all
+
+let suite =
+  [
+    ("protocol x channel matrix", `Slow, test_matrix);
+    ("matrix latencies", `Quick, test_matrix_latencies);
+  ]

@@ -1,0 +1,200 @@
+(* Tests for Nfc_mcheck: phantom search, reachability stats, boundness. *)
+open Nfc_mcheck
+
+let checkb = Alcotest.(check bool)
+
+let small_bounds =
+  {
+    Explore.capacity_tr = 2;
+    capacity_rt = 2;
+    submit_budget = 3;
+    max_nodes = 300_000;
+    allow_drop = true;
+  }
+
+let test_stop_and_wait_violation_found () =
+  match Explore.find_phantom (Nfc_protocol.Stop_and_wait.make ~timeout:2 ()) small_bounds with
+  | Explore.Violation trace ->
+      (* The counterexample is an execution the declarative checker also
+         indicts, with a legal physical layer. *)
+      checkb "phantom confirmed" true (Nfc_automata.Props.invalid_phantom trace <> None);
+      checkb "PL1 tr holds" true (Nfc_automata.Props.pl1 Nfc_automata.Action.T_to_r trace = None);
+      checkb "PL1 rt holds" true (Nfc_automata.Props.pl1 Nfc_automata.Action.R_to_t trace = None)
+  | _ -> Alcotest.fail "stop-and-wait must be violated"
+
+let test_alternating_bit_violation_found () =
+  match Explore.find_phantom (Nfc_protocol.Alternating_bit.make ~timeout:2 ()) small_bounds with
+  | Explore.Violation trace ->
+      checkb "phantom confirmed" true (Nfc_automata.Props.invalid_phantom trace <> None);
+      (* The classic counterexample needs at least two delivered messages
+         before the stale duplicate strikes. *)
+      checkb "at least 2 submissions" true (Nfc_automata.Execution.sm trace >= 2)
+  | _ -> Alcotest.fail "alternating bit must be violated on a non-FIFO channel"
+
+let test_alternating_bit_without_drop_still_violated () =
+  (* Reordering alone (no loss) already breaks the alternating bit. *)
+  match
+    Explore.find_phantom
+      (Nfc_protocol.Alternating_bit.make ~timeout:2 ())
+      { small_bounds with allow_drop = false }
+  with
+  | Explore.Violation _ -> ()
+  | _ -> Alcotest.fail "reordering alone should break alternating bit"
+
+let test_counterexample_is_minimal_for_sw () =
+  match Explore.find_phantom (Nfc_protocol.Stop_and_wait.make ~timeout:1 ()) small_bounds with
+  | Explore.Violation trace ->
+      (* BFS returns a shortest counterexample: submit, two sends, two
+         receives, two deliveries = 7 actions. *)
+      checkb "short counterexample" true (List.length trace <= 8)
+  | _ -> Alcotest.fail "expected violation"
+
+let test_stenning_survives_budget () =
+  match
+    Explore.find_phantom (Nfc_protocol.Stenning.make ~timeout:2 ())
+      { small_bounds with max_nodes = 30_000 }
+  with
+  | Explore.Violation _ -> Alcotest.fail "stenning must not be violated"
+  | Explore.Node_budget s | Explore.No_violation s -> checkb "explored" true (s.Explore.nodes > 0)
+
+let test_afek3_survives_budget () =
+  match
+    Explore.find_phantom
+      (Nfc_protocol.Afek3.make ~retransmit:1 ~ping_every:2 ())
+      { small_bounds with max_nodes = 30_000 }
+  with
+  | Explore.Violation _ -> Alcotest.fail "afek3 must not be violated"
+  | Explore.Node_budget _ | Explore.No_violation _ -> ()
+
+let test_reachable_stats_sane () =
+  let s =
+    Explore.reachable (Nfc_protocol.Stop_and_wait.make ~timeout:2 ())
+      { small_bounds with submit_budget = 2; max_nodes = 50_000 }
+  in
+  checkb "nodes positive" true (s.Explore.nodes > 10);
+  checkb "senders at least 2" true (s.Explore.sender_states >= 2);
+  checkb "receivers at least 2" true (s.Explore.receiver_states >= 2);
+  checkb "depth positive" true (s.Explore.max_depth > 0)
+
+let test_node_budget_enforced () =
+  (* Unbounded counters make the full space infinite (retransmissions keep
+     growing the receiver's owed-ack counter); the node budget must cut the
+     search off at exactly its limit. *)
+  let s =
+    Explore.reachable (Nfc_protocol.Stop_and_wait.make ~timeout:1 ())
+      { small_bounds with submit_budget = 2; max_nodes = 5_000 }
+  in
+  checkb "hit the budget" true (s.Explore.nodes >= 5_000);
+  checkb "did not overrun it much" true (s.Explore.nodes <= 5_200)
+
+let test_wedge_altbit_with_loss () =
+  (* Loss + bit confusion permanently wedges the alternating bit; the
+     backward fixpoint finds a witness execution. *)
+  match
+    Explore.find_wedge
+      (Nfc_protocol.Alternating_bit.make ~timeout:1 ())
+      { small_bounds with max_nodes = 250_000 }
+  with
+  | Explore.Wedged (trace, _) ->
+      (* The witness ends with a message pending... *)
+      checkb "pending message" true
+        (Nfc_automata.Execution.sm trace > Nfc_automata.Execution.rm trace);
+      (* ...and is a genuine execution of the protocol over a legal channel. *)
+      checkb "PL1 tr" true (Nfc_automata.Props.pl1 Nfc_automata.Action.T_to_r trace = None);
+      checkb "PL1 rt" true (Nfc_automata.Props.pl1 Nfc_automata.Action.R_to_t trace = None);
+      (match
+         Nfc_sim.Conformance.check (Nfc_protocol.Alternating_bit.make ~timeout:1 ()) trace
+       with
+      | Nfc_sim.Conformance.Conformant -> ()
+      | v ->
+          Alcotest.failf "witness not conformant: %s"
+            (Format.asprintf "%a" Nfc_sim.Conformance.pp_verdict v))
+  | Explore.No_wedge _ -> Alcotest.fail "alternating bit with loss must wedge"
+
+let test_wedge_sequence_protocols_never () =
+  List.iter
+    (fun proto ->
+      match
+        Explore.find_wedge proto
+          { small_bounds with submit_budget = 2; max_nodes = 60_000 }
+      with
+      | Explore.No_wedge _ -> ()
+      | Explore.Wedged _ ->
+          Alcotest.failf "%s must never wedge" (Nfc_protocol.Spec.name proto))
+    [
+      Nfc_protocol.Stenning.make ~timeout:1 ();
+      Nfc_protocol.Stop_and_wait.make ~timeout:1 ();
+    ]
+
+let test_boundness_within_theorem_bound () =
+  (* Theorem 2.1: measured boundness <= k_t * k_r. *)
+  List.iter
+    (fun proto ->
+      let r =
+        Boundness.measure proto
+          ~explore:
+            {
+              Explore.capacity_tr = 2;
+              capacity_rt = 2;
+              submit_budget = 2;
+              max_nodes = 20_000;
+              allow_drop = true;
+            }
+          ~probe:Boundness.default_probe_bounds
+      in
+      match r.Boundness.boundness with
+      | Some b ->
+          checkb (r.Boundness.protocol ^ " within product") true (b <= r.state_product);
+          checkb (r.Boundness.protocol ^ " at least 1") true (b >= 1)
+      | None -> Alcotest.fail (r.Boundness.protocol ^ ": probe exhausted"))
+    [
+      Nfc_protocol.Stop_and_wait.make ~timeout:2 ();
+      Nfc_protocol.Alternating_bit.make ~timeout:2 ();
+      Nfc_protocol.Stenning.make ~timeout:2 ();
+    ]
+
+let test_boundness_semi_valid_exist () =
+  let r =
+    Boundness.measure (Nfc_protocol.Alternating_bit.make ~timeout:2 ())
+      ~explore:
+        {
+          Explore.capacity_tr = 2;
+          capacity_rt = 2;
+          submit_budget = 2;
+          max_nodes = 20_000;
+          allow_drop = true;
+        }
+      ~probe:Boundness.default_probe_bounds
+  in
+  checkb "found semi-valid configs" true (r.Boundness.semi_valid_configs > 0);
+  checkb "k_t at least 2" true (r.Boundness.k_t >= 2)
+
+let test_mcheck_counterexample_replays_in_props () =
+  (* Cross-validation: every action of the model checker's counterexample
+     passes the online checkers until the final phantom. *)
+  match Explore.find_phantom (Nfc_protocol.Alternating_bit.make ~timeout:2 ()) small_bounds with
+  | Explore.Violation trace ->
+      let dl = Nfc_sim.Dl_check.create () in
+      let violations =
+        List.filter_map (fun a -> Nfc_sim.Dl_check.on_action dl a) trace
+      in
+      (* The online checker flags exactly the final phantom. *)
+      checkb "online checker flags it too" true (violations <> [])
+  | _ -> Alcotest.fail "expected violation"
+
+let suite =
+  [
+    ("s&w violation found", `Quick, test_stop_and_wait_violation_found);
+    ("altbit violation found", `Quick, test_alternating_bit_violation_found);
+    ("altbit broken by pure reorder", `Quick, test_alternating_bit_without_drop_still_violated);
+    ("s&w counterexample minimal", `Quick, test_counterexample_is_minimal_for_sw);
+    ("stenning survives", `Quick, test_stenning_survives_budget);
+    ("afek3 survives", `Quick, test_afek3_survives_budget);
+    ("reachable stats", `Quick, test_reachable_stats_sane);
+    ("node budget enforced", `Quick, test_node_budget_enforced);
+    ("wedge: altbit with loss", `Quick, test_wedge_altbit_with_loss);
+    ("wedge: seq protocols never", `Quick, test_wedge_sequence_protocols_never);
+    ("boundness within k_t*k_r", `Quick, test_boundness_within_theorem_bound);
+    ("boundness semi-valid configs", `Quick, test_boundness_semi_valid_exist);
+    ("counterexample cross-validated", `Quick, test_mcheck_counterexample_replays_in_props);
+  ]

@@ -1,0 +1,320 @@
+(* Tests for Nfc_sim: Dl_check, Metrics, Harness mechanics. *)
+open Nfc_sim
+open Nfc_automata
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------- Dl_check *)
+
+let feed actions =
+  let c = Dl_check.create () in
+  List.iter (fun a -> ignore (Dl_check.on_action c a)) actions;
+  c
+
+let test_dl_check_clean () =
+  let c = feed [ Action.Send_msg 0; Action.Receive_msg 0 ] in
+  checkb "ok" true (Dl_check.violated c = None);
+  checkb "complete" true (Dl_check.complete c);
+  checki "submitted" 1 (Dl_check.submitted c);
+  checki "delivered" 1 (Dl_check.delivered c)
+
+let test_dl_check_never_sent () =
+  let c = feed [ Action.Receive_msg 3 ] in
+  checkb "flagged" true (Dl_check.violated c <> None)
+
+let test_dl_check_duplicate () =
+  let c = feed [ Action.Send_msg 0; Action.Receive_msg 0; Action.Receive_msg 0 ] in
+  checkb "flagged" true (Dl_check.violated c <> None)
+
+let test_dl_check_order () =
+  let c =
+    feed [ Action.Send_msg 0; Action.Send_msg 1; Action.Receive_msg 1; Action.Receive_msg 0 ]
+  in
+  checkb "flagged" true (Dl_check.violated c <> None)
+
+let test_dl_check_sticky () =
+  let c = feed [ Action.Receive_msg 0; Action.Send_msg 0 ] in
+  checkb "still flagged after legal action" true
+    (Dl_check.on_action c (Action.Send_msg 1) <> None)
+
+let test_dl_check_incomplete () =
+  let c = feed [ Action.Send_msg 0 ] in
+  checkb "not complete" false (Dl_check.complete c)
+
+let test_dl_check_ignores_packets () =
+  let c = feed [ Action.Send_pkt (Action.T_to_r, 9); Action.Receive_pkt (Action.T_to_r, 9) ] in
+  checkb "no violation from packets" true (Dl_check.violated c = None);
+  checki "no messages counted" 0 (Dl_check.submitted c)
+
+(* -------------------------------------------------------------- Metrics *)
+
+let dummy_metrics =
+  {
+    Metrics.submitted = 3;
+    delivered = 3;
+    rounds = 10;
+    pkts_tr_sent = 5;
+    pkts_tr_received = 4;
+    pkts_tr_dropped = 1;
+    pkts_rt_sent = 3;
+    pkts_rt_received = 3;
+    pkts_rt_dropped = 0;
+    headers_tr = 2;
+    headers_rt = 2;
+    max_in_transit_tr = 2;
+    max_in_transit_rt = 1;
+    max_sender_space_bits = 8;
+    max_receiver_space_bits = 6;
+    completed = true;
+    dl_violation = None;
+    pl_violation = None;
+    latencies = [| 4; 2; 9 |];
+  }
+
+let test_metrics_totals () =
+  checki "total packets" 8 (Metrics.total_packets dummy_metrics);
+  checki "total headers" 4 (Metrics.total_headers dummy_metrics)
+
+let test_metrics_latency_percentiles () =
+  (match Metrics.latency_percentiles dummy_metrics with
+  | Some (p50, _, worst) ->
+      Alcotest.(check (float 1e-9)) "median" 4.0 p50;
+      checki "max" 9 worst
+  | None -> Alcotest.fail "expected percentiles");
+  checkb "empty gives none" true
+    (Metrics.latency_percentiles { dummy_metrics with latencies = [||] } = None)
+
+let test_harness_measures_latency () =
+  let res =
+    Harness.run (Nfc_protocol.Stenning.make ())
+      {
+        Harness.default_config with
+        policy_tr = Nfc_channel.Policy.fifo_delayed ~latency:5 ();
+        policy_rt = Nfc_channel.Policy.fifo_delayed ~latency:5 ();
+        n_messages = 6;
+        submit_every = 30;
+      }
+  in
+  let m = res.Harness.metrics in
+  checki "all measured" 6 (Array.length m.Metrics.latencies);
+  (* One-way latency 5: every delivery takes at least ~5 rounds (the
+     channel clock ticks within the send round, hence the -1). *)
+  Array.iter
+    (fun l -> checkb "at least the propagation delay" true (l >= 4))
+    m.Metrics.latencies
+
+let test_metrics_pp () =
+  let s = Format.asprintf "%a" Metrics.pp dummy_metrics in
+  checkb "mentions complete" true (String.length s > 40)
+
+(* -------------------------------------------------------------- Harness *)
+
+let base proto =
+  Harness.run proto
+    {
+      Harness.default_config with
+      policy_tr = Nfc_channel.Policy.fifo_reliable;
+      policy_rt = Nfc_channel.Policy.fifo_reliable;
+      n_messages = 5;
+    }
+
+let test_harness_basic_run () =
+  let res = base (Nfc_protocol.Stenning.make ()) in
+  let m = res.Harness.metrics in
+  checki "submitted" 5 m.Metrics.submitted;
+  checki "delivered" 5 m.Metrics.delivered;
+  checkb "completed" true m.Metrics.completed
+
+let test_harness_trace_recording () =
+  let res =
+    Harness.run (Nfc_protocol.Stenning.make ())
+      {
+        Harness.default_config with
+        policy_tr = Nfc_channel.Policy.fifo_reliable;
+        policy_rt = Nfc_channel.Policy.fifo_reliable;
+        n_messages = 3;
+        record_trace = true;
+      }
+  in
+  match res.Harness.trace with
+  | None -> Alcotest.fail "trace requested but missing"
+  | Some t ->
+      checki "three submissions" 3 (Execution.sm t);
+      checki "three deliveries" 3 (Execution.rm t);
+      (* The recorded execution satisfies every declarative property. *)
+      checkb "valid" true (Props.valid t);
+      checkb "pl1 tr" true (Props.pl1 Action.T_to_r t = None);
+      checkb "pl1 rt" true (Props.pl1 Action.R_to_t t = None)
+
+let test_harness_no_trace_by_default () =
+  let res = base (Nfc_protocol.Stenning.make ()) in
+  checkb "no trace" true (res.Harness.trace = None)
+
+let test_harness_determinism () =
+  let run () =
+    Harness.run (Nfc_protocol.Stenning.make ())
+      {
+        Harness.default_config with
+        n_messages = 8;
+        seed = 123;
+        policy_tr = Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.1;
+        policy_rt = Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.1;
+      }
+  in
+  let a = (run ()).Harness.metrics and b = (run ()).Harness.metrics in
+  checkb "same seed, same metrics" true (a = b)
+
+let test_harness_seed_changes_run () =
+  let run seed =
+    Harness.run (Nfc_protocol.Stenning.make ())
+      {
+        Harness.default_config with
+        n_messages = 8;
+        seed;
+        policy_tr = Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.1;
+        policy_rt = Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.1;
+      }
+  in
+  let a = (run 1).Harness.metrics and b = (run 2).Harness.metrics in
+  checkb "different seeds, different packet counts (almost surely)" true
+    (a.Metrics.pkts_tr_sent <> b.Metrics.pkts_tr_sent
+    || a.Metrics.rounds <> b.Metrics.rounds)
+
+let test_harness_paced_submission () =
+  let res =
+    Harness.run (Nfc_protocol.Stenning.make ())
+      {
+        Harness.default_config with
+        policy_tr = Nfc_channel.Policy.fifo_reliable;
+        policy_rt = Nfc_channel.Policy.fifo_reliable;
+        n_messages = 4;
+        submit_every = 10;
+      }
+  in
+  let m = res.Harness.metrics in
+  checkb "completed" true m.Metrics.completed;
+  checkb "takes at least 30 rounds" true (m.Metrics.rounds >= 30)
+
+let test_harness_max_rounds_cap () =
+  (* A silent channel can never deliver: the run must stop at max_rounds. *)
+  let res =
+    Harness.run (Nfc_protocol.Stenning.make ())
+      {
+        Harness.default_config with
+        policy_tr = Nfc_channel.Policy.silent;
+        policy_rt = Nfc_channel.Policy.silent;
+        n_messages = 1;
+        max_rounds = 500;
+      }
+  in
+  let m = res.Harness.metrics in
+  checki "rounds capped" 500 m.Metrics.rounds;
+  checkb "not completed" false m.Metrics.completed
+
+let test_harness_stall_detection () =
+  let res =
+    Harness.run (Nfc_protocol.Stenning.make ())
+      {
+        Harness.default_config with
+        policy_tr = Nfc_channel.Policy.silent;
+        policy_rt = Nfc_channel.Policy.silent;
+        n_messages = 1;
+        max_rounds = 100_000;
+        stall_rounds = Some 200;
+      }
+  in
+  let m = res.Harness.metrics in
+  checkb "stopped by stall detector" true (m.Metrics.rounds <= 250)
+
+let test_harness_grace_catches_late_phantom () =
+  (* Stop-and-wait on a delaying channel: the duplicate deliveries are only
+     observable if the run keeps going after the last legit delivery. *)
+  let violated = ref false in
+  for seed = 1 to 10 do
+    let res =
+      Harness.run (Nfc_protocol.Stop_and_wait.make ())
+        {
+          Harness.default_config with
+          policy_tr = Nfc_channel.Policy.fifo_lossy ~loss:0.3;
+          policy_rt = Nfc_channel.Policy.fifo_lossy ~loss:0.3;
+          n_messages = 5;
+          submit_every = 4;
+          seed;
+        }
+    in
+    if res.Harness.metrics.Metrics.dl_violation <> None then violated := true
+  done;
+  checkb "phantom caught within grace" true !violated
+
+let test_harness_zero_messages () =
+  let res =
+    Harness.run (Nfc_protocol.Stenning.make ())
+      { Harness.default_config with n_messages = 0; grace_rounds = 0 }
+  in
+  checkb "trivially complete" true res.Harness.metrics.Metrics.completed
+
+let test_harness_header_census () =
+  let res =
+    Harness.run (Nfc_protocol.Alternating_bit.make ())
+      {
+        Harness.default_config with
+        policy_tr = Nfc_channel.Policy.fifo_reliable;
+        policy_rt = Nfc_channel.Policy.fifo_reliable;
+        n_messages = 6;
+      }
+  in
+  let m = res.Harness.metrics in
+  checkb "altbit uses both data headers" true (m.Metrics.headers_tr = 2);
+  checkb "altbit uses both ack headers" true (m.Metrics.headers_rt = 2)
+
+(* Property: every recorded trace from random channels passes the
+   declarative PL1 checker (the transit structure enforces it). *)
+let prop_recorded_traces_pl1 =
+  QCheck.Test.make ~name:"recorded traces always satisfy PL1" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let res =
+        Harness.run (Nfc_protocol.Stenning.make ())
+          {
+            Harness.default_config with
+            policy_tr = Nfc_channel.Policy.uniform_reorder ~deliver:0.5 ~drop:0.2;
+            policy_rt = Nfc_channel.Policy.uniform_reorder ~deliver:0.5 ~drop:0.2;
+            n_messages = 5;
+            seed;
+            record_trace = true;
+            max_rounds = 20_000;
+          }
+      in
+      match res.Harness.trace with
+      | None -> false
+      | Some t -> Props.pl1 Action.T_to_r t = None && Props.pl1 Action.R_to_t t = None)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_recorded_traces_pl1 ]
+
+let suite =
+  [
+    ("dl_check clean", `Quick, test_dl_check_clean);
+    ("dl_check never sent", `Quick, test_dl_check_never_sent);
+    ("dl_check duplicate", `Quick, test_dl_check_duplicate);
+    ("dl_check order", `Quick, test_dl_check_order);
+    ("dl_check sticky", `Quick, test_dl_check_sticky);
+    ("dl_check incomplete", `Quick, test_dl_check_incomplete);
+    ("dl_check ignores packets", `Quick, test_dl_check_ignores_packets);
+    ("metrics totals", `Quick, test_metrics_totals);
+    ("metrics latency percentiles", `Quick, test_metrics_latency_percentiles);
+    ("harness measures latency", `Quick, test_harness_measures_latency);
+    ("metrics pp", `Quick, test_metrics_pp);
+    ("harness basic run", `Quick, test_harness_basic_run);
+    ("harness trace recording", `Quick, test_harness_trace_recording);
+    ("harness no trace by default", `Quick, test_harness_no_trace_by_default);
+    ("harness determinism", `Quick, test_harness_determinism);
+    ("harness seed sensitivity", `Quick, test_harness_seed_changes_run);
+    ("harness paced submission", `Quick, test_harness_paced_submission);
+    ("harness max rounds cap", `Quick, test_harness_max_rounds_cap);
+    ("harness stall detection", `Quick, test_harness_stall_detection);
+    ("harness grace catches phantom", `Quick, test_harness_grace_catches_late_phantom);
+    ("harness zero messages", `Quick, test_harness_zero_messages);
+    ("harness header census", `Quick, test_harness_header_census);
+  ]
+  @ qsuite

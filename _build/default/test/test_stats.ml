@@ -1,0 +1,173 @@
+(* Tests for Nfc_stats: Hoeffding, Binomial, Summary. *)
+open Nfc_stats
+
+let checkb = Alcotest.(check bool)
+let checkf tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------ Hoeffding *)
+
+let test_hoeffding_basic () =
+  (* Theorem 5.4: Prob{sum <= alpha n} <= exp(-2n(alpha-q)^2). *)
+  let b = Hoeffding.lower_tail ~n:100 ~q:0.5 ~alpha:0.4 in
+  checkf 1e-12 "closed form" (exp (-2.0 *. 100.0 *. 0.01)) b
+
+let test_hoeffding_tightens_with_n () =
+  let b1 = Hoeffding.lower_tail ~n:10 ~q:0.5 ~alpha:0.3 in
+  let b2 = Hoeffding.lower_tail ~n:100 ~q:0.5 ~alpha:0.3 in
+  checkb "larger n, smaller tail" true (b2 < b1)
+
+let test_hoeffding_alpha_eq_q () =
+  checkf 1e-12 "alpha = q gives 1" 1.0 (Hoeffding.lower_tail ~n:50 ~q:0.3 ~alpha:0.3)
+
+let test_hoeffding_invalid () =
+  Alcotest.check_raises "alpha > q"
+    (Invalid_argument "Hoeffding.lower_tail: requires alpha <= q") (fun () ->
+      ignore (Hoeffding.lower_tail ~n:10 ~q:0.2 ~alpha:0.5));
+  Alcotest.check_raises "bad n" (Invalid_argument "Hoeffding: n must be >= 1") (fun () ->
+      ignore (Hoeffding.lower_tail ~n:0 ~q:0.2 ~alpha:0.1))
+
+let test_hoeffding_upper_symmetric () =
+  checkf 1e-12 "symmetry"
+    (Hoeffding.lower_tail ~n:60 ~q:0.5 ~alpha:0.4)
+    (Hoeffding.upper_tail ~n:60 ~q:0.5 ~alpha:0.6)
+
+let test_hoeffding_deviation_capped () =
+  checkf 1e-12 "capped at 1" 1.0 (Hoeffding.deviation ~n:1 ~q:0.5 ~eps:0.01)
+
+let test_hoeffding_epsilon_n () =
+  (* The paper's eps_n = O(1/sqrt n). *)
+  checkf 1e-12 "eps_100" 0.1 (Hoeffding.epsilon_n ~c:1.0 100);
+  checkb "decreasing" true (Hoeffding.epsilon_n ~c:1.0 400 < Hoeffding.epsilon_n ~c:1.0 100)
+
+let test_hoeffding_sample_size () =
+  let n = Hoeffding.sample_size ~q:0.5 ~eps:0.1 ~delta:0.05 in
+  checkb "sample size sufficient" true (Hoeffding.deviation ~n ~q:0.5 ~eps:0.1 <= 0.05);
+  checkb "one less insufficient" true (Hoeffding.deviation ~n:(n - 1) ~q:0.5 ~eps:0.1 > 0.05)
+
+let prop_hoeffding_bounds_empirical =
+  (* The bound must actually bound the empirical binomial tail. *)
+  QCheck.Test.make ~name:"hoeffding dominates exact binomial tail" ~count:50
+    QCheck.(pair (int_range 10 80) (int_range 1 9))
+    (fun (n, q10) ->
+      let q = float_of_int q10 /. 10.0 in
+      let alpha = q /. 2.0 in
+      let k = int_of_float (floor (alpha *. float_of_int n)) in
+      let exact = Binomial.cdf ~n ~p:q k in
+      let bound = Hoeffding.lower_tail ~n ~q ~alpha in
+      exact <= bound +. 1e-9)
+
+(* ------------------------------------------------------------- Binomial *)
+
+let test_binomial_pmf_sums_to_one () =
+  let total = ref 0.0 in
+  for k = 0 to 20 do
+    total := !total +. Binomial.pmf ~n:20 ~p:0.3 k
+  done;
+  checkf 1e-9 "sums to 1" 1.0 !total
+
+let test_binomial_pmf_small_cases () =
+  checkf 1e-12 "n=2 k=1" 0.5 (Binomial.pmf ~n:2 ~p:0.5 1);
+  checkf 1e-12 "k out of range" 0.0 (Binomial.pmf ~n:5 ~p:0.5 6);
+  checkf 1e-12 "p=0" 1.0 (Binomial.pmf ~n:5 ~p:0.0 0);
+  checkf 1e-12 "p=1" 1.0 (Binomial.pmf ~n:5 ~p:1.0 5)
+
+let test_binomial_cdf_monotone () =
+  let prev = ref (-1.0) in
+  for k = 0 to 15 do
+    let c = Binomial.cdf ~n:15 ~p:0.4 k in
+    checkb "monotone" true (c >= !prev);
+    prev := c
+  done;
+  checkf 1e-12 "full cdf" 1.0 (Binomial.cdf ~n:15 ~p:0.4 15)
+
+let test_binomial_survival () =
+  checkf 1e-9 "survival complement" 1.0
+    (Binomial.cdf ~n:10 ~p:0.3 4 +. Binomial.survival ~n:10 ~p:0.3 4)
+
+let test_binomial_moments () =
+  checkf 1e-12 "mean" 6.0 (Binomial.mean ~n:20 ~p:0.3);
+  checkf 1e-12 "variance" 4.2 (Binomial.variance ~n:20 ~p:0.3)
+
+let test_binomial_log_choose () =
+  checkf 1e-9 "C(5,2)=10" (log 10.0) (Binomial.log_choose 5 2);
+  checkb "k>n -> -inf" true (Binomial.log_choose 3 5 = neg_infinity)
+
+let test_binomial_sample_range_and_mean () =
+  let rng = Nfc_util.Rng.of_int 99 in
+  let total = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    let s = Binomial.sample rng ~n:10 ~p:0.3 in
+    checkb "range" true (s >= 0 && s <= 10);
+    total := !total + s
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  checkb "empirical mean near 3" true (mean > 2.7 && mean < 3.3)
+
+(* -------------------------------------------------------------- Summary *)
+
+let test_summary_basic () =
+  let s = Summary.of_list [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  checkf 1e-9 "mean" 3.0 s.mean;
+  checkf 1e-9 "median" 3.0 s.median;
+  checkf 1e-9 "min" 1.0 s.min;
+  checkf 1e-9 "max" 5.0 s.max;
+  checkf 1e-9 "stddev" (sqrt 2.5) s.stddev;
+  Alcotest.(check int) "count" 5 s.count
+
+let test_summary_singleton () =
+  let s = Summary.of_list [ 7.0 ] in
+  checkf 1e-9 "median" 7.0 s.median;
+  checkf 1e-9 "sd 0" 0.0 s.stddev
+
+let test_summary_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_list: empty sample") (fun () ->
+      ignore (Summary.of_list []))
+
+let test_summary_percentile_interpolates () =
+  checkf 1e-9 "p50 of 1..4" 2.5 (Summary.percentile [ 1.0; 2.0; 3.0; 4.0 ] 50.0);
+  checkf 1e-9 "p0" 1.0 (Summary.percentile [ 4.0; 1.0; 3.0; 2.0 ] 0.0);
+  checkf 1e-9 "p100" 4.0 (Summary.percentile [ 4.0; 1.0; 3.0; 2.0 ] 100.0)
+
+let test_summary_ci_contains_mean () =
+  let s = Summary.of_ints [ 10; 12; 9; 11; 10; 13; 8; 10 ] in
+  let lo, hi = Summary.mean_ci ~confidence:0.95 s in
+  checkb "mean inside CI" true (lo <= s.mean && s.mean <= hi);
+  let lo99, hi99 = Summary.mean_ci ~confidence:0.99 s in
+  checkb "wider at 99%" true (lo99 < lo && hi99 > hi)
+
+let prop_summary_bounds =
+  QCheck.Test.make ~name:"summary min <= median <= max" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range (-100.) 100.))
+    (fun l ->
+      QCheck.assume (l <> []);
+      let s = Summary.of_list l in
+      s.min <= s.median && s.median <= s.max && s.p10 <= s.p90)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_hoeffding_bounds_empirical; prop_summary_bounds ]
+
+let suite =
+  [
+    ("hoeffding closed form", `Quick, test_hoeffding_basic);
+    ("hoeffding tightens with n", `Quick, test_hoeffding_tightens_with_n);
+    ("hoeffding alpha=q", `Quick, test_hoeffding_alpha_eq_q);
+    ("hoeffding invalid args", `Quick, test_hoeffding_invalid);
+    ("hoeffding symmetry", `Quick, test_hoeffding_upper_symmetric);
+    ("hoeffding deviation capped", `Quick, test_hoeffding_deviation_capped);
+    ("hoeffding epsilon_n", `Quick, test_hoeffding_epsilon_n);
+    ("hoeffding sample size", `Quick, test_hoeffding_sample_size);
+    ("binomial pmf sums to one", `Quick, test_binomial_pmf_sums_to_one);
+    ("binomial pmf small cases", `Quick, test_binomial_pmf_small_cases);
+    ("binomial cdf monotone", `Quick, test_binomial_cdf_monotone);
+    ("binomial survival", `Quick, test_binomial_survival);
+    ("binomial moments", `Quick, test_binomial_moments);
+    ("binomial log choose", `Quick, test_binomial_log_choose);
+    ("binomial sampling", `Quick, test_binomial_sample_range_and_mean);
+    ("summary basic", `Quick, test_summary_basic);
+    ("summary singleton", `Quick, test_summary_singleton);
+    ("summary empty rejected", `Quick, test_summary_empty_rejected);
+    ("summary percentile", `Quick, test_summary_percentile_interpolates);
+    ("summary ci", `Quick, test_summary_ci_contains_mean);
+  ]
+  @ qsuite

@@ -1,0 +1,166 @@
+(* Tests for Nfc_transport: Vlink payload transport, Stack layering, and
+   the E-TRANS experiment shapes. *)
+open Nfc_transport
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let vlink ?(dl = Nfc_protocol.Stenning.make ()) ?(seed = 1)
+    ?(policy = fun () -> Nfc_channel.Policy.fifo_reliable) () =
+  Vlink.create ~protocol:dl ~policy_tr:(policy ()) ~policy_rt:(policy ()) ~seed ()
+
+let rec drive_until_delivery link budget =
+  if budget = 0 then None
+  else
+    match Vlink.poll_delivery link with
+    | Some p -> Some p
+    | None ->
+        Vlink.step link;
+        drive_until_delivery link (budget - 1)
+
+let test_vlink_carries_payload () =
+  let link = vlink () in
+  Vlink.send link 42;
+  (match drive_until_delivery link 100 with
+  | Some 42 -> ()
+  | Some p -> Alcotest.failf "wrong payload %d" p
+  | None -> Alcotest.fail "no delivery");
+  checki "submitted" 1 (Vlink.submitted link);
+  checki "delivered" 1 (Vlink.delivered link);
+  checkb "not degraded" true (Vlink.degraded link = None)
+
+let test_vlink_payload_order () =
+  let link = vlink ~policy:(fun () -> Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.1) () in
+  let payloads = [ 10; 20; 30; 40; 50 ] in
+  let out = ref [] in
+  List.iter
+    (fun p ->
+      Vlink.send link p;
+      match drive_until_delivery link 10_000 with
+      | Some got -> out := got :: !out
+      | None -> Alcotest.fail "vlink stalled")
+    payloads;
+  Alcotest.(check (list int)) "in order" payloads (List.rev !out)
+
+let test_vlink_counts_physical_packets () =
+  let link = vlink ~policy:(fun () -> Nfc_channel.Policy.fifo_lossy ~loss:0.3) ~seed:5 () in
+  Vlink.send link 1;
+  ignore (drive_until_delivery link 10_000);
+  checkb "physical packets counted" true (Vlink.packets_used link >= 2)
+
+let test_vlink_degrades_with_unsafe_dl () =
+  (* Stop-and-wait over a lossy channel duplicates; the vlink must notice
+     (phantom deliveries) on some seed. *)
+  let degraded = ref false in
+  for seed = 1 to 10 do
+    let link =
+      vlink
+        ~dl:(Nfc_protocol.Stop_and_wait.make ())
+        ~policy:(fun () -> Nfc_channel.Policy.fifo_lossy ~loss:0.3)
+        ~seed ()
+    in
+    for p = 0 to 4 do
+      Vlink.send link p;
+      ignore (drive_until_delivery link 2_000)
+    done;
+    (* Drain a grace period for late duplicates. *)
+    for _ = 1 to 200 do
+      Vlink.step link;
+      ignore (Vlink.poll_delivery link)
+    done;
+    if Vlink.degraded link <> None then degraded := true
+  done;
+  checkb "some seed degrades" true !degraded
+
+let stack_cfg n = { Stack.default_config with n_messages = n; max_rounds = 100_000 }
+
+let test_stack_correct_over_correct () =
+  let link ~seed =
+    Vlink.create ~protocol:(Nfc_protocol.Stenning.make ())
+      ~policy_tr:(Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.1)
+      ~policy_rt:(Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.1)
+      ~seed ()
+  in
+  let r = Stack.run ~transport:(Nfc_protocol.Stenning.make ()) ~link (stack_cfg 8) in
+  checkb "completed" true r.Stack.completed;
+  checkb "no transport violation" true (r.Stack.transport_violation = None);
+  checkb "no degradation" true (r.Stack.link_degraded = None);
+  checkb "physical > transport packets" true (r.Stack.physical_packets > r.Stack.transport_packets)
+
+let test_stack_altbit_rehabilitated () =
+  (* Alternating bit is unsafe on non-FIFO channels, but over a correct
+     data link the virtual link is FIFO and exactly-once: it works. *)
+  let link ~seed =
+    Vlink.create ~protocol:(Nfc_protocol.Stenning.make ())
+      ~policy_tr:(Nfc_channel.Policy.uniform_reorder ~deliver:0.6 ~drop:0.1)
+      ~policy_rt:(Nfc_channel.Policy.uniform_reorder ~deliver:0.6 ~drop:0.1)
+      ~seed ()
+  in
+  let r = Stack.run ~transport:(Nfc_protocol.Alternating_bit.make ()) ~link (stack_cfg 8) in
+  checkb "completed" true r.Stack.completed;
+  checkb "no transport violation" true (r.Stack.transport_violation = None)
+
+let test_stack_degraded_link_cannot_complete () =
+  (* Over virtual links whose data link wedges/duplicates under heavy
+     reordering, transport cannot finish; degradation is reported. *)
+  let any_bad = ref false in
+  for seed = 1 to 4 do
+    let link ~seed =
+      Vlink.create
+        ~protocol:(Nfc_protocol.Alternating_bit.make ())
+        ~policy_tr:(Nfc_channel.Policy.uniform_reorder ~deliver:0.3 ~drop:0.0)
+        ~policy_rt:(Nfc_channel.Policy.uniform_reorder ~deliver:0.3 ~drop:0.0)
+        ~seed ()
+    in
+    let r =
+      Stack.run ~transport:(Nfc_protocol.Stenning.make ()) ~link
+        { (stack_cfg 20) with seed; submit_every = 2; stall_rounds = 10_000 }
+    in
+    if (not r.Stack.completed) && r.Stack.link_degraded <> None then any_bad := true
+  done;
+  checkb "degradation observed" true !any_bad
+
+let test_stack_deterministic () =
+  let mk () =
+    let link ~seed =
+      Vlink.create ~protocol:(Nfc_protocol.Stenning.make ())
+        ~policy_tr:(Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.1)
+        ~policy_rt:(Nfc_channel.Policy.uniform_reorder ~deliver:0.7 ~drop:0.1)
+        ~seed ()
+    in
+    Stack.run ~transport:(Nfc_protocol.Stenning.make ()) ~link { (stack_cfg 6) with seed = 9 }
+  in
+  checkb "same seed same result" true (mk () = mk ())
+
+let test_experiment_shapes () =
+  let rows = Experiment.run ~quick:true ~silent:true () in
+  checki "five scenarios" 5 (List.length rows);
+  let find prefix =
+    List.find
+      (fun (r : Experiment.row) ->
+        String.length r.stack >= String.length prefix
+        && String.sub r.stack 0 (String.length prefix) = prefix)
+      rows
+  in
+  let healthy = find "stenning / stenning" in
+  checkb "healthy stack ok" true (healthy.verdict = "ok");
+  checkb "healthy stack compounds cost" true
+    (healthy.physical_packets > healthy.transport_packets);
+  let rehabilitated = find "altbit / stenning" in
+  checkb "altbit over correct link ok" true (rehabilitated.verdict = "ok");
+  let flood_stack = find "altbit(patient) / flood" in
+  checkb "flood link compounds hard" true
+    (flood_stack.physical_packets > 10 * flood_stack.transport_packets)
+
+let suite =
+  [
+    ("vlink carries payload", `Quick, test_vlink_carries_payload);
+    ("vlink payload order", `Quick, test_vlink_payload_order);
+    ("vlink physical packets", `Quick, test_vlink_counts_physical_packets);
+    ("vlink degrades with unsafe dl", `Quick, test_vlink_degrades_with_unsafe_dl);
+    ("stack correct over correct", `Quick, test_stack_correct_over_correct);
+    ("stack rehabilitates altbit", `Quick, test_stack_altbit_rehabilitated);
+    ("stack degraded link", `Quick, test_stack_degraded_link_cannot_complete);
+    ("stack deterministic", `Quick, test_stack_deterministic);
+    ("experiment shapes", `Quick, test_experiment_shapes);
+  ]
