@@ -5,6 +5,7 @@
      nfc figure1                   print the paper's Figure 1
      nfc simulate ...              one harness run, metrics (and trace)
      nfc mcheck ...                search for a DL1 counterexample
+     nfc fuzz ...                  coverage-guided schedule fuzzing (+ shrinking)
      nfc boundness ...             measure boundness vs k_t*k_r (Thm 2.1)
      nfc experiment t21|t31|t41|t51|all   regenerate the paper's tables *)
 
@@ -12,32 +13,14 @@ open Cmdliner
 
 (* ------------------------------------------------------- shared parsing *)
 
-let protocol_doc =
-  "Protocol: stop-and-wait | altbit | stenning | gbn[:WINDOW] | sr[:WINDOW] | \
-   flood[:BASE:RATIO] | afek3"
+(* Protocol names resolve through the registry, so the CLI, the examples and
+   the experiment drivers can never drift apart. *)
+let protocol_doc = "Protocol: " ^ Nfc_protocol.Registry.doc
 
 let parse_protocol s =
-  match String.split_on_char ':' s with
-  | [ "stop-and-wait" ] | [ "sw" ] -> Ok (Nfc_protocol.Stop_and_wait.make ())
-  | [ "altbit" ] | [ "alternating-bit" ] -> Ok (Nfc_protocol.Alternating_bit.make ())
-  | [ "stenning" ] -> Ok (Nfc_protocol.Stenning.make ())
-  | [ "afek3" ] -> Ok (Nfc_protocol.Afek3.make ())
-  | [ "sr" ] | [ "selective-repeat" ] -> Ok (Nfc_protocol.Selective_repeat.make ())
-  | [ "sr"; w ] -> (
-      match int_of_string_opt w with
-      | Some w when w >= 1 -> Ok (Nfc_protocol.Selective_repeat.make ~window:w ())
-      | _ -> Error (`Msg "sr takes sr:WINDOW with WINDOW >= 1"))
-  | [ "gbn" ] | [ "go-back-n" ] -> Ok (Nfc_protocol.Go_back_n.make ())
-  | [ "gbn"; w ] -> (
-      match int_of_string_opt w with
-      | Some w when w >= 1 -> Ok (Nfc_protocol.Go_back_n.make ~window:w ())
-      | _ -> Error (`Msg "gbn takes gbn:WINDOW with WINDOW >= 1"))
-  | [ "flood" ] -> Ok (Nfc_protocol.Flood.make ())
-  | [ "flood"; base; ratio ] -> (
-      match (int_of_string_opt base, float_of_string_opt ratio) with
-      | Some b, Some r when b >= 1 && r >= 1.0 -> Ok (Nfc_protocol.Flood.make ~base:b ~ratio:r ())
-      | _ -> Error (`Msg "flood takes flood:BASE:RATIO with BASE >= 1, RATIO >= 1.0"))
-  | _ -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  match Nfc_protocol.Registry.parse s with
+  | Ok p -> Ok p
+  | Error msg -> Error (`Msg msg)
 
 let protocol_conv =
   Arg.conv
@@ -147,7 +130,10 @@ let simulate_cmd =
   let max_rounds =
     Arg.(value & opt int 500_000 & info [ "max-rounds" ] ~docv:"R" ~doc:"Round budget")
   in
-  let run protocol (_, channel) n pace trace seed max_rounds =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the metrics as a single JSON object")
+  in
+  let run protocol (_, channel) n pace trace seed max_rounds json =
     let result =
       Nfc_sim.Harness.run protocol
         {
@@ -163,15 +149,16 @@ let simulate_cmd =
         }
     in
     (match result.Nfc_sim.Harness.trace with
-    | Some t when trace ->
+    | Some t when trace && not json ->
         List.iteri (fun i a -> Format.printf "%4d. %a@." i Nfc_automata.Action.pp a) t
     | _ -> ());
-    Format.printf "%a@." Nfc_sim.Metrics.pp result.Nfc_sim.Harness.metrics;
+    if json then print_endline (Nfc_sim.Metrics.to_json result.Nfc_sim.Harness.metrics)
+    else Format.printf "%a@." Nfc_sim.Metrics.pp result.Nfc_sim.Harness.metrics;
     if result.Nfc_sim.Harness.metrics.Nfc_sim.Metrics.dl_violation <> None then exit 2
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one protocol over one channel and report the metrics")
-    Term.(const run $ protocol $ channel $ n $ pace $ trace $ seed_arg $ max_rounds)
+    Term.(const run $ protocol $ channel $ n $ pace $ trace $ seed_arg $ max_rounds $ json)
 
 (* --------------------------------------------------------------- mcheck *)
 
@@ -332,6 +319,107 @@ let replay_cmd =
        ~doc:"Re-judge a stored execution against DL1/DL2/PL1 and the Definition-2 counters")
     Term.(const run $ file $ protocol)
 
+(* ----------------------------------------------------------------- fuzz *)
+
+let fuzz_cmd =
+  let open Nfc_fuzz in
+  let protocol =
+    Arg.(
+      value
+      & opt (some protocol_conv) None
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:protocol_doc)
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Fuzz every protocol in the registry")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 50_000
+      & info [ "iterations" ] ~docv:"N" ~doc:"Run budget (deterministic under --seed)")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Optional CPU-time cap; ends the campaign early (non-deterministic)")
+  in
+  let steps =
+    Arg.(value & opt int 80 & info [ "steps" ] ~docv:"K" ~doc:"Generated schedule length")
+  in
+  let submits =
+    Arg.(value & opt int 4 & info [ "submits" ] ~docv:"S" ~doc:"Submission budget per schedule")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ] ~doc:"Delta-debug the finding to a minimal schedule")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-trace" ] ~docv:"FILE"
+          ~doc:"Write the counterexample execution to FILE (replay with: nfc replay FILE)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per protocol (JSONL)")
+  in
+  let run protocol all iterations budget steps submits shrink save json seed =
+    let cfg =
+      {
+        Campaign.default_cfg with
+        iterations;
+        time_budget = budget;
+        seed;
+        shrink;
+        gen = { Gen.default_cfg with steps; submits };
+      }
+    in
+    let log = if json then fun _ -> () else fun msg -> Format.eprintf "%s@." msg in
+    let results =
+      if all then Campaign.run_all ~log cfg
+      else
+        let proto =
+          match protocol with Some p -> p | None -> Nfc_protocol.Alternating_bit.make ()
+        in
+        [ Campaign.run ~log proto cfg ]
+    in
+    if json then print_string (Campaign.jsonl results)
+    else begin
+      List.iter (fun r -> Format.printf "%a@." Campaign.pp_result r) results;
+      match results with
+      | [ { Campaign.finding = Some f; _ } ] ->
+          let sched = Option.value f.Campaign.shrunk ~default:f.Campaign.schedule in
+          Format.printf "@.violating schedule (%d steps):@.%a@." (Schedule.length sched)
+            Schedule.pp sched;
+          Format.printf "@.execution (%d actions):@." (List.length f.Campaign.trace);
+          List.iteri
+            (fun i a -> Format.printf "  %2d. %a@." i Nfc_automata.Action.pp a)
+            f.Campaign.trace
+      | _ -> ()
+    end;
+    (match save with
+    | None -> ()
+    | Some file -> (
+        match
+          List.find_map (fun r -> r.Campaign.finding) results
+        with
+        | Some f ->
+            Nfc_sim.Trace_io.save file f.Campaign.trace;
+            if not json then Format.printf "@.counterexample written to %s@." file
+        | None -> Format.eprintf "no violation found; nothing written to %s@." file));
+    if List.exists (fun r -> r.Campaign.finding <> None) results then exit 2
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided adversarial schedule fuzzing (DL violation search with \
+          trace shrinking)")
+    Term.(
+      const run $ protocol $ all $ iterations $ budget $ steps $ submits $ shrink $ save
+      $ json $ seed_arg)
+
 (* ----------------------------------------------------------- experiment *)
 
 let experiment_cmd =
@@ -386,6 +474,7 @@ let () =
             figure1_cmd;
             simulate_cmd;
             mcheck_cmd;
+            fuzz_cmd;
             boundness_cmd;
             theorems_cmd;
             replay_cmd;

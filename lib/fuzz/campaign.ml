@@ -1,0 +1,133 @@
+module Rng = Nfc_util.Rng
+module Json = Nfc_util.Json
+module Spec = Nfc_protocol.Spec
+
+type cfg = {
+  iterations : int;
+  time_budget : float option;
+  seed : int;
+  gen : Gen.cfg;
+  mutate_ratio : float;
+  shrink : bool;
+}
+
+let default_cfg =
+  {
+    iterations = 50_000;
+    time_budget = None;
+    seed = 1;
+    gen = Gen.default_cfg;
+    mutate_ratio = 0.7;
+    shrink = false;
+  }
+
+type finding = {
+  schedule : Schedule.t;
+  violation : string;
+  found_at : int;
+  shrunk : Schedule.t option;
+  trace : Nfc_automata.Execution.t;
+}
+
+type result = {
+  protocol : string;
+  runs : int;
+  coverage : int;
+  corpus : int;
+  elapsed : float;
+  finding : finding option;
+}
+
+let run ?(log = fun _ -> ()) (proto : Spec.t) cfg =
+  if cfg.iterations < 1 then invalid_arg "Campaign.run: iterations must be >= 1";
+  let rng = Rng.of_int cfg.seed in
+  let corpus = Corpus.create () in
+  let started = Sys.time () in
+  let over_budget () =
+    match cfg.time_budget with
+    | None -> false
+    | Some s -> Sys.time () -. started >= s
+  in
+  let finding = ref None in
+  let runs = ref 0 in
+  (try
+     while !runs < cfg.iterations && not (over_budget ()) do
+       incr runs;
+       let sched =
+         match Corpus.pick rng corpus with
+         | Some seed_sched when Rng.bool rng cfg.mutate_ratio -> Mutate.mutate rng seed_sched
+         | _ -> Gen.schedule rng cfg.gen
+       in
+       let out = Interp.run proto sched in
+       ignore (Corpus.observe corpus sched ~coverage:out.Interp.coverage);
+       match out.Interp.violation with
+       | None -> ()
+       | Some violation ->
+           log
+             (Printf.sprintf "%s: violation after %d runs (%d coverage keys): %s"
+                (Spec.name proto) !runs (Corpus.coverage_size corpus) violation);
+           let shrunk, trace =
+             if cfg.shrink then begin
+               let minimal, trace = Shrink.minimize proto sched in
+               log
+                 (Printf.sprintf "%s: shrunk %d -> %d steps (%d actions)" (Spec.name proto)
+                    (Schedule.length sched) (Schedule.length minimal) (List.length trace));
+               (Some minimal, trace)
+             end
+             else (None, out.Interp.trace)
+           in
+           finding := Some { schedule = sched; violation; found_at = !runs; shrunk; trace };
+           raise Exit
+     done
+   with Exit -> ());
+  {
+    protocol = Spec.name proto;
+    runs = !runs;
+    coverage = Corpus.coverage_size corpus;
+    corpus = Corpus.size corpus;
+    elapsed = Sys.time () -. started;
+    finding = !finding;
+  }
+
+let run_all ?log cfg =
+  List.map
+    (fun entry -> run ?log (entry.Nfc_protocol.Registry.default ()) cfg)
+    Nfc_protocol.Registry.all
+
+let to_json r =
+  Json.to_string
+    (Json.Obj
+       [
+         ("protocol", Json.String r.protocol);
+         ("runs", Json.Int r.runs);
+         ("coverage", Json.Int r.coverage);
+         ("corpus", Json.Int r.corpus);
+         ("elapsed_s", Json.Float r.elapsed);
+         ( "finding",
+           Json.opt
+             (fun f ->
+               Json.Obj
+                 [
+                   ("violation", Json.String f.violation);
+                   ("found_at_run", Json.Int f.found_at);
+                   ("schedule_steps", Json.Int (Schedule.length f.schedule));
+                   ( "shrunk_steps",
+                     Json.opt (fun s -> Json.Int (Schedule.length s)) f.shrunk );
+                   ("trace_actions", Json.Int (List.length f.trace));
+                 ])
+             r.finding );
+       ])
+
+let jsonl results = String.concat "\n" (List.map to_json results) ^ "\n"
+
+let pp_result ppf r =
+  match r.finding with
+  | None ->
+      Format.fprintf ppf "%-16s no violation in %d runs (%d configurations, %.2fs)" r.protocol
+        r.runs r.coverage r.elapsed
+  | Some f ->
+      Format.fprintf ppf "%-16s VIOLATION at run %d (%d configurations, %.2fs): %s%s"
+        r.protocol f.found_at r.coverage r.elapsed f.violation
+        (match f.shrunk with
+        | Some s -> Printf.sprintf " [shrunk to %d steps]" (Schedule.length s)
+        | None -> "")

@@ -1,0 +1,49 @@
+(** Budgeted fuzzing campaigns.
+
+    One campaign fuzzes one protocol: generate or mutate a schedule, run it
+    ({!Interp}), feed the coverage back ({!Corpus}), stop at the first DL
+    violation (optionally shrinking it) or when the budget runs out.  With
+    [time_budget = None] a campaign is a pure function of its seed. *)
+
+type cfg = {
+  iterations : int;  (** run budget *)
+  time_budget : float option;  (** optional CPU-seconds cap (non-deterministic) *)
+  seed : int;
+  gen : Gen.cfg;
+  mutate_ratio : float;  (** probability of mutating a corpus entry vs generating fresh *)
+  shrink : bool;  (** minimize the finding with {!Shrink} *)
+}
+
+(** 50k iterations, no time cap, seed 1, no shrinking. *)
+val default_cfg : cfg
+
+type finding = {
+  schedule : Schedule.t;  (** the violating schedule as found *)
+  violation : string;
+  found_at : int;  (** 1-based run number *)
+  shrunk : Schedule.t option;
+  trace : Nfc_automata.Execution.t;
+      (** execution of the shrunk schedule when shrinking, else of the
+          original finding — replayable via [nfc replay] *)
+}
+
+type result = {
+  protocol : string;
+  runs : int;
+  coverage : int;  (** distinct configurations reached *)
+  corpus : int;  (** schedules kept as mutation seeds *)
+  elapsed : float;  (** CPU seconds *)
+  finding : finding option;
+}
+
+val run : ?log:(string -> unit) -> Nfc_protocol.Spec.t -> cfg -> result
+
+(** Fuzz every protocol in {!Nfc_protocol.Registry.all} (default
+    parameters), in registry order. *)
+val run_all : ?log:(string -> unit) -> cfg -> result list
+
+(** One compact JSON object per result; {!jsonl} joins them one per line. *)
+val to_json : result -> string
+
+val jsonl : result list -> string
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,41 @@
+module Rng = Nfc_util.Rng
+
+type t = {
+  seen : (string, unit) Hashtbl.t;
+  mutable entries : Schedule.t array;
+  mutable n_entries : int;
+}
+
+let create () = { seen = Hashtbl.create 1024; entries = Array.make 16 Schedule.empty; n_entries = 0 }
+
+let coverage_size t = Hashtbl.length t.seen
+let size t = t.n_entries
+let entries t = Array.to_list (Array.sub t.entries 0 t.n_entries)
+
+let keep t sched =
+  if t.n_entries >= Array.length t.entries then begin
+    let bigger = Array.make (2 * Array.length t.entries) Schedule.empty in
+    Array.blit t.entries 0 bigger 0 t.n_entries;
+    t.entries <- bigger
+  end;
+  t.entries.(t.n_entries) <- sched;
+  t.n_entries <- t.n_entries + 1
+
+(* Count the run's new coverage keys; a schedule that reached any new
+   configuration earns a corpus slot. *)
+let observe t sched ~coverage =
+  let fresh =
+    List.fold_left
+      (fun acc key ->
+        if Hashtbl.mem t.seen key then acc
+        else begin
+          Hashtbl.add t.seen key ();
+          acc + 1
+        end)
+      0 coverage
+  in
+  if fresh > 0 then keep t sched;
+  fresh
+
+let pick rng t =
+  if t.n_entries = 0 then None else Some t.entries.(Rng.int rng t.n_entries)

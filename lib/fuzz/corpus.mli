@@ -1,0 +1,26 @@
+(** Coverage-guided corpus.
+
+    Coverage is keyed on the (sender-state, receiver-state,
+    transit-signature) tuples reported by {!Interp} — the same
+    configuration identity the model checker ({!Nfc_mcheck.Explore})
+    deduplicates on.  A schedule whose run visits at least one
+    never-seen configuration is kept as a mutation seed. *)
+
+type t
+
+val create : unit -> t
+
+(** [observe t sched ~coverage] merges the run's coverage keys and returns
+    how many were new; the schedule is kept iff that count is positive. *)
+val observe : t -> Schedule.t -> coverage:string list -> int
+
+(** Distinct configurations seen across all observed runs. *)
+val coverage_size : t -> int
+
+(** Number of kept schedules. *)
+val size : t -> int
+
+val entries : t -> Schedule.t list
+
+(** Uniform-random kept schedule, [None] while empty. *)
+val pick : Nfc_util.Rng.t -> t -> Schedule.t option

@@ -1,0 +1,77 @@
+open Nfc_automata
+module Rng = Nfc_util.Rng
+
+type cfg = {
+  steps : int;
+  submits : int;
+  drop_bias : float;
+  stale_bias : float;
+}
+
+let default_cfg = { steps = 80; submits = 4; drop_bias = 0.05; stale_bias = 0.25 }
+
+(* Copy indices are interpreted modulo the live count, so "0" is always the
+   stalest copy and a large index stands in for "one of the fresher ones". *)
+let index rng =
+  if Rng.bool rng 0.5 then 0 else Rng.int rng 4
+
+let dir rng = if Rng.bool rng 0.5 then Action.T_to_r else Action.R_to_t
+
+let schedule rng cfg =
+  if cfg.steps < 1 then invalid_arg "Gen.schedule: steps must be >= 1";
+  if cfg.submits < 0 then invalid_arg "Gen.schedule: submits must be >= 0";
+  let out = ref [] in
+  let n = ref 0 in
+  let submits_left = ref cfg.submits in
+  let push s =
+    out := s :: !out;
+    incr n
+  in
+  (* Front-load a couple of submissions: the replay attack needs at least two
+     messages before the stale copy can masquerade as a third. *)
+  while !submits_left > cfg.submits / 2 && !n < cfg.steps do
+    push Schedule.Submit;
+    decr submits_left
+  done;
+  while !n < cfg.steps do
+    let burst k step =
+      for _ = 1 to min k (cfg.steps - !n) do
+        push (step ())
+      done
+    in
+    match
+      Rng.pick_weighted rng
+        [
+          (1.0, `Submit);
+          (3.0, `Sender_polls);
+          (3.0, `Receiver_polls);
+          (3.0, `Deliver);
+          (cfg.drop_bias *. 10.0, `Drop);
+          (cfg.stale_bias *. 10.0, `Replay);
+        ]
+    with
+    | None | Some `Submit ->
+        if !submits_left > 0 then begin
+          push Schedule.Submit;
+          decr submits_left
+        end
+        else push Schedule.Sender_poll
+    | Some `Sender_polls ->
+        (* Long enough runs cross retransmission timeouts, piling duplicate
+           copies into the channel. *)
+        burst (1 + Rng.int rng 6) (fun () -> Schedule.Sender_poll)
+    | Some `Receiver_polls -> burst (1 + Rng.int rng 3) (fun () -> Schedule.Receiver_poll)
+    | Some `Deliver -> push (Schedule.Deliver (dir rng, index rng))
+    | Some `Drop -> push (Schedule.Drop (dir rng, index rng))
+    | Some `Replay ->
+        (* The paper's attack shape: let the protocol make progress (deliver
+           fresh copies, poll both ends), then resurrect the stalest copy. *)
+        burst (2 + Rng.int rng 3) (fun () ->
+            match Rng.int rng 3 with
+            | 0 -> Schedule.Deliver (dir rng, 3)
+            | 1 -> Schedule.Sender_poll
+            | _ -> Schedule.Receiver_poll);
+        if !n < cfg.steps then push (Schedule.Deliver (Action.T_to_r, 0));
+        if !n < cfg.steps then push Schedule.Receiver_poll
+  done;
+  Schedule.of_list (List.rev !out)

@@ -1,0 +1,21 @@
+(** Seeded random schedule generation.
+
+    Purely a function of the RNG state and the configuration: the same seed
+    yields the same schedule, so whole fuzzing campaigns replay bit-for-bit.
+
+    Generation is biased toward the shapes the paper's lower-bound proofs
+    use: bursts of sender polls (crossing retransmission timeouts piles
+    duplicate copies into the channel) and "replay" phrases that make
+    progress on fresh copies before resurrecting the stalest one. *)
+
+type cfg = {
+  steps : int;  (** schedule length *)
+  submits : int;  (** [Submit] budget *)
+  drop_bias : float;  (** relative weight of drop steps *)
+  stale_bias : float;  (** relative weight of replay-attack phrases *)
+}
+
+(** 80 steps, 4 submits, light dropping, noticeable replay bias. *)
+val default_cfg : cfg
+
+val schedule : Nfc_util.Rng.t -> cfg -> Schedule.t

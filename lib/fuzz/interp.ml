@@ -1,0 +1,127 @@
+open Nfc_automata
+module Transit = Nfc_channel.Transit
+module Spec = Nfc_protocol.Spec
+module Dl_check = Nfc_sim.Dl_check
+
+type outcome = {
+  trace : Execution.t;
+  violation : string option;
+  executed : int;
+  submitted : int;
+  delivered : int;
+  coverage : string list;
+}
+
+(* Live copies in send order, so "index i" = i-th stalest copy.  Transit
+   remains the ground truth (PL1 by construction); this is just the
+   age-ordered view the schedule addresses copies through. *)
+type lane = { transit : Transit.t; mutable live : int list (* tags, oldest first *) }
+
+let lane () = { transit = Transit.create (); live = [] }
+
+let lane_send l pkt =
+  let tag = Transit.send l.transit pkt in
+  l.live <- l.live @ [ tag ]
+
+let lane_take l idx ~delivered =
+  match l.live with
+  | [] -> None
+  | live ->
+      let n = List.length live in
+      let tag = List.nth live (idx mod n) in
+      l.live <- List.filter (fun t -> t <> tag) live;
+      let take = if delivered then Transit.deliver_tag else Transit.drop_tag in
+      take l.transit tag
+
+let signature l =
+  Format.asprintf "%a" Nfc_util.Multiset.pp_int (Transit.snapshot l.transit)
+
+let run ?(stop_at_violation = true) (proto : Spec.t) (sched : Schedule.t) =
+  let module P = (val proto) in
+  let sender = ref P.sender_init in
+  let receiver = ref P.receiver_init in
+  let tr = lane () in
+  let rt = lane () in
+  let dl = Dl_check.create () in
+  let trace = ref [] in
+  let record a =
+    trace := a :: !trace;
+    ignore (Dl_check.on_action dl a)
+  in
+  let submitted = ref 0 in
+  let delivered = ref 0 in
+  let seen = Hashtbl.create 256 in
+  let coverage = ref [] in
+  let mark () =
+    let key =
+      Format.asprintf "%a|%a|%s|%s" P.pp_sender !sender P.pp_receiver !receiver
+        (signature tr) (signature rt)
+    in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      coverage := key :: !coverage
+    end
+  in
+  mark ();
+  let exec (step : Schedule.step) =
+    match step with
+    | Schedule.Submit ->
+        record (Action.Send_msg !submitted);
+        incr submitted;
+        sender := P.on_submit !sender
+    | Schedule.Sender_poll -> (
+        match P.sender_poll !sender with
+        | None, s -> sender := s
+        | Some pkt, s ->
+            sender := s;
+            record (Action.Send_pkt (Action.T_to_r, pkt));
+            lane_send tr pkt)
+    | Schedule.Receiver_poll -> (
+        match P.receiver_poll !receiver with
+        | None, r -> receiver := r
+        | Some Spec.Rdeliver, r ->
+            receiver := r;
+            record (Action.Receive_msg !delivered);
+            incr delivered
+        | Some (Spec.Rsend pkt), r ->
+            receiver := r;
+            record (Action.Send_pkt (Action.R_to_t, pkt));
+            lane_send rt pkt)
+    | Schedule.Deliver (Action.T_to_r, i) -> (
+        match lane_take tr i ~delivered:true with
+        | None -> ()
+        | Some pkt ->
+            record (Action.Receive_pkt (Action.T_to_r, pkt));
+            receiver := P.on_data !receiver pkt)
+    | Schedule.Deliver (Action.R_to_t, i) -> (
+        match lane_take rt i ~delivered:true with
+        | None -> ()
+        | Some pkt ->
+            record (Action.Receive_pkt (Action.R_to_t, pkt));
+            sender := P.on_ack !sender pkt)
+    | Schedule.Drop (dir, i) -> (
+        let l = match dir with Action.T_to_r -> tr | Action.R_to_t -> rt in
+        match lane_take l i ~delivered:false with
+        | None -> ()
+        | Some pkt -> record (Action.Drop_pkt (dir, pkt)))
+  in
+  let executed = ref 0 in
+  (try
+     Array.iter
+       (fun step ->
+         exec step;
+         incr executed;
+         mark ();
+         if stop_at_violation && Dl_check.violated dl <> None then raise Exit)
+       sched
+   with Exit -> ());
+  {
+    trace = List.rev !trace;
+    violation = Dl_check.violated dl;
+    executed = !executed;
+    submitted = !submitted;
+    delivered = !delivered;
+    coverage = List.rev !coverage;
+  }
+
+let violates proto sched = (run proto sched).violation <> None

@@ -1,0 +1,29 @@
+(** Deterministic schedule interpreter.
+
+    Runs a {!Schedule.t} against a protocol over the real channel state
+    ({!Nfc_channel.Transit}, so PL1 holds by construction) with the online
+    DL checker ({!Nfc_sim.Dl_check} semantics via {!Dl_check}) watching
+    every action.  No randomness: the same schedule always produces the
+    same execution, which is what makes corpus entries, mutants and shrunk
+    counterexamples exactly replayable. *)
+
+type outcome = {
+  trace : Nfc_automata.Execution.t;  (** actions in order, stops at the violation *)
+  violation : string option;  (** first DL1/DL2 violation, if any *)
+  executed : int;  (** schedule steps actually interpreted *)
+  submitted : int;
+  delivered : int;
+  coverage : string list;
+      (** distinct (sender-state, receiver-state, transit-signature) keys,
+          in first-visit order — the fuzzer's coverage signal, reusing the
+          configuration identity idea of {!Nfc_mcheck.Explore} *)
+}
+
+(** [run proto sched] interprets the schedule from the initial
+    configuration.  With [stop_at_violation] (default [true]) the run
+    halts at the first violating action; [outcome.executed] then points
+    one past the violating step, which {!Shrink} uses to truncate. *)
+val run : ?stop_at_violation:bool -> Nfc_protocol.Spec.t -> Schedule.t -> outcome
+
+(** [violates proto sched] = [(run proto sched).violation <> None]. *)
+val violates : Nfc_protocol.Spec.t -> Schedule.t -> bool

@@ -1,0 +1,95 @@
+open Nfc_automata
+module Rng = Nfc_util.Rng
+
+type op = Splice | Duplicate_stale | Reorder_burst | Drop_burst | Truncate | Insert_polls
+
+let all_ops = [ Splice; Duplicate_stale; Reorder_burst; Drop_burst; Truncate; Insert_polls ]
+
+let op_name = function
+  | Splice -> "splice"
+  | Duplicate_stale -> "duplicate-stale"
+  | Reorder_burst -> "reorder-burst"
+  | Drop_burst -> "drop-burst"
+  | Truncate -> "truncate"
+  | Insert_polls -> "insert-polls"
+
+(* Random [pos, pos+len) window inside [0, n). *)
+let window rng n =
+  let pos = Rng.int rng n in
+  let len = 1 + Rng.int rng (max 1 (min 8 (n - pos))) in
+  (pos, min len (n - pos))
+
+let insert_at t pos segment =
+  let before = Array.sub t 0 pos in
+  let after = Array.sub t pos (Array.length t - pos) in
+  Array.concat [ before; segment; after ]
+
+let apply rng op (t : Schedule.t) : Schedule.t =
+  let n = Schedule.length t in
+  if n = 0 then t
+  else
+    match op with
+    | Splice ->
+        (* Copy one window of the schedule to another position: re-runs a
+           phrase (e.g. a poll burst) in a different phase of the protocol. *)
+        let pos, len = window rng n in
+        let segment = Array.sub t pos len in
+        insert_at t (Rng.int rng (n + 1)) segment
+    | Duplicate_stale -> (
+        (* Replay attack in miniature: repeat an earlier delivery later in
+           the run, when the addressed copy is stale. *)
+        let delivers =
+          Array.to_list t
+          |> List.mapi (fun i s -> (i, s))
+          |> List.filter (fun (_, s) ->
+                 match s with Schedule.Deliver _ -> true | _ -> false)
+        in
+        match Rng.pick rng delivers with
+        | None -> insert_at t (Rng.int rng (n + 1)) [| Schedule.Deliver (Action.T_to_r, 0) |]
+        | Some (i, step) ->
+            let stale =
+              match step with
+              | Schedule.Deliver (d, _) -> Schedule.Deliver (d, 0)
+              | s -> s
+            in
+            insert_at t (i + 1 + Rng.int rng (n - i)) [| stale |])
+    | Reorder_burst ->
+        let pos, len = window rng n in
+        let t' = Array.copy t in
+        let seg = Array.sub t pos len in
+        Rng.shuffle rng seg;
+        Array.blit seg 0 t' pos len;
+        t'
+    | Drop_burst ->
+        let len = 1 + Rng.int rng 4 in
+        let seg =
+          Array.init len (fun _ ->
+              Schedule.Drop
+                ((if Rng.bool rng 0.5 then Action.T_to_r else Action.R_to_t), Rng.int rng 4))
+        in
+        insert_at t (Rng.int rng (n + 1)) seg
+    | Truncate -> Array.sub t 0 (1 + Rng.int rng n)
+    | Insert_polls ->
+        let len = 1 + Rng.int rng 6 in
+        let step =
+          if Rng.bool rng 0.5 then Schedule.Sender_poll else Schedule.Receiver_poll
+        in
+        insert_at t (Rng.int rng (n + 1)) (Array.make len step)
+
+let mutate rng t =
+  let op =
+    match
+      Rng.pick_weighted rng
+        [
+          (2.0, Splice);
+          (3.0, Duplicate_stale);
+          (2.0, Reorder_burst);
+          (1.0, Drop_burst);
+          (1.0, Truncate);
+          (2.0, Insert_polls);
+        ]
+    with
+    | Some op -> op
+    | None -> Splice
+  in
+  apply rng op t

@@ -1,0 +1,24 @@
+(** Schedule mutation operators.
+
+    Every operator maps a valid schedule to a valid schedule (schedules are
+    valid by construction — see {!Schedule}), so the fuzz loop never has to
+    repair or reject mutants.  [Duplicate_stale] is the operator tuned to
+    the paper's replay attack: it repeats an earlier delivery later in the
+    run, re-addressed to the stalest in-transit copy. *)
+
+type op =
+  | Splice  (** copy a window of steps to another position *)
+  | Duplicate_stale  (** repeat an earlier delivery, aimed at the oldest copy *)
+  | Reorder_burst  (** shuffle a window of steps *)
+  | Drop_burst  (** insert a run of drops *)
+  | Truncate  (** cut the schedule at a random point *)
+  | Insert_polls  (** insert a run of sender/receiver polls *)
+
+val all_ops : op list
+val op_name : op -> string
+
+(** [apply rng op t] — deterministic given the RNG state. *)
+val apply : Nfc_util.Rng.t -> op -> Schedule.t -> Schedule.t
+
+(** Apply one weighted-random operator. *)
+val mutate : Nfc_util.Rng.t -> Schedule.t -> Schedule.t

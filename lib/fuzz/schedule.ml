@@ -1,0 +1,87 @@
+open Nfc_automata
+
+type step =
+  | Submit
+  | Sender_poll
+  | Receiver_poll
+  | Deliver of Action.dir * int
+  | Drop of Action.dir * int
+
+type t = step array
+
+let empty : t = [||]
+let length = Array.length
+let of_list = Array.of_list
+let to_list = Array.to_list
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let submits t =
+  Array.fold_left (fun acc s -> if s = Submit then acc + 1 else acc) 0 t
+
+let dir_to_string = function Action.T_to_r -> "tr" | Action.R_to_t -> "rt"
+
+let step_to_string = function
+  | Submit -> "submit"
+  | Sender_poll -> "sender_poll"
+  | Receiver_poll -> "receiver_poll"
+  | Deliver (d, i) -> Printf.sprintf "deliver %s %d" (dir_to_string d) i
+  | Drop (d, i) -> Printf.sprintf "drop %s %d" (dir_to_string d) i
+
+let render t =
+  String.concat "\n" (List.map step_to_string (to_list t)) ^ "\n"
+
+let parse_dir = function
+  | "tr" -> Some Action.T_to_r
+  | "rt" -> Some Action.R_to_t
+  | _ -> None
+
+let parse_step line =
+  let parts = String.split_on_char ' ' (String.trim line) in
+  let parts = List.filter (fun s -> s <> "") parts in
+  match parts with
+  | [] -> Ok None
+  | comment :: _ when comment.[0] = '#' -> Ok None
+  | [ "submit" ] -> Ok (Some Submit)
+  | [ "sender_poll" ] -> Ok (Some Sender_poll)
+  | [ "receiver_poll" ] -> Ok (Some Receiver_poll)
+  | [ ("deliver" | "drop") as verb; d; i ] -> (
+      match (parse_dir d, int_of_string_opt i) with
+      | Some dir, Some idx when idx >= 0 ->
+          Ok (Some (if verb = "deliver" then Deliver (dir, idx) else Drop (dir, idx)))
+      | None, _ -> Error "bad direction (tr|rt)"
+      | _, _ -> Error "bad copy index (non-negative integer)")
+  | verb :: _ -> Error (Printf.sprintf "unknown step %S" verb)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go i acc = function
+    | [] -> Ok (of_list (List.rev acc))
+    | line :: rest -> (
+        match parse_step line with
+        | Ok None -> go (i + 1) acc rest
+        | Ok (Some s) -> go (i + 1) (s :: acc) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" i msg))
+  in
+  go 1 [] lines
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render t))
+
+let load path =
+  match open_in path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          parse (really_input_string ic n))
+  | exception Sys_error msg -> Error msg
+
+let pp_step ppf s = Format.pp_print_string ppf (step_to_string s)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_step)
+    (to_list t)

@@ -1,0 +1,48 @@
+(** Serializable adversary schedules.
+
+    A schedule is a finite sequence of channel-adversary and scheduler
+    decisions — the fuzzing analogue of the hand-crafted adversaries behind
+    the paper's Theorems 3.1 and 4.1.  Interpreting a schedule against a
+    protocol ({!Interp}) is fully deterministic: no RNG is consulted, so
+    any schedule (saved, mutated or shrunk) replays to the same execution.
+
+    [Deliver (dir, i)] / [Drop (dir, i)] address the [i]-th oldest
+    in-transit copy on channel [dir], with [i] taken modulo the number of
+    live copies ([i = 0] is always the stalest copy — the one the paper's
+    replay attack resurrects).  A deliver/drop on an empty channel and a
+    submit/poll that enables nothing are interpreted as no-ops, so every
+    step sequence is a valid schedule — mutation operators never have to
+    repair anything. *)
+
+open Nfc_automata
+
+type step =
+  | Submit  (** [send_msg]: the user hands the sender one message *)
+  | Sender_poll  (** one locally-controlled turn at the transmitting station *)
+  | Receiver_poll  (** one locally-controlled turn at the receiving station *)
+  | Deliver of Action.dir * int
+      (** deliver the [i mod live]-th oldest in-transit copy *)
+  | Drop of Action.dir * int  (** drop the [i mod live]-th oldest in-transit copy *)
+
+type t = step array
+
+val empty : t
+val length : t -> int
+val of_list : step list -> t
+val to_list : t -> step list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Number of [Submit] steps. *)
+val submits : t -> int
+
+(** One step per line: [submit], [sender_poll], [receiver_poll],
+    [deliver tr 0], [drop rt 2].  Blank lines and [#] comments are
+    ignored by {!parse}. *)
+val render : t -> string
+
+val parse : string -> (t, string) result
+val save : string -> t -> unit
+val load : string -> (t, string) result
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+let remove_range t pos len =
+  Array.append (Array.sub t 0 pos) (Array.sub t (pos + len) (Array.length t - pos - len))
+
+(* One ddmin-style sweep: try removing chunks of halving sizes; keep any
+   removal that preserves the violation.  When a chunk goes, the next chunk
+   slides into its place, so the position only advances on failure. *)
+let removal_pass proto t =
+  let changed = ref false in
+  let cur = ref t in
+  let size = ref (max 1 (Array.length t / 2)) in
+  while !size >= 1 do
+    let pos = ref 0 in
+    while !pos < Array.length !cur do
+      let len = min !size (Array.length !cur - !pos) in
+      let candidate = remove_range !cur !pos len in
+      if Interp.violates proto candidate then begin
+        cur := candidate;
+        changed := true
+      end
+      else pos := !pos + !size
+    done;
+    size := if !size = 1 then 0 else !size / 2
+  done;
+  (!cur, !changed)
+
+(* Canonicalize copy indices: a minimal counterexample should address the
+   stalest copy it can.  Tries 0, idx/2, idx-1 in that order. *)
+let lower_pass proto t =
+  let changed = ref false in
+  let cur = ref t in
+  Array.iteri
+    (fun i step ->
+      let try_lower rebuild idx =
+        List.iter
+          (fun idx' ->
+            if idx' < idx then begin
+              let candidate = Array.copy !cur in
+              candidate.(i) <- rebuild idx';
+              if Interp.violates proto candidate then begin
+                cur := candidate;
+                changed := true;
+                raise Exit
+              end
+            end)
+          [ 0; idx / 2; idx - 1 ]
+      in
+      try
+        match step with
+        | Schedule.Deliver (d, idx) when idx > 0 ->
+            try_lower (fun idx' -> Schedule.Deliver (d, idx')) idx
+        | Schedule.Drop (d, idx) when idx > 0 ->
+            try_lower (fun idx' -> Schedule.Drop (d, idx')) idx
+        | _ -> ()
+      with Exit -> ())
+    t;
+  (!cur, !changed)
+
+let shrink ?(max_passes = 100) proto sched =
+  let first = Interp.run proto sched in
+  if first.Interp.violation = None then
+    invalid_arg "Shrink.shrink: schedule does not violate";
+  (* The violation fires at step [executed]; everything after it is dead
+     weight. *)
+  let cur = ref (Array.sub sched 0 first.Interp.executed) in
+  let passes = ref 0 in
+  let continue = ref true in
+  while !continue && !passes < max_passes do
+    incr passes;
+    let t1, removed = removal_pass proto !cur in
+    let t2, lowered = lower_pass proto t1 in
+    cur := t2;
+    continue := removed || lowered
+  done;
+  !cur
+
+let minimize ?max_passes proto sched =
+  let minimal = shrink ?max_passes proto sched in
+  (minimal, (Interp.run proto minimal).Interp.trace)

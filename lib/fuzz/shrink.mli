@@ -1,0 +1,21 @@
+(** Delta-debugging trace minimizer.
+
+    Given a schedule whose interpretation violates DL1/DL2, produce a
+    smaller schedule that still violates: truncate at the violating step,
+    then alternate chunk-removal sweeps (ddmin) with copy-index
+    canonicalization until a full pass changes nothing.  The procedure is
+    deterministic and runs to a fixpoint, so it is idempotent:
+    [shrink p (shrink p s) = shrink p s]. *)
+
+(** [shrink proto sched] — [sched] must violate ([Invalid_argument]
+    otherwise).  The result still violates and is never longer than the
+    input.  [max_passes] (default 100) bounds the outer fixpoint loop. *)
+val shrink : ?max_passes:int -> Nfc_protocol.Spec.t -> Schedule.t -> Schedule.t
+
+(** [minimize proto sched] also interprets the minimal schedule and returns
+    its execution — the replayable counterexample. *)
+val minimize :
+  ?max_passes:int ->
+  Nfc_protocol.Spec.t ->
+  Schedule.t ->
+  Schedule.t * Nfc_automata.Execution.t

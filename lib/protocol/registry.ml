@@ -32,7 +32,11 @@ let all =
     };
     {
       key = "altbit";
-      aliases = [ "alternating-bit" ];
+      (* "broken-alternating-bit" names the same implementation: over a
+         non-FIFO channel the protocol *is* the broken one (the paper's
+         Section 1 observation), and the fuzzer/mcheck docs use that
+         spelling when hunting its violation. *)
+      aliases = [ "alternating-bit"; "broken-alternating-bit" ];
       summary = "4 headers; safe on FIFO, unsafe on non-FIFO";
       spec_doc = "altbit";
       default = (fun () -> Alternating_bit.make ());

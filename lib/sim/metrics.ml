@@ -39,6 +39,46 @@ let latency_percentiles t =
     Some (at 0.5, at 0.95, sorted.(n - 1))
   end
 
+let to_json t =
+  let module J = Nfc_util.Json in
+  let latency =
+    match latency_percentiles t with
+    | None -> J.Null
+    | Some (p50, p95, worst) ->
+        J.Obj [ ("p50", J.Float p50); ("p95", J.Float p95); ("max", J.Int worst) ]
+  in
+  J.to_string
+    (J.Obj
+       [
+         ("submitted", J.Int t.submitted);
+         ("delivered", J.Int t.delivered);
+         ("rounds", J.Int t.rounds);
+         ("completed", J.Bool t.completed);
+         ( "tr",
+           J.Obj
+             [
+               ("sent", J.Int t.pkts_tr_sent);
+               ("received", J.Int t.pkts_tr_received);
+               ("dropped", J.Int t.pkts_tr_dropped);
+               ("headers", J.Int t.headers_tr);
+               ("max_in_transit", J.Int t.max_in_transit_tr);
+             ] );
+         ( "rt",
+           J.Obj
+             [
+               ("sent", J.Int t.pkts_rt_sent);
+               ("received", J.Int t.pkts_rt_received);
+               ("dropped", J.Int t.pkts_rt_dropped);
+               ("headers", J.Int t.headers_rt);
+               ("max_in_transit", J.Int t.max_in_transit_rt);
+             ] );
+         ("max_sender_space_bits", J.Int t.max_sender_space_bits);
+         ("max_receiver_space_bits", J.Int t.max_receiver_space_bits);
+         ("latency_rounds", latency);
+         ("dl_violation", J.opt (fun v -> J.String v) t.dl_violation);
+         ("pl_violation", J.opt (fun v -> J.String v) t.pl_violation);
+       ])
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>messages: %d submitted, %d delivered (%s) in %d rounds@,\

@@ -37,4 +37,8 @@ val total_headers : t -> int
     delivered. *)
 val latency_percentiles : t -> (float * float * int) option
 
+(** Single-line JSON object (machine-readable twin of {!pp}) — the payload
+    behind [nfc simulate --json] and the campaign/bench tooling. *)
+val to_json : t -> string
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(** Minimal JSON emitter for machine-readable reports (metrics `--json`,
+    fuzz campaign JSONL).  Emission only — the repo never parses JSON, so
+    there is no reader and no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering with full string escaping. *)
+val to_string : t -> string
+
+(** [opt f o] is [Null] for [None] and [f v] for [Some v]. *)
+val opt : ('a -> t) -> 'a option -> t

@@ -220,6 +220,43 @@ let test_policy_fifo_delayed () =
   done;
   Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (List.rev !order)
 
+let test_policy_fifo_delayed_zero_latency () =
+  (* latency 0 still means "on the next poll", never at send time. *)
+  let policy = Policy.fifo_delayed ~latency:0 () in
+  let t = Transit.create () in
+  let rng = Nfc_util.Rng.of_int 1 in
+  let tag = Transit.send t 5 in
+  checkb "nothing at send" true (policy.Policy.on_send rng t ~tag ~pkt:5 = []);
+  (match policy.Policy.on_poll rng t with
+  | [ Policy.Delivered (_, 5) ] -> ()
+  | _ -> Alcotest.fail "expected delivery on the first poll")
+
+let test_policy_fifo_delayed_drop_accounting () =
+  (* Losses happen at send time (Dropped events only from on_send); the
+     survivors are Delivered exactly [latency] polls later, and the transit
+     books balance throughout. *)
+  let policy = Policy.fifo_delayed ~latency:2 ~loss:0.5 () in
+  let t = Transit.create () in
+  let rng = Nfc_util.Rng.of_int 11 in
+  let send_events = ref [] and poll_events = ref [] in
+  for i = 0 to 199 do
+    let tag = Transit.send t i in
+    send_events := policy.Policy.on_send rng t ~tag ~pkt:i @ !send_events
+  done;
+  for _ = 1 to 3 do
+    poll_events := policy.Policy.on_poll rng t @ !poll_events
+  done;
+  checkb "sends only drop" true
+    (List.for_all (function Policy.Dropped _ -> true | _ -> false) !send_events);
+  checkb "polls only deliver" true
+    (List.for_all (function Policy.Delivered _ -> true | _ -> false) !poll_events);
+  let dropped = List.length !send_events and delivered = List.length !poll_events in
+  checki "transit dropped counter agrees" dropped (Transit.dropped_total t);
+  checki "transit delivered counter agrees" delivered (Transit.delivered_total t);
+  checki "conservation" 200 (dropped + delivered + Transit.in_transit t);
+  checki "all survivors released after latency polls" 0 (Transit.in_transit t);
+  checkb "loss near 0.5" true (dropped > 60 && dropped < 140)
+
 let test_policy_fifo_delayed_loss () =
   let d, x, left = run_policy (Nfc_channel.Policy.fifo_delayed ~latency:0 ~loss:0.4 ()) 300 in
   checkb "some dropped" true (x > 60);
@@ -256,6 +293,33 @@ let test_policy_gilbert_elliott_bursty () =
   in
   checkb "a long clean stretch exists" true (max_run false >= 50);
   checkb "a loss burst exists" true (max_run true >= 3)
+
+let test_policy_gilbert_elliott_forced_alternation () =
+  (* p_gb = p_bg = 1 makes the burst chain deterministic: the state flips on
+     every send, so packets alternate good-state and bad-state loss rates.
+     With good_loss = 0 every even-numbered send (bad -> good transition
+     first) survives, pinning the loss rate to bad_loss / 2. *)
+  let policy = Policy.gilbert_elliott ~good_loss:0.0 ~bad_loss:0.99 ~p_gb:1.0 ~p_bg:1.0 () in
+  let t = Transit.create () in
+  let rng = Nfc_util.Rng.of_int 3 in
+  let n = 400 in
+  let dropped = ref 0 in
+  let delivered_order = ref [] in
+  for i = 0 to n - 1 do
+    let tag = Transit.send t i in
+    List.iter
+      (function
+        | Policy.Dropped _ -> incr dropped
+        | Policy.Delivered (_, p) -> delivered_order := p :: !delivered_order)
+      (policy.Policy.on_send rng t ~tag ~pkt:i)
+  done;
+  (* Good-state sends are lossless: at least half the packets survive. *)
+  checkb "good-state sends survive" true (List.length !delivered_order >= n / 2);
+  checkb "bad-state sends mostly drop" true (!dropped > (n / 2) - 40);
+  checki "drop accounting" !dropped (Transit.dropped_total t);
+  (* Survivors still come out in FIFO order. *)
+  let order = List.rev !delivered_order in
+  checkb "fifo among survivors" true (List.sort compare order = order)
 
 let test_policy_gilbert_elliott_validation () =
   Alcotest.check_raises "bad bad_loss"
@@ -343,9 +407,14 @@ let suite =
     ("policy probabilistic delay", `Quick, test_policy_probabilistic_delay_only);
     ("policy probabilistic lossy", `Quick, test_policy_probabilistic_lossy);
     ("policy fifo delayed", `Quick, test_policy_fifo_delayed);
+    ("policy fifo delayed zero latency", `Quick, test_policy_fifo_delayed_zero_latency);
+    ("policy fifo delayed drop accounting", `Quick, test_policy_fifo_delayed_drop_accounting);
     ("policy fifo delayed loss", `Quick, test_policy_fifo_delayed_loss);
     ("policy gilbert-elliott", `Quick, test_policy_gilbert_elliott);
     ("policy gilbert-elliott bursty", `Quick, test_policy_gilbert_elliott_bursty);
+    ( "policy gilbert-elliott forced alternation",
+      `Quick,
+      test_policy_gilbert_elliott_forced_alternation );
     ("policy gilbert-elliott validation", `Quick, test_policy_gilbert_elliott_validation);
     ("policy silent", `Quick, test_policy_silent);
     ("policy validation", `Quick, test_policy_validation);

@@ -1,0 +1,248 @@
+(* Tests for Nfc_fuzz: schedules, generation, mutation, coverage corpus,
+   shrinking, campaigns. *)
+open Nfc_fuzz
+open Nfc_automata
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let altbit () = Nfc_protocol.Alternating_bit.make ()
+
+(* The classic replay attack against the alternating bit protocol
+   (timeout 4), written out by hand: two copies of the bit-0 data packet
+   accumulate, the protocol completes both real messages, then the stale
+   copy arrives when bit 0 is expected again — a phantom third delivery. *)
+let attack =
+  Schedule.of_list
+    [
+      Schedule.Submit;
+      Schedule.Submit;
+      Schedule.Sender_poll (* send data-0, copy A *);
+      Schedule.Sender_poll;
+      Schedule.Sender_poll;
+      Schedule.Sender_poll;
+      Schedule.Sender_poll (* timeout: send data-0, copy B *);
+      Schedule.Deliver (Action.T_to_r, 0) (* copy A reaches the receiver *);
+      Schedule.Receiver_poll (* deliver message 0 *);
+      Schedule.Receiver_poll (* send ack-0 *);
+      Schedule.Deliver (Action.R_to_t, 0) (* sender flips to bit 1 *);
+      Schedule.Sender_poll (* send data-1 *);
+      Schedule.Deliver (Action.T_to_r, 1) (* fresh data-1 reaches the receiver *);
+      Schedule.Receiver_poll (* deliver message 1; bit 0 expected again *);
+      Schedule.Receiver_poll (* send ack-1 *);
+      Schedule.Deliver (Action.R_to_t, 0);
+      Schedule.Deliver (Action.T_to_r, 0) (* stale copy B masquerades as message 3 *);
+      Schedule.Receiver_poll (* phantom delivery *);
+    ]
+
+(* ------------------------------------------------------------- schedule *)
+
+let test_schedule_roundtrip () =
+  match Schedule.parse (Schedule.render attack) with
+  | Ok s -> checkb "round trip" true (Schedule.equal s attack)
+  | Error e -> Alcotest.fail e
+
+let test_schedule_parse_rejects () =
+  checkb "bad verb" true (Result.is_error (Schedule.parse "jump tr 0"));
+  checkb "bad dir" true (Result.is_error (Schedule.parse "deliver sideways 0"));
+  checkb "negative index" true (Result.is_error (Schedule.parse "deliver tr -1"));
+  match Schedule.parse "# comment\n\nsubmit\n" with
+  | Ok s -> checki "comments skipped" 1 (Schedule.length s)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ gen *)
+
+let test_gen_deterministic () =
+  let gen seed = Gen.schedule (Nfc_util.Rng.of_int seed) Gen.default_cfg in
+  checkb "same seed, same schedule" true (Schedule.equal (gen 9) (gen 9));
+  checkb "different seeds differ" true (not (Schedule.equal (gen 9) (gen 10)))
+
+let test_gen_respects_budgets () =
+  let cfg = { Gen.default_cfg with steps = 40; submits = 3 } in
+  for seed = 0 to 19 do
+    let s = Gen.schedule (Nfc_util.Rng.of_int seed) cfg in
+    checki "length" 40 (Schedule.length s);
+    checkb "submit budget" true (Schedule.submits s <= 3)
+  done
+
+(* --------------------------------------------------------------- interp *)
+
+let test_interp_replayable () =
+  let a = Interp.run (altbit ()) attack in
+  let b = Interp.run (altbit ()) attack in
+  checkb "same trace" true (a.Interp.trace = b.Interp.trace);
+  checkb "violation found" true (a.Interp.violation <> None);
+  checki "two submissions" 2 a.Interp.submitted;
+  checki "three deliveries" 3 a.Interp.delivered;
+  (* The execution is a genuine phantom with a legal physical layer. *)
+  checkb "phantom confirmed" true (Props.invalid_phantom a.Interp.trace <> None);
+  checkb "PL1 t->r" true (Props.pl1 Action.T_to_r a.Interp.trace = None);
+  checkb "PL1 r->t" true (Props.pl1 Action.R_to_t a.Interp.trace = None)
+
+let test_interp_noop_steps () =
+  (* Deliveries on empty channels and disabled polls are no-ops: any step
+     sequence is a valid schedule. *)
+  let s =
+    Schedule.of_list
+      [
+        Schedule.Deliver (Action.T_to_r, 5);
+        Schedule.Drop (Action.R_to_t, 2);
+        Schedule.Receiver_poll;
+        Schedule.Sender_poll;
+      ]
+  in
+  let out = Interp.run (Nfc_protocol.Stenning.make ()) s in
+  checkb "nothing recorded" true (out.Interp.trace = []);
+  checki "all executed" 4 out.Interp.executed
+
+(* --------------------------------------------------------------- mutate *)
+
+let test_mutate_validity () =
+  (* Every operator on every generated schedule yields a schedule that
+     serializes, parses back identically, and interprets cleanly (the
+     channel stays PL1-legal throughout). *)
+  let proto = Nfc_protocol.Stop_and_wait.make () in
+  let rng = Nfc_util.Rng.of_int 123 in
+  for seed = 0 to 14 do
+    let s = Gen.schedule (Nfc_util.Rng.of_int seed) { Gen.default_cfg with steps = 30 } in
+    List.iter
+      (fun op ->
+        let m = Mutate.apply rng op s in
+        (match Schedule.parse (Schedule.render m) with
+        | Ok m' ->
+            checkb (Mutate.op_name op ^ " round trips") true (Schedule.equal m m')
+        | Error e -> Alcotest.fail (Mutate.op_name op ^ ": " ^ e));
+        let out = Interp.run proto m in
+        checkb
+          (Mutate.op_name op ^ " PL1 legal")
+          true
+          (Props.pl1 Action.T_to_r out.Interp.trace = None
+          && Props.pl1 Action.R_to_t out.Interp.trace = None))
+      Mutate.all_ops
+  done
+
+let test_mutate_deterministic () =
+  let s = Gen.schedule (Nfc_util.Rng.of_int 3) Gen.default_cfg in
+  let m1 = Mutate.mutate (Nfc_util.Rng.of_int 7) s in
+  let m2 = Mutate.mutate (Nfc_util.Rng.of_int 7) s in
+  checkb "same rng state, same mutant" true (Schedule.equal m1 m2)
+
+(* --------------------------------------------------------------- corpus *)
+
+let test_corpus_growth () =
+  let c = Corpus.create () in
+  let s = attack in
+  checki "two new keys" 2 (Corpus.observe c s ~coverage:[ "a"; "b" ]);
+  checki "kept" 1 (Corpus.size c);
+  checki "one new key" 1 (Corpus.observe c s ~coverage:[ "b"; "c" ]);
+  checki "nothing new" 0 (Corpus.observe c s ~coverage:[ "a"; "c" ]);
+  checki "redundant run not kept" 2 (Corpus.size c);
+  checki "coverage total" 3 (Corpus.coverage_size c);
+  match Corpus.pick (Nfc_util.Rng.of_int 1) c with
+  | Some _ -> ()
+  | None -> Alcotest.fail "pick from non-empty corpus"
+
+let test_corpus_real_coverage () =
+  (* Interpreting a schedule reports enough distinct configurations for
+     coverage to grow, and re-observing the same run adds nothing. *)
+  let c = Corpus.create () in
+  let out = Interp.run (altbit ()) attack in
+  checkb "coverage reported" true (List.length out.Interp.coverage > 5);
+  checkb "first run is new" true (Corpus.observe c attack ~coverage:out.Interp.coverage > 0);
+  checki "second run is not" 0 (Corpus.observe c attack ~coverage:out.Interp.coverage)
+
+(* --------------------------------------------------------------- shrink *)
+
+let test_shrink_minimizes () =
+  let proto = altbit () in
+  (* Pad the attack with noise the shrinker must strip. *)
+  let noisy =
+    Schedule.of_list
+      (Schedule.to_list attack
+      @ [ Schedule.Sender_poll; Schedule.Receiver_poll; Schedule.Submit ])
+  in
+  let rng = Nfc_util.Rng.of_int 5 in
+  let noisy = Mutate.apply rng Mutate.Insert_polls noisy in
+  checkb "still violates" true (Interp.violates proto noisy);
+  let minimal, trace = Shrink.minimize proto noisy in
+  checkb "minimal violates" true (Interp.violates proto minimal);
+  checkb "shrunk" true (Schedule.length minimal < Schedule.length noisy);
+  checkb "<= 25 steps" true (Schedule.length minimal <= 25);
+  checkb "trace is a phantom" true (Props.invalid_phantom trace <> None)
+
+let test_shrink_idempotent () =
+  let proto = altbit () in
+  let once = Shrink.shrink proto attack in
+  let twice = Shrink.shrink proto once in
+  checkb "fixpoint" true (Schedule.equal once twice)
+
+let test_shrink_rejects_clean () =
+  Alcotest.check_raises "non-violating input"
+    (Invalid_argument "Shrink.shrink: schedule does not violate") (fun () ->
+      ignore (Shrink.shrink (altbit ()) (Schedule.of_list [ Schedule.Submit ])))
+
+(* ------------------------------------------------------------- campaign *)
+
+let test_campaign_finds_altbit () =
+  let cfg = { Campaign.default_cfg with iterations = 5_000; seed = 1; shrink = true } in
+  let r = Campaign.run (altbit ()) cfg in
+  match r.Campaign.finding with
+  | None -> Alcotest.fail "campaign missed the alternating-bit violation"
+  | Some f ->
+      checkb "coverage grew" true (r.Campaign.coverage > 0);
+      (match f.Campaign.shrunk with
+      | None -> Alcotest.fail "shrinking was requested"
+      | Some s ->
+          checkb "shrunk <= 25 steps" true (Schedule.length s <= 25);
+          checkb "shrunk still violates" true (Interp.violates (altbit ()) s));
+      checkb "trace is a phantom" true (Props.invalid_phantom f.Campaign.trace <> None);
+      (* Determinism: an iteration-budgeted campaign is a pure function of
+         its seed. *)
+      let r' = Campaign.run (altbit ()) cfg in
+      (match r'.Campaign.finding with
+      | Some f' ->
+          checki "same run finds it" f.Campaign.found_at f'.Campaign.found_at;
+          checkb "same schedule" true (Schedule.equal f.Campaign.schedule f'.Campaign.schedule)
+      | None -> Alcotest.fail "second campaign missed")
+
+let test_campaign_stenning_survives () =
+  (* Stenning pays unbounded headers and is safe on any channel: a modest
+     campaign must not report a violation. *)
+  let cfg = { Campaign.default_cfg with iterations = 300; seed = 2 } in
+  let r = Campaign.run (Nfc_protocol.Stenning.make ()) cfg in
+  checkb "no violation" true (r.Campaign.finding = None);
+  checki "full budget used" 300 r.Campaign.runs;
+  checkb "coverage accumulates" true (r.Campaign.coverage > 100);
+  checkb "corpus keeps coverage-increasing runs" true (r.Campaign.corpus > 0)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_campaign_json () =
+  let cfg = { Campaign.default_cfg with iterations = 200; seed = 3 } in
+  let r = Campaign.run (altbit ()) cfg in
+  let json = Campaign.to_json r in
+  checkb "object" true (String.length json > 0 && json.[0] = '{');
+  checkb "names protocol" true (contains json "\"protocol\":\"alternating-bit\"")
+
+let suite =
+  [
+    ("schedule round trip", `Quick, test_schedule_roundtrip);
+    ("schedule parse errors", `Quick, test_schedule_parse_rejects);
+    ("gen deterministic", `Quick, test_gen_deterministic);
+    ("gen budgets", `Quick, test_gen_respects_budgets);
+    ("interp replayable attack", `Quick, test_interp_replayable);
+    ("interp no-op steps", `Quick, test_interp_noop_steps);
+    ("mutate validity", `Quick, test_mutate_validity);
+    ("mutate deterministic", `Quick, test_mutate_deterministic);
+    ("corpus growth", `Quick, test_corpus_growth);
+    ("corpus real coverage", `Quick, test_corpus_real_coverage);
+    ("shrink minimizes", `Quick, test_shrink_minimizes);
+    ("shrink idempotent", `Quick, test_shrink_idempotent);
+    ("shrink rejects clean input", `Quick, test_shrink_rejects_clean);
+    ("campaign finds altbit", `Slow, test_campaign_finds_altbit);
+    ("campaign stenning survives", `Quick, test_campaign_stenning_survives);
+    ("campaign json", `Quick, test_campaign_json);
+  ]
