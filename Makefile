@@ -1,6 +1,6 @@
 # Convenience targets around dune; `make check` is the tier-1 gate.
 
-.PHONY: all build test check fmt smoke clean
+.PHONY: all build test check fmt lint smoke clean
 
 all: build
 
@@ -16,6 +16,12 @@ check: build test
 # sources are left untouched).
 fmt:
 	-dune build @fmt --auto-promote
+
+# Static protocol verifier over the whole registry: header budgets (H1),
+# input-enabledness (E1), Theorem 2.1 certificates (B1), impossibility
+# consistency (T1), quiescence (Q1).  Exit 1 on any error-severity finding.
+lint: build
+	dune exec bin/nfc.exe -- lint
 
 # A 2-second fuzz campaign must rediscover the alternating-bit phantom
 # delivery (exit code 2 = violation found) and shrink it to a replayable

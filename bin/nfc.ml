@@ -6,6 +6,7 @@
      nfc simulate ...              one harness run, metrics (and trace)
      nfc mcheck ...                search for a DL1 counterexample
      nfc fuzz ...                  coverage-guided schedule fuzzing (+ shrinking)
+     nfc lint ...                  static protocol verification (H1/E1/B1/T1/Q1)
      nfc boundness ...             measure boundness vs k_t*k_r (Thm 2.1)
      nfc experiment t21|t31|t41|t51|all   regenerate the paper's tables *)
 
@@ -420,42 +421,131 @@ let fuzz_cmd =
       const run $ protocol $ all $ iterations $ budget $ steps $ submits $ shrink $ save
       $ json $ seed_arg)
 
+(* ----------------------------------------------------------------- lint *)
+
+let lint_cmd =
+  let open Nfc_lint in
+  let protocol =
+    Arg.(
+      value
+      & opt (some protocol_conv) None
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:(protocol_doc ^ " (default: the whole registry)"))
+  in
+  let capacity =
+    Arg.(value & opt int 2 & info [ "capacity" ] ~docv:"C" ~doc:"Channel capacity per direction")
+  in
+  let submits =
+    Arg.(value & opt int 3 & info [ "submits" ] ~docv:"S" ~doc:"User submission budget")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 15_000
+      & info [ "nodes" ] ~docv:"N" ~doc:"Configuration budget per protocol")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as findings (exit 1)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per protocol (JSONL)")
+  in
+  let run protocol capacity submits nodes strict json =
+    let cfg =
+      {
+        Checks.default_config with
+        Checks.bounds =
+          {
+            Nfc_mcheck.Explore.capacity_tr = capacity;
+            capacity_rt = capacity;
+            submit_budget = submits;
+            max_nodes = nodes;
+            allow_drop = true;
+          };
+      }
+    in
+    match
+      match protocol with
+      | Some p -> [ Engine.run cfg p ]
+      | None -> Engine.run_registry cfg
+    with
+    | results ->
+        if json then print_string (Report.jsonl results) else Report.print results;
+        exit (Report.exit_code ~strict results)
+    | exception e ->
+        Format.eprintf "lint: internal error: %s@." (Printexc.to_string e);
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         ("Statically verify protocol invariants (rules " ^ Nfc_lint.Rules.doc
+        ^ "): header budgets, input-enabledness, Theorem 2.1 boundness certificates"))
+    Term.(const run $ protocol $ capacity $ submits $ nodes $ strict $ json)
+
 (* ----------------------------------------------------------- experiment *)
 
-let experiment_cmd =
-  let which =
-    let parse = function
-      | ("t21" | "t31" | "t41" | "t51" | "lmf" | "trans" | "f1" | "all") as s -> Ok s
-      | s ->
-          Error
-            (`Msg (Printf.sprintf "unknown experiment %S (t21|t31|t41|t51|lmf|trans|f1|all)" s))
-    in
-    Arg.(
-      required
-      & pos 0 (some (Arg.conv (parse, Format.pp_print_string))) None
-      & info [] ~docv:"EXP" ~doc:"Which experiment: t21, t31, t41, t51, lmf, trans, f1, or all")
-  in
-  let run which quick seed =
-    match which with
-    | "f1" -> print_endline (Nfc_core.Experiments.figure_1 ())
-    | "t21" -> ignore (Nfc_core.Experiments.t21 ~quick ())
-    | "t31" ->
+(* The single source of truth for experiment names: parsing, the usage
+   text, and dispatch are all derived from this table. *)
+let experiments : (string * string * (quick:bool -> seed:int -> unit)) list =
+  [
+    ( "t21",
+      "Theorem 2.1 boundness table",
+      fun ~quick ~seed:_ -> ignore (Nfc_core.Experiments.t21 ~quick ()) );
+    ( "t31",
+      "Theorem 3.1 header pyramid, blow-up, and staged runs",
+      fun ~quick ~seed:_ ->
         ignore (Nfc_core.Experiments.t31_pyramid ~ks:[ 2; 3; 4; 5 ] ());
         print_newline ();
         ignore (Nfc_core.Experiments.t31 ~quick ());
         print_newline ();
-        ignore (Nfc_core.Experiments.t31_staged ~quick ())
-    | "t41" -> ignore (Nfc_core.Experiments.t41 ~quick ())
-    | "lmf" -> ignore (Nfc_core.Experiments.lmf ~quick ())
-    | "trans" -> ignore (Nfc_transport.Experiment.run ~quick ~seed ())
-    | "t51" ->
+        ignore (Nfc_core.Experiments.t31_staged ~quick ()) );
+    ( "t41",
+      "Theorem 4.1 delayed-packet cost",
+      fun ~quick ~seed:_ -> ignore (Nfc_core.Experiments.t41 ~quick ()) );
+    ( "t51",
+      "Section 5 probabilistic growth, sweep, and safety",
+      fun ~quick ~seed ->
         ignore (Nfc_core.Experiments.t51_growth ~quick ~seed ~qs:[ 0.1; 0.3; 0.5 ] ());
         print_newline ();
         ignore (Nfc_core.Experiments.t51_sweep ~quick ~seed ~q:0.3 ());
         print_newline ();
-        ignore (Nfc_core.Experiments.t51_safety ~quick ~seed ~q:0.6 ())
-    | "all" -> ignore (Nfc_core.Experiments.run_all ~quick ~seed ())
-    | _ -> assert false
+        ignore (Nfc_core.Experiments.t51_safety ~quick ~seed ~q:0.6 ()) );
+    ( "lmf",
+      "Last-message-first channel comparison",
+      fun ~quick ~seed:_ -> ignore (Nfc_core.Experiments.lmf ~quick ()) );
+    ( "trans",
+      "Transport-stack experiment",
+      fun ~quick ~seed -> ignore (Nfc_transport.Experiment.run ~quick ~seed ()) );
+    ( "f1",
+      "Figure 1 channel taxonomy",
+      fun ~quick:_ ~seed:_ -> print_endline (Nfc_core.Experiments.figure_1 ()) );
+    ( "all",
+      "Every experiment in sequence",
+      fun ~quick ~seed -> ignore (Nfc_core.Experiments.run_all ~quick ~seed ()) );
+  ]
+
+let experiment_cmd =
+  let names = List.map (fun (n, _, _) -> n) experiments in
+  let which =
+    let parse s =
+      if List.exists (fun (n, _, _) -> n = s) experiments then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown experiment %S (%s)" s (String.concat "|" names)))
+    in
+    Arg.(
+      required
+      & pos 0 (some (Arg.conv (parse, Format.pp_print_string))) None
+      & info [] ~docv:"EXP"
+          ~doc:
+            ("Which experiment: "
+            ^ String.concat ", "
+                (List.map (fun (n, d, _) -> Printf.sprintf "%s (%s)" n d) experiments)))
+  in
+  let run which quick seed =
+    let _, _, go = List.find (fun (n, _, _) -> n = which) experiments in
+    go ~quick ~seed
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's evaluation (DESIGN.md section 4)")
@@ -475,6 +565,7 @@ let () =
             simulate_cmd;
             mcheck_cmd;
             fuzz_cmd;
+            lint_cmd;
             boundness_cmd;
             theorems_cmd;
             replay_cmd;

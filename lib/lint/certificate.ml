@@ -1,0 +1,51 @@
+module Json = Nfc_util.Json
+
+type t = {
+  protocol : string;
+  declared_header_bound : int option;
+  alphabet_tr : int list;
+  alphabet_rt : int list;
+  k_t : int;
+  k_r : int;
+  state_product : int;
+  measured_boundness : int option;
+  probes_exhausted : int;
+  configs_explored : int;
+  truncated : bool;
+}
+
+let alphabet_size c =
+  let module Iset = Set.Make (Int) in
+  Iset.cardinal (Iset.of_list (c.alphabet_tr @ c.alphabet_rt))
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>%s: |P|=%d (declared %s); k_t=%d k_r=%d => boundness <= %d;@ measured boundness %s \
+     over %d configs%s@]"
+    c.protocol (alphabet_size c)
+    (match c.declared_header_bound with
+    | Some k -> string_of_int k
+    | None -> "unbounded")
+    c.k_t c.k_r c.state_product
+    (match c.measured_boundness with
+    | Some b -> string_of_int b
+    | None -> "unbounded?")
+    c.configs_explored
+    (if c.truncated then " (truncated)" else "")
+
+let to_json c =
+  Json.Obj
+    [
+      ("protocol", Json.String c.protocol);
+      ("declared_header_bound", Json.opt (fun k -> Json.Int k) c.declared_header_bound);
+      ("alphabet_tr", Json.List (List.map (fun p -> Json.Int p) c.alphabet_tr));
+      ("alphabet_rt", Json.List (List.map (fun p -> Json.Int p) c.alphabet_rt));
+      ("alphabet_size", Json.Int (alphabet_size c));
+      ("k_t", Json.Int c.k_t);
+      ("k_r", Json.Int c.k_r);
+      ("state_product", Json.Int c.state_product);
+      ("measured_boundness", Json.opt (fun b -> Json.Int b) c.measured_boundness);
+      ("probes_exhausted", Json.Int c.probes_exhausted);
+      ("configs_explored", Json.Int c.configs_explored);
+      ("truncated", Json.Bool c.truncated);
+    ]

@@ -1,0 +1,31 @@
+(** Per-protocol certificates emitted by the verifier.
+
+    The certificate records what the bounded exploration actually
+    established: the observed packet alphabet (the header census of
+    Section 2.3), the distinct reachable sender/receiver state counts
+    whose product is Theorem 2.1's boundness ceiling, and the boundness
+    measured by {!Nfc_mcheck.Boundness} on the same bounds.  For every
+    honest protocol [measured_boundness <= state_product] — a mechanical
+    confirmation of Theorem 2.1; the B1 rule fires when it fails. *)
+
+type t = {
+  protocol : string;
+  declared_header_bound : int option;
+  alphabet_tr : int list;  (** distinct packets observed t->r *)
+  alphabet_rt : int list;  (** distinct packets observed r->t *)
+  k_t : int;  (** distinct reachable sender states *)
+  k_r : int;  (** distinct reachable receiver states *)
+  state_product : int;  (** k_t * k_r, the Theorem 2.1 certificate *)
+  measured_boundness : int option;
+      (** from {!Nfc_mcheck.Boundness.measure} on the same bounds; [None]
+          when a probe exhausted its budget *)
+  probes_exhausted : int;
+  configs_explored : int;
+  truncated : bool;  (** the node budget cut the exploration off *)
+}
+
+(** Total distinct packets, both directions combined (Section 2.3's |P|). *)
+val alphabet_size : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Nfc_util.Json.t

@@ -1,0 +1,324 @@
+module Spec = Nfc_protocol.Spec
+module Explore = Nfc_mcheck.Explore
+module Boundness = Nfc_mcheck.Boundness
+module M = Nfc_util.Multiset.Int
+module Iset = Set.Make (Int)
+
+type config = {
+  bounds : Explore.bounds;
+  probe : Boundness.probe_bounds;
+  max_probes : int;
+  fault_packets : int list;
+  max_probe_states : int;
+  max_witnesses : int;
+}
+
+let default_config =
+  {
+    bounds =
+      {
+        Explore.capacity_tr = 2;
+        capacity_rt = 2;
+        submit_budget = 3;
+        max_nodes = 15_000;
+        allow_drop = true;
+      };
+    (* Tighter than {!Boundness.default_probe_bounds}: flooding protocols
+       make each exhausted probe pay its full node budget, and the linter
+       probes a sample, so small budgets keep registry-wide runs in
+       seconds while the certificate stays sound (an exhausted probe
+       yields [boundness = None], never an understated bound). *)
+    probe = { Boundness.max_nodes = 1_500; max_cost = 100 };
+    max_probes = 400;
+    (* A negative value and a far-out-of-alphabet value: a legal non-FIFO
+       channel never invents packets, but input-enabledness (Section 2.1)
+       requires the automata to absorb them anyway. *)
+    fault_packets = [ -1; 1_000_003 ];
+    max_probe_states = 2_000;
+    max_witnesses = 3;
+  }
+
+let take n l =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go n [] l
+
+module Make (P : Spec.S) = struct
+  module Sset = Set.Make (struct
+    type t = P.sender
+
+    let compare = P.compare_sender
+  end)
+
+  module Rset = Set.Make (struct
+    type t = P.receiver
+
+    let compare = P.compare_receiver
+  end)
+
+  let spf = Printf.sprintf
+
+  (* Closure of one station's state space under its inputs and poll, used
+     by Q1: when finite within [cap], states in the closure the composed
+     system never reaches are dead automaton code (under these bounds). *)
+  let closure ~cap ~init ~mem ~add ~empty ~moves =
+    try
+      let seen = ref (add init empty) in
+      let n = ref 1 in
+      let queue = Queue.create () in
+      Queue.push init queue;
+      let complete = ref true in
+      while not (Queue.is_empty queue) do
+        let s = Queue.pop queue in
+        List.iter
+          (fun s' ->
+            if not (mem s' !seen) then
+              if !n >= cap then complete := false
+              else begin
+                seen := add s' !seen;
+                incr n;
+                Queue.push s' queue
+              end)
+          (moves s)
+      done;
+      if !complete then Some !seen else None
+    with _ -> None
+
+  let analyze cfg =
+    let diags = ref [] in
+    let emit ~rule ~severity ?witness message =
+      diags :=
+        Diagnostic.make ~rule ~severity ~protocol:P.name ?witness message :: !diags
+    in
+    (* ------------------------------------------------ instrumentation *)
+    let partial = ref [] in
+    let n_partial = ref 0 in
+    let record op packet state_text e =
+      incr n_partial;
+      if List.length !partial < 64 then
+        partial := (op, packet, state_text, Printexc.to_string e) :: !partial
+    in
+    let module G = struct
+      include P
+
+      let on_ack s p =
+        try P.on_ack s p
+        with e ->
+          record "on_ack" (Some p) (Format.asprintf "%a" P.pp_sender s) e;
+          s
+
+      let on_data r p =
+        try P.on_data r p
+        with e ->
+          record "on_data" (Some p) (Format.asprintf "%a" P.pp_receiver r) e;
+          r
+    end in
+    let module E = Explore.Make (G) in
+    let reach = E.reachable_set cfg.bounds in
+    (* --------------------------- alphabet census and state collection *)
+    let atr = ref Iset.empty in
+    let art = ref Iset.empty in
+    let senders = ref Sset.empty in
+    let receivers = ref Rset.empty in
+    List.iter
+      (fun (c : E.config) ->
+        senders := Sset.add c.E.sender !senders;
+        receivers := Rset.add c.E.receiver !receivers;
+        List.iter (fun p -> atr := Iset.add p !atr) (M.support c.E.tr);
+        List.iter (fun p -> art := Iset.add p !art) (M.support c.E.rt);
+        (* Poll probes catch emissions the capacity bound suppressed. *)
+        (match G.sender_poll c.E.sender with
+        | Some p, _ -> atr := Iset.add p !atr
+        | None, _ -> ()
+        | exception e ->
+            record "sender_poll" None (Format.asprintf "%a" P.pp_sender c.E.sender) e);
+        match G.receiver_poll c.E.receiver with
+        | Some (Spec.Rsend p), _ -> art := Iset.add p !art
+        | (Some Spec.Rdeliver | None), _ -> ()
+        | exception e ->
+            record "receiver_poll" None
+              (Format.asprintf "%a" P.pp_receiver c.E.receiver) e)
+      reach.E.configs;
+    let k_t = Sset.cardinal !senders in
+    let k_r = Rset.cardinal !receivers in
+    let product = k_t * k_r in
+    let alpha = Iset.union !atr !art in
+    let n_alpha = Iset.cardinal alpha in
+    let alpha_text =
+      "{" ^ String.concat ", " (List.map string_of_int (Iset.elements alpha)) ^ "}"
+    in
+    (* ------------------------------------------- H1: header budget *)
+    (match P.header_bound with
+    | Some k when n_alpha > k ->
+        emit ~rule:"H1" ~severity:Diagnostic.Error
+          ~witness:("reachable alphabet " ^ alpha_text)
+          (spf "declares header_bound = %d but %d distinct packets are reachable" k
+             n_alpha)
+    | Some k ->
+        emit ~rule:"H1" ~severity:Diagnostic.Info
+          (spf "header budget certified: %d distinct reachable packets within the declared %d"
+             n_alpha k)
+    | None when not reach.E.truncated ->
+        emit ~rule:"H1" ~severity:Diagnostic.Warning
+          ~witness:("reachable alphabet " ^ alpha_text)
+          (spf
+             "declares unbounded headers, yet the fully explored space uses a finite alphabet of %d"
+             n_alpha)
+    | None ->
+        emit ~rule:"H1" ~severity:Diagnostic.Info
+          (spf "unbounded headers declared; %d distinct packets in the truncated explored space"
+             n_alpha));
+    (* --------------------------------------- E1: input-enabledness *)
+    let probe_pkts = Iset.elements alpha @ cfg.fault_packets in
+    List.iter
+      (fun s ->
+        List.iter (fun p -> ignore (G.on_ack s p)) probe_pkts;
+        (match G.sender_poll s with
+        | _ -> ()
+        | exception e ->
+            record "sender_poll" None (Format.asprintf "%a" P.pp_sender s) e);
+        try ignore (P.on_submit s)
+        with e -> record "on_submit" None (Format.asprintf "%a" P.pp_sender s) e)
+      (take cfg.max_probe_states (Sset.elements !senders));
+    List.iter
+      (fun r ->
+        List.iter (fun p -> ignore (G.on_data r p)) probe_pkts;
+        match G.receiver_poll r with
+        | _ -> ()
+        | exception e ->
+            record "receiver_poll" None (Format.asprintf "%a" P.pp_receiver r) e)
+      (take cfg.max_probe_states (Rset.elements !receivers));
+    let seen_ops = Hashtbl.create 8 in
+    let shown = ref 0 in
+    List.iter
+      (fun (op, packet, state_text, exn_text) ->
+        let key = (op, packet) in
+        if (not (Hashtbl.mem seen_ops key)) && !shown < cfg.max_witnesses then begin
+          Hashtbl.add seen_ops key ();
+          incr shown;
+          let pkt_text =
+            match packet with None -> "" | Some p -> spf " on packet %d" p
+          in
+          emit ~rule:"E1" ~severity:Diagnostic.Error
+            ~witness:(spf "%s%s in state %s raised %s" op pkt_text state_text exn_text)
+            (spf "%s is partial: the automaton is not input-enabled (%d failure(s) total)"
+               op !n_partial)
+        end)
+      (List.rev !partial);
+    (* ------------------------------- B1: Theorem 2.1 certificate *)
+    let breport =
+      Boundness.measure ~max_probes:cfg.max_probes
+        (module G : Spec.S)
+        ~explore:cfg.bounds ~probe:cfg.probe
+    in
+    (match breport.Boundness.boundness with
+    | Some b when b > product ->
+        emit ~rule:"B1" ~severity:Diagnostic.Error
+          ~witness:(spf "measured boundness %d > k_t*k_r = %d*%d = %d" b k_t k_r product)
+          "measured boundness exceeds the Theorem 2.1 state-product certificate"
+    | Some b ->
+        emit ~rule:"B1" ~severity:Diagnostic.Info
+          (spf "Theorem 2.1 certificate: boundness <= k_t*k_r = %d*%d = %d (measured %d)"
+             k_t k_r product b)
+    | None ->
+        emit ~rule:"B1" ~severity:Diagnostic.Info
+          (spf
+             "Theorem 2.1 certificate: boundness <= k_t*k_r = %d (measurement inconclusive, %d probes exhausted)"
+             product breport.Boundness.probes_exhausted));
+    (* -------------------------- T1: impossibility consistency *)
+    (match P.header_bound with
+    | Some k when cfg.bounds.Explore.submit_budget > k -> (
+        match E.search ~stop_at_phantom:true cfg.bounds with
+        | Explore.Violation trace ->
+            emit ~rule:"T1" ~severity:Diagnostic.Info
+              ~witness:(spf "phantom delivery after %d actions" (List.length trace))
+              (spf
+                 "impossibility confirmed: %d headers under a %d-submit budget forces a DL1 violation (Theorems 3.1/4.1)"
+                 k cfg.bounds.Explore.submit_budget)
+        | Explore.No_violation _ when breport.Boundness.boundness <> None ->
+            emit ~rule:"T1" ~severity:Diagnostic.Warning
+              (spf
+                 "declares %d headers under a %d-submit budget yet measures bounded with no DL1 violation in the fully explored space — the configuration Theorems 3.1/4.1 prove impossible; widen the bounds"
+                 k cfg.bounds.Explore.submit_budget)
+        | Explore.No_violation _ | Explore.Node_budget _ -> ())
+    | _ -> ());
+    (* ----------------------- Q1: quiescence / dead configurations *)
+    let dead = ref 0 in
+    let dead_witness = ref None in
+    List.iter
+      (fun (c : E.config) ->
+        if c.E.submitted > c.E.delivered then begin
+          let progress =
+            List.exists
+              (fun (act, _) ->
+                match act with
+                | Some (Nfc_automata.Action.Send_msg _) -> false
+                | _ -> true)
+              (E.successors cfg.bounds c)
+          in
+          if not progress then begin
+            incr dead;
+            if !dead_witness = None then
+              dead_witness :=
+                Some
+                  (Format.asprintf "sender %a, receiver %a, %d message(s) pending"
+                     P.pp_sender c.E.sender P.pp_receiver c.E.receiver
+                     (c.E.submitted - c.E.delivered))
+          end
+        end)
+      reach.E.configs;
+    (* Warning, not error: for bounded-header registry protocols a stuck
+       configuration is the expected liveness failure mode (the
+       alternating bit wedges on a stale ack — the repo's wedge tests
+       prove it), exactly as the paper predicts bounded protocols must
+       fail somewhere.  [--strict] escalates. *)
+    if !dead > 0 then
+      emit ~rule:"Q1" ~severity:Diagnostic.Warning ?witness:!dead_witness
+        (spf
+           "%d reachable configuration(s) stuck with a message pending: no local action enabled, nothing in transit"
+           !dead);
+    (* Dead automaton states: only decidable when the station's input
+       closure is finite within the cap (counter-carrying protocols are
+       not; the closure then returns None and the check stays silent). *)
+    let ack_alpha = Iset.elements !art @ cfg.fault_packets in
+    let data_alpha = Iset.elements !atr @ cfg.fault_packets in
+    (match
+       closure ~cap:cfg.max_probe_states ~init:P.sender_init ~mem:Sset.mem
+         ~add:Sset.add ~empty:Sset.empty ~moves:(fun s ->
+           (G.on_submit s :: snd (G.sender_poll s)
+            :: List.map (fun p -> G.on_ack s p) ack_alpha))
+     with
+    | Some closed when Sset.cardinal (Sset.diff closed !senders) > 0 ->
+        emit ~rule:"Q1" ~severity:Diagnostic.Info
+          (spf "%d sender state(s) in the input closure are never reached by the composed system"
+             (Sset.cardinal (Sset.diff closed !senders)))
+    | _ -> ());
+    (match
+       closure ~cap:cfg.max_probe_states ~init:P.receiver_init ~mem:Rset.mem
+         ~add:Rset.add ~empty:Rset.empty ~moves:(fun r ->
+           (snd (G.receiver_poll r) :: List.map (fun p -> G.on_data r p) data_alpha))
+     with
+    | Some closed when Rset.cardinal (Rset.diff closed !receivers) > 0 ->
+        emit ~rule:"Q1" ~severity:Diagnostic.Info
+          (spf "%d receiver state(s) in the input closure are never reached by the composed system"
+             (Rset.cardinal (Rset.diff closed !receivers)))
+    | _ -> ());
+    let certificate =
+      {
+        Certificate.protocol = P.name;
+        declared_header_bound = P.header_bound;
+        alphabet_tr = Iset.elements !atr;
+        alphabet_rt = Iset.elements !art;
+        k_t;
+        k_r;
+        state_product = product;
+        measured_boundness = breport.Boundness.boundness;
+        probes_exhausted = breport.Boundness.probes_exhausted;
+        configs_explored = reach.E.reach_stats.Explore.nodes;
+        truncated = reach.E.truncated;
+      }
+    in
+    (List.rev !diags, certificate)
+end

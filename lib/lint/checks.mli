@@ -1,0 +1,30 @@
+(** The per-protocol static analysis.
+
+    [Make (P).analyze cfg] runs every rule of {!Rules} against [P] over a
+    bounded exploration of the composed (sender x receiver x channel)
+    system and returns the diagnostics plus the protocol's
+    {!Certificate.t}.
+
+    The exploration drives an {e instrumented, totalised} copy of [P]:
+    exceptions escaping [on_ack]/[on_data] do not abort the analysis but
+    become E1 findings with the reachable state and offending packet as
+    witness (the move is treated as a self-loop).  On top of the
+    trajectory coverage, E1 systematically probes every distinct reachable
+    station state against the observed packet alphabet extended with
+    [fault_packets] (out-of-alphabet values a non-FIFO channel could never
+    produce but an input-enabled automaton must still absorb). *)
+
+type config = {
+  bounds : Nfc_mcheck.Explore.bounds;  (** exploration bounds, all rules *)
+  probe : Nfc_mcheck.Boundness.probe_bounds;  (** B1 boundness measurement *)
+  max_probes : int;  (** cap on semi-valid configs probed for B1 *)
+  fault_packets : int list;  (** extra out-of-alphabet packets for E1 *)
+  max_probe_states : int;  (** cap on states probed / closed over *)
+  max_witnesses : int;  (** cap on witnesses per rule *)
+}
+
+val default_config : config
+
+module Make (P : Nfc_protocol.Spec.S) : sig
+  val analyze : config -> Diagnostic.t list * Certificate.t
+end

@@ -1,0 +1,39 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  protocol : string;
+  message : string;
+  witness : string option;
+}
+
+let make ~rule ~severity ~protocol ?witness message =
+  { rule; severity; protocol; message; witness }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let is_error d = d.severity = Error
+let is_warning d = d.severity = Warning
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v2>%s %s [%s]: %s%a@]"
+    (severity_to_string d.severity)
+    d.rule d.protocol d.message
+    (fun ppf -> function
+      | None -> ()
+      | Some w -> Format.fprintf ppf "@,witness: %s" w)
+    d.witness
+
+let to_json d =
+  Nfc_util.Json.Obj
+    [
+      ("rule", Nfc_util.Json.String d.rule);
+      ("severity", Nfc_util.Json.String (severity_to_string d.severity));
+      ("protocol", Nfc_util.Json.String d.protocol);
+      ("message", Nfc_util.Json.String d.message);
+      ("witness", Nfc_util.Json.opt (fun w -> Nfc_util.Json.String w) d.witness);
+    ]

@@ -1,0 +1,32 @@
+(** Lint diagnostics.
+
+    Every finding the static verifier produces carries the rule that fired
+    (H1, E1, B1, T1, Q1 — see {!Rules}), a severity, the protocol it fired
+    on, a one-line message and, when available, a concrete witness (a
+    packet list, a configuration pretty-print, an exception text).
+    Diagnostics render both as text and as JSON objects for the
+    [nfc lint --json] stream. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;  (** rule identifier, e.g. ["H1"] *)
+  severity : severity;
+  protocol : string;
+  message : string;
+  witness : string option;
+}
+
+val make :
+  rule:string ->
+  severity:severity ->
+  protocol:string ->
+  ?witness:string ->
+  string ->
+  t
+
+val severity_to_string : severity -> string
+val is_error : t -> bool
+val is_warning : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Nfc_util.Json.t

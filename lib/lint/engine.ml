@@ -1,0 +1,13 @@
+type result = {
+  protocol : string;
+  diagnostics : Diagnostic.t list;
+  certificate : Certificate.t;
+}
+
+let run cfg proto =
+  let module P = (val proto : Nfc_protocol.Spec.S) in
+  let module C = Checks.Make (P) in
+  let diagnostics, certificate = C.analyze cfg in
+  { protocol = P.name; diagnostics; certificate }
+
+let run_registry cfg = List.map (run cfg) (Nfc_protocol.Registry.defaults ())

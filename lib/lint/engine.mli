@@ -1,0 +1,12 @@
+(** Running the verifier over one protocol or the whole registry. *)
+
+type result = {
+  protocol : string;
+  diagnostics : Diagnostic.t list;
+  certificate : Certificate.t;
+}
+
+val run : Checks.config -> Nfc_protocol.Spec.t -> result
+
+(** Every protocol in {!Nfc_protocol.Registry}, in registry order. *)
+val run_registry : Checks.config -> result list

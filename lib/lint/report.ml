@@ -1,0 +1,69 @@
+module Json = Nfc_util.Json
+
+let count p results =
+  List.fold_left
+    (fun acc (r : Engine.result) ->
+      acc + List.length (List.filter p r.diagnostics))
+    0 results
+
+let n_errors = count Diagnostic.is_error
+let n_warnings = count Diagnostic.is_warning
+
+let pp_result ppf (r : Engine.result) =
+  Format.fprintf ppf "@[<v>== %s ==@," r.protocol;
+  List.iter (fun d -> Format.fprintf ppf "%a@," Diagnostic.pp d) r.diagnostics;
+  Format.fprintf ppf "%a@]" Certificate.pp r.certificate
+
+let print results =
+  List.iter (fun r -> Format.printf "%a@.@." pp_result r) results;
+  let table =
+    Nfc_util.Table.create ~title:"nfc lint summary"
+      ~columns:
+        [
+          ("protocol", Nfc_util.Table.Left);
+          ("errors", Nfc_util.Table.Right);
+          ("warnings", Nfc_util.Table.Right);
+          ("|P|", Nfc_util.Table.Right);
+          ("declared", Nfc_util.Table.Right);
+          ("k_t*k_r", Nfc_util.Table.Right);
+          ("boundness", Nfc_util.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Engine.result) ->
+      let c = r.certificate in
+      Nfc_util.Table.add_row table
+        [
+          r.protocol;
+          Nfc_util.Table.cell_int (n_errors [ r ]);
+          Nfc_util.Table.cell_int (n_warnings [ r ]);
+          Nfc_util.Table.cell_int (Certificate.alphabet_size c);
+          (match c.Certificate.declared_header_bound with
+          | Some k -> string_of_int k
+          | None -> "unbounded");
+          Nfc_util.Table.cell_int c.Certificate.state_product;
+          (match c.Certificate.measured_boundness with
+          | Some b -> string_of_int b
+          | None -> "?");
+        ])
+    results;
+  Nfc_util.Table.print table
+
+let jsonl results =
+  String.concat ""
+    (List.map
+       (fun (r : Engine.result) ->
+         Json.to_string
+           (Json.Obj
+              [
+                ("protocol", Json.String r.protocol);
+                ("diagnostics", Json.List (List.map Diagnostic.to_json r.diagnostics));
+                ("certificate", Certificate.to_json r.certificate);
+              ])
+         ^ "\n")
+       results)
+
+let exit_code ~strict results =
+  if n_errors results > 0 then 1
+  else if strict && n_warnings results > 0 then 1
+  else 0

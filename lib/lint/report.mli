@@ -1,0 +1,21 @@
+(** Rendering lint results and deciding the exit code.
+
+    Text mode prints one block per protocol (its diagnostics, then its
+    certificate) followed by a summary table; JSON mode emits one object
+    per protocol (JSONL, same shape as [nfc fuzz --json]). *)
+
+val n_errors : Engine.result list -> int
+val n_warnings : Engine.result list -> int
+val pp_result : Format.formatter -> Engine.result -> unit
+
+(** The whole text report: per-protocol blocks plus the summary table. *)
+val print : Engine.result list -> unit
+
+(** One JSON object per line per protocol:
+    [{"protocol":..,"diagnostics":[..],"certificate":{..}}]. *)
+val jsonl : Engine.result list -> string
+
+(** [0] clean, [1] findings: any error, or any warning under [strict].
+    (Exit code [2] — internal error — is the CLI's, for escaped
+    exceptions.) *)
+val exit_code : strict:bool -> Engine.result list -> int

@@ -1,0 +1,43 @@
+type meta = { id : string; title : string; anchor : string; summary : string }
+
+let all =
+  [
+    {
+      id = "H1";
+      title = "header-budget certification";
+      anchor = "Section 2.3 (headers = |P|)";
+      summary =
+        "the reachable packet alphabet must fit the declared header_bound";
+    };
+    {
+      id = "E1";
+      title = "input-enabledness";
+      anchor = "Section 2.1 (I/O automata are input-enabled)";
+      summary =
+        "on_ack/on_data/polls must be total over reachable states x packets";
+    };
+    {
+      id = "B1";
+      title = "Theorem 2.1 boundness certificate";
+      anchor = "Theorem 2.1 (boundness <= k_t * k_r)";
+      summary =
+        "measured boundness must not exceed the reachable state product";
+    };
+    {
+      id = "T1";
+      title = "impossibility consistency";
+      anchor = "Theorems 3.1 / 4.1 (n headers for n messages)";
+      summary =
+        "fewer headers than submitted messages cannot be bounded and safe";
+    };
+    {
+      id = "Q1";
+      title = "quiescence / dead configurations";
+      anchor = "DL3 liveness (Section 2.2)";
+      summary =
+        "no reachable configuration may be stuck with a message pending";
+    };
+  ]
+
+let find id = List.find_opt (fun m -> m.id = id) all
+let doc = String.concat " | " (List.map (fun m -> m.id) all)

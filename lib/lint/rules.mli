@@ -1,0 +1,20 @@
+(** The rule catalogue of the static protocol verifier.
+
+    Each rule certifies one of the paper's static invariants over a
+    [Nfc_protocol.Spec.S] implementation.  The catalogue is the single
+    source of truth for rule identifiers, their one-line meanings and the
+    paper results they anchor to; the CLI help and the README table are
+    both derived from it. *)
+
+type meta = {
+  id : string;  (** stable identifier: H1, E1, B1, T1, Q1 *)
+  title : string;
+  anchor : string;  (** the paper result the rule certifies *)
+  summary : string;  (** one-line meaning *)
+}
+
+val all : meta list
+val find : string -> meta option
+
+(** ["H1 | E1 | ..."] — for CLI docs. *)
+val doc : string

@@ -14,15 +14,17 @@ type report = {
   semi_valid_configs : int;
   boundness : int option;
   probes_exhausted : int;
+  probes_skipped : int;
 }
 
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>%s: k_t=%d k_r=%d (product %d); %d configs, %d semi-valid;@ measured boundness %s \
-     (%d probes exhausted)@]"
+     (%d probes exhausted%s)@]"
     r.protocol r.k_t r.k_r r.state_product r.configs_explored r.semi_valid_configs
     (match r.boundness with None -> "unbounded?" | Some b -> string_of_int b)
     r.probes_exhausted
+    (if r.probes_skipped > 0 then Printf.sprintf ", %d skipped" r.probes_skipped else "")
 
 module Make (P : Spec.S) = struct
   type config = {
@@ -200,7 +202,7 @@ module Make (P : Spec.S) = struct
      with Exit -> ());
     !result
 
-  let measure ~(explore : Explore.bounds) ~(probe_bounds : probe_bounds) =
+  let measure ?max_probes ~(explore : Explore.bounds) ~(probe_bounds : probe_bounds) () =
     let configs = reachable explore in
     let module Sset = Set.Make (struct
       type t = P.sender
@@ -217,16 +219,22 @@ module Make (P : Spec.S) = struct
     let semi_valid = Cset.filter (fun c -> c.submitted = c.delivered + 1) configs in
     let boundness = ref (Some 0) in
     let exhausted = ref 0 in
+    let budget = ref (match max_probes with None -> max_int | Some n -> n) in
+    let skipped = ref 0 in
     Cset.iter
       (fun c ->
-        match probe probe_bounds c with
-        | Some cost -> (
-            match !boundness with
-            | Some b -> boundness := Some (max b cost)
-            | None -> ())
-        | None ->
-            incr exhausted;
-            boundness := None)
+        if !budget <= 0 then incr skipped
+        else begin
+          decr budget;
+          match probe probe_bounds c with
+          | Some cost -> (
+              match !boundness with
+              | Some b -> boundness := Some (max b cost)
+              | None -> ())
+          | None ->
+              incr exhausted;
+              boundness := None
+        end)
       semi_valid;
     {
       protocol = P.name;
@@ -237,10 +245,11 @@ module Make (P : Spec.S) = struct
       semi_valid_configs = Cset.cardinal semi_valid;
       boundness = !boundness;
       probes_exhausted = !exhausted;
+      probes_skipped = !skipped;
     }
 end
 
-let measure (proto : Spec.t) ~(explore : Explore.bounds) ~(probe : probe_bounds) =
+let measure ?max_probes (proto : Spec.t) ~(explore : Explore.bounds) ~(probe : probe_bounds) =
   let module P = (val proto) in
   let module B = Make (P) in
-  B.measure ~explore ~probe_bounds:probe
+  B.measure ?max_probes ~explore ~probe_bounds:probe ()

@@ -32,11 +32,21 @@ type report = {
           [None] if some probe exhausted its budget (protocol looks
           unbounded from there) *)
   probes_exhausted : int;
+  probes_skipped : int;
+      (** semi-valid configurations not probed because [max_probes] ran
+          out; when positive, [boundness] is a lower bound over the probed
+          sample rather than the explored maximum *)
 }
 
 val pp_report : Format.formatter -> report -> unit
 
 (** Explore with [explore_bounds] (see {!Explore.bounds}), then probe every
-    semi-valid configuration found. *)
+    semi-valid configuration found — or only the first [max_probes] of
+    them in BFS order, for callers (the linter) that need a bounded-cost
+    sample rather than the exact explored maximum. *)
 val measure :
-  Nfc_protocol.Spec.t -> explore:Explore.bounds -> probe:probe_bounds -> report
+  ?max_probes:int ->
+  Nfc_protocol.Spec.t ->
+  explore:Explore.bounds ->
+  probe:probe_bounds ->
+  report

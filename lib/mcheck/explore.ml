@@ -138,6 +138,61 @@ module Make (P : Spec.S) = struct
       (M.support c.rt);
     List.rev !moves
 
+  type reach = { configs : config list; truncated : bool; reach_stats : stats }
+
+  (* The reachable set itself, in BFS order, for consumers that need the
+     configurations and not just a counterexample search: the linter walks
+     it to certify header budgets, probe input-enabledness and detect dead
+     configurations. *)
+  let reachable_set bounds =
+    let module Sset = Set.Make (struct
+      type t = P.sender
+
+      let compare = P.compare_sender
+    end) in
+    let module Rset = Set.Make (struct
+      type t = P.receiver
+
+      let compare = P.compare_receiver
+    end) in
+    let visited = ref Cset.empty in
+    let order = ref [] in
+    let n_visited = ref 0 in
+    let senders = ref Sset.empty in
+    let receivers = ref Rset.empty in
+    let max_depth = ref 0 in
+    let truncated = ref false in
+    let queue = Queue.create () in
+    let visit cfg depth =
+      if not (Cset.mem cfg !visited) then
+        if !n_visited >= bounds.max_nodes then truncated := true
+        else begin
+          visited := Cset.add cfg !visited;
+          incr n_visited;
+          order := cfg :: !order;
+          senders := Sset.add cfg.sender !senders;
+          receivers := Rset.add cfg.receiver !receivers;
+          max_depth := max !max_depth depth;
+          Queue.push (cfg, depth) queue
+        end
+    in
+    visit initial 0;
+    while not (Queue.is_empty queue) do
+      let cfg, depth = Queue.pop queue in
+      List.iter (fun (_, cfg') -> visit cfg' (depth + 1)) (successors bounds cfg)
+    done;
+    {
+      configs = List.rev !order;
+      truncated = !truncated;
+      reach_stats =
+        {
+          nodes = !n_visited;
+          sender_states = Sset.cardinal !senders;
+          receiver_states = Rset.cardinal !receivers;
+          max_depth = !max_depth;
+        };
+    }
+
   type node = { cfg : config; parent : int; act : Action.t option; depth : int }
 
   let search ?(stop_at_phantom = true) bounds =

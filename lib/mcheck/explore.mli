@@ -66,3 +66,37 @@ val pp_wedge_outcome : Format.formatter -> wedge_outcome -> unit
     its other failure mode besides the phantom — while the
     sequence-number protocols never do within any explored space. *)
 val find_wedge : Nfc_protocol.Spec.t -> bounds -> wedge_outcome
+
+(** The per-protocol exploration engine, exposed so downstream static
+    analyses (notably [Nfc_lint]) can work with typed configurations and
+    the labelled successor relation rather than only the monomorphic
+    search wrappers above. *)
+module Make (P : Nfc_protocol.Spec.S) : sig
+  type config = {
+    sender : P.sender;
+    receiver : P.receiver;
+    tr : Nfc_util.Multiset.Int.t;  (** packets in transit t->r *)
+    rt : Nfc_util.Multiset.Int.t;
+    submitted : int;
+    delivered : int;
+  }
+
+  val initial : config
+
+  (** Labelled successor relation under the given bounds ([None] labels a
+      silent timer tick). *)
+  val successors :
+    bounds -> config -> (Nfc_automata.Action.t option * config) list
+
+  type reach = {
+    configs : config list;  (** every visited configuration, in BFS order *)
+    truncated : bool;  (** true iff [max_nodes] cut the exploration off *)
+    reach_stats : stats;
+  }
+
+  (** The reachable set itself (not just its statistics). *)
+  val reachable_set : bounds -> reach
+
+  val search : ?stop_at_phantom:bool -> bounds -> outcome
+  val find_wedge_search : bounds -> wedge_outcome
+end

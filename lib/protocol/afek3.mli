@@ -1,0 +1,18 @@
+(** A three-data-header protocol with echo accounting — our executable
+    stand-in for the protocol of [Afe88] (see DESIGN.md,
+    "Substitutions"), which Theorem 4.1 proves optimal.
+
+    Message [f] travels under colour [f mod 3]; the receiver delivers on
+    first receipt of the expected colour and echoes everything; the sender
+    opens epoch [f] only once the colour about to be trusted is fully
+    accounted (echoes = sends), so the channel holds no stale copy of it.
+    Delivery cost is linear in the number of packets delayed on the
+    channel — the Theorem 4.1 lower bound, achieved. *)
+
+(** [make ?retransmit ?ping_every ()] builds the protocol; the sender
+    retransmits the current colour every [retransmit] polls (default 2)
+    and re-pings the previous epoch's colour every [ping_every] polls
+    while blocked on the flush (default 4).
+
+    @raise Invalid_argument if [retransmit < 1] or [ping_every < 1]. *)
+val make : ?retransmit:int -> ?ping_every:int -> unit -> Spec.t

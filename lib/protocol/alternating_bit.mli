@@ -1,0 +1,15 @@
+(** The alternating bit protocol [BSW69], the paper's running example of a
+    bounded-header protocol.
+
+    Packets: data with bit [b] is [b]; the ack for bit [b] is [2 + b] —
+    four headers total.  Correct over lossy FIFO channels; over a non-FIFO
+    channel a delayed duplicate of an old bit-b data packet is
+    indistinguishable from a fresh message, exactly the failure Theorem
+    3.1 proves unavoidable for bounded headers ({!Nfc_mcheck} finds the
+    violating execution). *)
+
+(** [make ?timeout ()] builds the protocol; the sender retransmits every
+    [timeout] polls (default 4).
+
+    @raise Invalid_argument if [timeout < 1]. *)
+val make : ?timeout:int -> unit -> Spec.t

@@ -1,0 +1,16 @@
+(** A counting/flooding protocol with four headers — our executable
+    stand-in for the bounded-header protocol of [AFWZ88] (see DESIGN.md,
+    "Substitutions").
+
+    Both stations share a threshold schedule T(i) = ceil(base * ratio^i);
+    message [i] is delivered only after T(i) copies of its bit arrive.
+    Counting is the only defence a bounded-header protocol has against
+    stale copies, and the price is unbounded counters and a packet count
+    exponential in the message index — the blow-up Theorem 4.1
+    quantifies. *)
+
+(** [make ?base ?ratio ()] builds the protocol with threshold schedule
+    [ceil (base *. ratio ** i)] (defaults: base 1, ratio 2.0).
+
+    @raise Invalid_argument if [base < 1] or [ratio <= 1.0]. *)
+val make : ?base:int -> ?ratio:float -> unit -> Spec.t

@@ -1,0 +1,15 @@
+(** Go-Back-N: a pipelined sequence-number protocol.
+
+    {!Stenning} with up to [window] messages in flight and cumulative
+    acknowledgements ([2i + 1] acknowledges everything below [i]); on
+    timeout the sender retransmits from the lowest unacknowledged index.
+    Same resource profile as Stenning in the paper's three measures, far
+    fewer rounds on slow channels — the performance side of "pay
+    unbounded headers". *)
+
+(** [make ?window ?timeout ()] builds the protocol with a sending window
+    of [window] messages (default 4) and retransmission every [timeout]
+    polls (default 8).
+
+    @raise Invalid_argument if [window < 1] or [timeout < 1]. *)
+val make : ?window:int -> ?timeout:int -> unit -> Spec.t

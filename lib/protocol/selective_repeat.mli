@@ -1,0 +1,16 @@
+(** Selective Repeat: pipelined sequence numbers with out-of-order
+    buffering.
+
+    Acks name exactly the index received (unlike {!Go_back_n}'s
+    cumulative acks); the sender retransmits only unacked messages and the
+    receiver buffers out-of-order arrivals inside its window.  The
+    strongest unbounded-header protocol here: safe and live on arbitrary
+    non-FIFO lossy channels, pipelined, and immune to Go-Back-N's
+    retransmission storms under reordering. *)
+
+(** [make ?window ?timeout ()] builds the protocol with a window of
+    [window] messages (default 4) and a retransmission sweep every
+    [timeout] polls (default 8).
+
+    @raise Invalid_argument if [window < 1] or [timeout < 1]. *)
+val make : ?window:int -> ?timeout:int -> unit -> Spec.t

@@ -1,0 +1,14 @@
+(** Stenning's sequence-number protocol — the "naive protocol" of the
+    paper's introduction.
+
+    Packets: data for message [i] is [2i], its ack [2i + 1]; the header
+    count grows with the number of messages ([header_bound = None]).  In
+    exchange the protocol is safe and live over arbitrary non-FIFO lossy
+    channels in O(log n) space — the trade-off Theorem 3.1 proves
+    unavoidable. *)
+
+(** [make ?timeout ()] builds the protocol; the sender retransmits every
+    [timeout] polls (default 4).
+
+    @raise Invalid_argument if [timeout < 1]. *)
+val make : ?timeout:int -> unit -> Spec.t

@@ -1,0 +1,13 @@
+(** Header-free stop-and-wait, the baseline that motivates headers.
+
+    Packets: [data = 0] forward, [ack = 1] reverse — a single header in
+    each direction.  Correct on a perfect FIFO channel, duplicates
+    deliveries as soon as one packet or ack is lost: with no header the
+    receiver cannot tell a retransmission from the next message.  This is
+    the observation opening the paper's Section 2.3. *)
+
+(** [make ?timeout ()] builds the protocol; the sender retransmits every
+    [timeout] polls (default 4).
+
+    @raise Invalid_argument if [timeout < 1]. *)
+val make : ?timeout:int -> unit -> Spec.t

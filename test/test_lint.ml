@@ -1,0 +1,142 @@
+(* Tests for Nfc_lint: the honest registry is error-free, a lying spec is
+   flagged, certificates respect Theorem 2.1, JSON and exit codes. *)
+open Nfc_lint
+module Spec = Nfc_protocol.Spec
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* The registry run is shared across tests (it is the expensive part). *)
+let registry_results = lazy (Engine.run_registry Checks.default_config)
+
+(* A deliberately broken protocol: declares two headers but emits four
+   distinct forward packets plus a reverse ack, and its receiver refuses
+   packet 2 — so H1 (header budget) and E1 (input-enabledness) must both
+   fire as errors. *)
+module Broken = struct
+  let name = "broken-lint-spec"
+  let describe = "lies about its header bound and rejects packet 2"
+  let header_bound = Some 2
+
+  type sender = int (* next forward packet, cycling mod 4 *)
+  type receiver = int (* acks pending *)
+
+  let sender_init = 0
+  let receiver_init = 0
+  let on_submit s = s
+  let on_ack s _ = s
+  let sender_poll s = (Some s, (s + 1) mod 4)
+  let on_data r p = if p = 2 then failwith "cannot handle packet 2" else r + 1
+  let receiver_poll r = if r > 0 then (Some (Spec.Rsend 9), r - 1) else (None, r)
+  let compare_sender = Int.compare
+  let compare_receiver = Int.compare
+  let pp_sender = Format.pp_print_int
+  let pp_receiver = Format.pp_print_int
+  let sender_space_bits = Spec.bits_for_int
+  let receiver_space_bits = Spec.bits_for_int
+end
+
+(* Small bounds: the broken spec's defects are visible within a few
+   hundred configurations, no need for the default budgets. *)
+let small_cfg =
+  {
+    Checks.default_config with
+    Checks.bounds =
+      { (Checks.default_config.Checks.bounds) with Nfc_mcheck.Explore.max_nodes = 2_000 };
+    probe = { Nfc_mcheck.Boundness.max_nodes = 300; max_cost = 30 };
+    max_probes = 50;
+  }
+
+let broken_result = lazy (Engine.run small_cfg (module Broken : Spec.S))
+
+let has ~rule ~severity (r : Engine.result) =
+  List.exists
+    (fun (d : Diagnostic.t) -> d.Diagnostic.rule = rule && d.Diagnostic.severity = severity)
+    r.Engine.diagnostics
+
+let test_registry_clean () =
+  let results = Lazy.force registry_results in
+  checki "all registry protocols linted" (List.length (Nfc_protocol.Registry.defaults ()))
+    (List.length results);
+  checki "no errors on honest protocols" 0 (Report.n_errors results)
+
+let test_registry_certificates_sound () =
+  (* Theorem 2.1: measured boundness never exceeds k_t * k_r on the same
+     bounds.  [None] (probe budget exhausted) makes no claim. *)
+  List.iter
+    (fun (r : Engine.result) ->
+      match r.Engine.certificate.Certificate.measured_boundness with
+      | Some b ->
+          checkb
+            (r.Engine.protocol ^ ": boundness <= state product")
+            true
+            (b <= r.Engine.certificate.Certificate.state_product)
+      | None -> ())
+    (Lazy.force registry_results)
+
+let test_registry_header_budgets_certified () =
+  (* Every declared bound in the registry is honest: the observed
+     alphabet fits. *)
+  List.iter
+    (fun (r : Engine.result) ->
+      match r.Engine.certificate.Certificate.declared_header_bound with
+      | Some k ->
+          checkb
+            (r.Engine.protocol ^ ": alphabet within declared bound")
+            true
+            (Certificate.alphabet_size r.Engine.certificate <= k)
+      | None -> ())
+    (Lazy.force registry_results)
+
+let test_broken_flags_h1_and_e1 () =
+  let r = Lazy.force broken_result in
+  checkb "H1 error (lying header bound)" true (has ~rule:"H1" ~severity:Diagnostic.Error r);
+  checkb "E1 error (partial on_data)" true (has ~rule:"E1" ~severity:Diagnostic.Error r);
+  checkb "alphabet overflows the declared bound" true
+    (Certificate.alphabet_size r.Engine.certificate > 2)
+
+let test_broken_witnesses_name_the_defect () =
+  let r = Lazy.force broken_result in
+  let e1 =
+    List.find
+      (fun (d : Diagnostic.t) -> d.Diagnostic.rule = "E1")
+      r.Engine.diagnostics
+  in
+  match e1.Diagnostic.witness with
+  | Some w ->
+      (* The witness names the offending operation and packet. *)
+      checkb "witness mentions on_data" true
+        (String.length w >= 7 && String.sub w 0 7 = "on_data")
+  | None -> Alcotest.fail "E1 must carry a witness"
+
+let test_jsonl_one_object_per_protocol () =
+  let results = Lazy.force registry_results in
+  let lines =
+    String.split_on_char '\n' (String.trim (Report.jsonl results))
+  in
+  checki "one JSON line per protocol" (List.length results) (List.length lines);
+  List.iter
+    (fun l ->
+      checkb "line is a protocol object" true
+        (String.length l > 12 && String.sub l 0 12 = {|{"protocol":|}))
+    lines
+
+let test_exit_codes () =
+  let results = Lazy.force registry_results in
+  checki "clean registry exits 0" 0 (Report.exit_code ~strict:false results);
+  (* The alternating bit's stuck configuration is a warning; strict mode
+     escalates it. *)
+  checki "strict escalates warnings" 1 (Report.exit_code ~strict:true results);
+  let broken = [ Lazy.force broken_result ] in
+  checki "errors exit 1" 1 (Report.exit_code ~strict:false broken)
+
+let suite =
+  [
+    ("registry lints clean", `Quick, test_registry_clean);
+    ("certificates respect Theorem 2.1", `Quick, test_registry_certificates_sound);
+    ("declared header budgets certified", `Quick, test_registry_header_budgets_certified);
+    ("broken spec flags H1+E1", `Quick, test_broken_flags_h1_and_e1);
+    ("E1 witness names the defect", `Quick, test_broken_witnesses_name_the_defect);
+    ("jsonl shape", `Quick, test_jsonl_one_object_per_protocol);
+    ("exit codes", `Quick, test_exit_codes);
+  ]

@@ -13,6 +13,7 @@ let () =
       ("core", Test_core.suite);
       ("transport", Test_transport.suite);
       ("mutation", Test_mutation.suite);
+      ("lint", Test_lint.suite);
       ("boundness-def", Test_boundness_def.suite);
       ("matrix", Test_matrix.suite);
       ("edge", Test_edge.suite);
