@@ -1,6 +1,6 @@
 # Convenience targets around dune; `make check` is the tier-1 gate.
 
-.PHONY: all build test check fmt lint smoke clean
+.PHONY: all build test check fmt lint smoke bench-json clean
 
 all: build
 
@@ -33,6 +33,14 @@ smoke: build
 	@dune exec bin/nfc.exe -- replay _build/smoke.trace >/dev/null 2>&1; \
 	if [ $$? -ne 2 ]; then echo "smoke: replay did not confirm the violation"; exit 1; fi
 	@echo "smoke: violation found, shrunk, and re-confirmed on replay"
+
+# Machine-readable bench trajectory: bechamel OLS estimates for the
+# engine ablation (hashed vs tree reference on every registry protocol)
+# plus the end-to-end lint wall-clock at the old and new node budgets.
+# Set NFC_BENCH_FULL=1 to include the substrate suite.
+bench-json: build
+	dune exec bench/main.exe -- --json > BENCH_3.json
+	@echo "wrote BENCH_3.json"
 
 clean:
 	dune clean

@@ -223,43 +223,189 @@ let bench_t51_run =
            (Nfc_core.Prob_experiment.packets_for (Nfc_protocol.Flood.make ()) ~q:0.3 ~n:6
               ~seed:9)))
 
+(* ------------------------- engine ablation: hashed vs tree reference *)
+
+(* DESIGN.md section 5's state-space ablation, measured: the hashed
+   interned engine ({!Nfc_mcheck.Explore.Make}) against the retained
+   balanced-tree engine ({!Nfc_mcheck.Reference}) on the identical
+   exploration.  Each run pays the full engine lifecycle (fresh intern and
+   memo tables — exactly what one lint/boundness invocation costs). *)
+let engine_bounds =
+  {
+    Nfc_mcheck.Explore.capacity_tr = 2;
+    capacity_rt = 2;
+    submit_budget = 3;
+    max_nodes = 15_000;
+    allow_drop = true;
+  }
+
+let bench_engine_hashed proto =
+  let module P = (val proto : Nfc_protocol.Spec.S) in
+  Test.make
+    ~name:(Printf.sprintf "engine/hashed/%s" P.name)
+    (Staged.stage (fun () ->
+         let module E = Nfc_mcheck.Explore.Make (P) in
+         ignore (E.reachable_set engine_bounds)))
+
+let bench_engine_tree proto =
+  let module P = (val proto : Nfc_protocol.Spec.S) in
+  Test.make
+    ~name:(Printf.sprintf "engine/tree/%s" P.name)
+    (Staged.stage (fun () ->
+         ignore (Nfc_mcheck.Reference.reachable_set_stats proto engine_bounds)))
+
+let engine_tests () =
+  List.concat_map
+    (fun p -> [ bench_engine_hashed p; bench_engine_tree p ])
+    (Nfc_protocol.Registry.defaults ())
+
 (* -------------------------------------------------------------- driver *)
 
-let benchmark () =
-  let tests =
-    Test.make_grouped ~name:"nonfifo" ~fmt:"%s %s"
-      [
-        bench_rng;
-        bench_multiset;
-        bench_hoeffding;
-        bench_binomial;
-        bench_transit_multiset 1000;
-        bench_transit_list 1000;
-        bench_harness_stenning;
-        bench_harness_afek3;
-        bench_harness_flood;
-        bench_harness_gbn_delayed;
-        bench_vlink;
-        bench_t21_boundness;
-        bench_t31_mcheck;
-        bench_t31_adversary;
-        bench_t41_measure;
-        bench_t51_growth;
-        bench_t51_run;
-      ]
-  in
+let substrate_tests () =
+  [
+    bench_rng;
+    bench_multiset;
+    bench_hoeffding;
+    bench_binomial;
+    bench_transit_multiset 1000;
+    bench_transit_list 1000;
+    bench_harness_stenning;
+    bench_harness_afek3;
+    bench_harness_flood;
+    bench_harness_gbn_delayed;
+    bench_vlink;
+    bench_t21_boundness;
+    bench_t31_mcheck;
+    bench_t31_adversary;
+    bench_t41_measure;
+    bench_t51_growth;
+    bench_t51_run;
+  ]
+
+let analyze tests ~quota =
+  let tests = Test.make_grouped ~name:"nonfifo" ~fmt:"%s %s" tests in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:(Some 10) () in
   let raw_results = Benchmark.all cfg instances tests in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
-  Analyze.merge ols instances results
+  (List.hd (List.map (fun instance -> Analyze.all ols instance raw_results) instances), raw_results)
+
+let benchmark () =
+  let per_instance, raw_results = analyze (substrate_tests () @ engine_tests ()) ~quota:0.5 in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  ignore raw_results;
+  Analyze.merge ols instances [ per_instance ]
+
+(* ------------------------------------------------------- JSON trajectory *)
+
+module Json = Nfc_util.Json
+
+let strip_group name =
+  match String.index_opt name ' ' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+(* One entry per benchmark: the OLS nanoseconds-per-run estimate. *)
+let estimates_of tbl =
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> Some e | _ -> None
+      in
+      (strip_group name, ns, Analyze.OLS.r_square ols) :: acc)
+    tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let json_mode ~full =
+  (* Engine ablation always runs (it is the trajectory's reason to exist);
+     the substrate suite rides along in full mode only, keeping the CI
+     smoke run under a minute. *)
+  let quota = if full then 0.5 else 0.25 in
+  let tests = if full then substrate_tests () @ engine_tests () else engine_tests () in
+  let per_instance, _ = analyze tests ~quota in
+  let ests = estimates_of per_instance in
+  let lookup name =
+    List.find_map (fun (n, ns, _) -> if n = name then ns else None) ests
+  in
+  let engine =
+    List.filter_map
+      (fun proto ->
+        let module P = (val proto : Nfc_protocol.Spec.S) in
+        match
+          (lookup (Printf.sprintf "engine/hashed/%s" P.name),
+           lookup (Printf.sprintf "engine/tree/%s" P.name))
+        with
+        | Some h, Some t ->
+            Some
+              (Json.Obj
+                 [
+                   ("protocol", Json.String P.name);
+                   ("max_nodes", Json.Int engine_bounds.Nfc_mcheck.Explore.max_nodes);
+                   ("hashed_ns_per_run", Json.Float h);
+                   ("tree_ns_per_run", Json.Float t);
+                   ("speedup", Json.Float (t /. h));
+                 ])
+        | _ -> None)
+      (Nfc_protocol.Registry.defaults ())
+  in
+  (* End-to-end verifier wall-clock at the old and new default node
+     budgets — the headline of the perf work: the raised default must fit
+     in the old budget's time. *)
+  let lint_wall nodes =
+    let cfg =
+      {
+        Nfc_lint.Checks.default_config with
+        Nfc_lint.Checks.bounds =
+          {
+            Nfc_lint.Checks.default_config.Nfc_lint.Checks.bounds with
+            Nfc_mcheck.Explore.max_nodes = nodes;
+          };
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore (Nfc_lint.Engine.run_registry cfg);
+    Unix.gettimeofday () -. t0
+  in
+  let lint =
+    List.map
+      (fun nodes ->
+        Json.Obj
+          [ ("max_nodes", Json.Int nodes); ("seconds", Json.Float (lint_wall nodes)) ])
+      [ 15_000; 100_000 ]
+  in
+  let estimates =
+    List.map
+      (fun (name, ns, r2) ->
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("ns_per_run", Json.opt (fun x -> Json.Float x) ns);
+            ("r_square", Json.opt (fun x -> Json.Float x) r2);
+          ])
+      ests
+  in
+  print_endline
+    (Json.to_string
+       (Json.Obj
+          [
+            ("bench", Json.String "BENCH_3");
+            ("mode", Json.String (if full then "full" else "quick"));
+            ("unit", Json.String "ns/run (bechamel OLS, monotonic clock)");
+            ("estimates", Json.List estimates);
+            ("engine_ablation", Json.List engine);
+            ("lint_registry_wall_clock", Json.List lint);
+          ]))
 
 let () =
   Bechamel_notty.Unit.add Instance.monotonic_clock (Measure.unit Instance.monotonic_clock)
 
 let () =
   let full = Sys.getenv_opt "NFC_BENCH_FULL" = Some "1" in
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    json_mode ~full;
+    exit 0
+  end;
   Printf.printf "=== Reproducing the paper's evaluation (%s mode) ===\n\n%!"
     (if full then "full" else "quick; set NFC_BENCH_FULL=1 for full");
   ignore (Nfc_core.Experiments.run_all ~quick:(not full) ());

@@ -70,6 +70,15 @@ let channel_conv =
   Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for independent sub-tasks (0 = one per core). The default 1 \
+           runs fully sequentially; any value produces identical output — parallelism \
+           only changes wall-clock time.")
 let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller, faster experiment variants")
 
 (* ------------------------------------------------------------ protocols *)
@@ -242,9 +251,9 @@ let boundness_cmd =
   let nodes =
     Arg.(value & opt int 30_000 & info [ "nodes" ] ~docv:"N" ~doc:"Configuration budget")
   in
-  let run protocol nodes =
+  let run protocol nodes jobs =
     let report =
-      Nfc_mcheck.Boundness.measure protocol
+      Nfc_mcheck.Boundness.measure ~jobs protocol
         ~explore:
           {
             Nfc_mcheck.Explore.capacity_tr = 2;
@@ -260,7 +269,7 @@ let boundness_cmd =
   Cmd.v
     (Cmd.info "boundness"
        ~doc:"Measure a protocol's boundness against Theorem 2.1's k_t*k_r state product")
-    Term.(const run $ protocol $ nodes)
+    Term.(const run $ protocol $ nodes $ jobs_arg)
 
 (* ------------------------------------------------------------- theorems *)
 
@@ -366,7 +375,25 @@ let fuzz_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per protocol (JSONL)")
   in
-  let run protocol all iterations budget steps submits shrink save json seed =
+  let batches =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batches" ] ~docv:"B"
+          ~doc:
+            "Split the run budget across B independent RNG streams (derived from --seed \
+             by index).  Results depend only on (seed, batches), never on --jobs.  \
+             Default: 1, or max(8, jobs) when --jobs parallelises a single-protocol \
+             campaign.")
+  in
+  let run protocol all iterations budget steps submits shrink save json seed jobs batches =
+    let batches =
+      match batches with
+      | Some b -> b
+      | None ->
+          if jobs = 1 || all then 1
+          else max 8 (if jobs = 0 then Nfc_util.Pool.recommended () else jobs)
+    in
     let cfg =
       {
         Campaign.default_cfg with
@@ -374,17 +401,18 @@ let fuzz_cmd =
         time_budget = budget;
         seed;
         shrink;
+        batches;
         gen = { Gen.default_cfg with steps; submits };
       }
     in
     let log = if json then fun _ -> () else fun msg -> Format.eprintf "%s@." msg in
     let results =
-      if all then Campaign.run_all ~log cfg
+      if all then Campaign.run_all ~log ~jobs cfg
       else
         let proto =
           match protocol with Some p -> p | None -> Nfc_protocol.Alternating_bit.make ()
         in
-        [ Campaign.run ~log proto cfg ]
+        [ Campaign.run ~log ~jobs proto cfg ]
     in
     if json then print_string (Campaign.jsonl results)
     else begin
@@ -419,7 +447,7 @@ let fuzz_cmd =
           trace shrinking)")
     Term.(
       const run $ protocol $ all $ iterations $ budget $ steps $ submits $ shrink $ save
-      $ json $ seed_arg)
+      $ json $ seed_arg $ jobs_arg $ batches)
 
 (* ----------------------------------------------------------------- lint *)
 
@@ -440,8 +468,11 @@ let lint_cmd =
   in
   let nodes =
     Arg.(
-      value & opt int 15_000
-      & info [ "nodes" ] ~docv:"N" ~doc:"Configuration budget per protocol")
+      value & opt int 100_000
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:
+            "Configuration budget per protocol (the hashed engine covers the default \
+             100k in about the time the tree engine needed for 15k)")
   in
   let strict =
     Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as findings (exit 1)")
@@ -449,7 +480,7 @@ let lint_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per protocol (JSONL)")
   in
-  let run protocol capacity submits nodes strict json =
+  let run protocol capacity submits nodes strict json jobs =
     let cfg =
       {
         Checks.default_config with
@@ -466,7 +497,7 @@ let lint_cmd =
     match
       match protocol with
       | Some p -> [ Engine.run cfg p ]
-      | None -> Engine.run_registry cfg
+      | None -> Engine.run_registry ~jobs cfg
     with
     | results ->
         if json then print_string (Report.jsonl results) else Report.print results;
@@ -480,7 +511,7 @@ let lint_cmd =
        ~doc:
          ("Statically verify protocol invariants (rules " ^ Nfc_lint.Rules.doc
         ^ "): header budgets, input-enabledness, Theorem 2.1 boundness certificates"))
-    Term.(const run $ protocol $ capacity $ submits $ nodes $ strict $ json)
+    Term.(const run $ protocol $ capacity $ submits $ nodes $ strict $ json $ jobs_arg)
 
 (* ----------------------------------------------------------- experiment *)
 

@@ -1,5 +1,6 @@
 module Rng = Nfc_util.Rng
 module Json = Nfc_util.Json
+module Pool = Nfc_util.Pool
 module Spec = Nfc_protocol.Spec
 
 type cfg = {
@@ -9,6 +10,7 @@ type cfg = {
   gen : Gen.cfg;
   mutate_ratio : float;
   shrink : bool;
+  batches : int;
 }
 
 let default_cfg =
@@ -19,12 +21,14 @@ let default_cfg =
     gen = Gen.default_cfg;
     mutate_ratio = 0.7;
     shrink = false;
+    batches = 1;
   }
 
 type finding = {
   schedule : Schedule.t;
   violation : string;
   found_at : int;
+  batch : int;
   shrunk : Schedule.t option;
   trace : Nfc_automata.Execution.t;
 }
@@ -38,9 +42,11 @@ type result = {
   finding : finding option;
 }
 
-let run ?(log = fun _ -> ()) (proto : Spec.t) cfg =
-  if cfg.iterations < 1 then invalid_arg "Campaign.run: iterations must be >= 1";
-  let rng = Rng.of_int cfg.seed in
+(* The inner fuzz loop of one RNG stream: generate-or-mutate, run, feed
+   coverage back, stop at the first violation.  [batch] only labels the
+   finding; shrinking and logging stay with the caller so parallel batches
+   do no redundant work and never write from a worker domain. *)
+let run_batch (proto : Spec.t) cfg ~batch ~rng ~iterations =
   let corpus = Corpus.create () in
   let started = Sys.time () in
   let over_budget () =
@@ -51,7 +57,7 @@ let run ?(log = fun _ -> ()) (proto : Spec.t) cfg =
   let finding = ref None in
   let runs = ref 0 in
   (try
-     while !runs < cfg.iterations && not (over_budget ()) do
+     while !runs < iterations && not (over_budget ()) do
        incr runs;
        let sched =
          match Corpus.pick rng corpus with
@@ -63,34 +69,99 @@ let run ?(log = fun _ -> ()) (proto : Spec.t) cfg =
        match out.Interp.violation with
        | None -> ()
        | Some violation ->
-           log
-             (Printf.sprintf "%s: violation after %d runs (%d coverage keys): %s"
-                (Spec.name proto) !runs (Corpus.coverage_size corpus) violation);
-           let shrunk, trace =
-             if cfg.shrink then begin
-               let minimal, trace = Shrink.minimize proto sched in
-               log
-                 (Printf.sprintf "%s: shrunk %d -> %d steps (%d actions)" (Spec.name proto)
-                    (Schedule.length sched) (Schedule.length minimal) (List.length trace));
-               (Some minimal, trace)
-             end
-             else (None, out.Interp.trace)
-           in
-           finding := Some { schedule = sched; violation; found_at = !runs; shrunk; trace };
+           finding :=
+             Some
+               {
+                 schedule = sched;
+                 violation;
+                 found_at = !runs;
+                 batch;
+                 shrunk = None;
+                 trace = out.Interp.trace;
+               };
            raise Exit
      done
    with Exit -> ());
-  {
-    protocol = Spec.name proto;
-    runs = !runs;
-    coverage = Corpus.coverage_size corpus;
-    corpus = Corpus.size corpus;
-    elapsed = Sys.time () -. started;
-    finding = !finding;
-  }
+  (!runs, corpus, !finding)
 
-let run_all ?log cfg =
-  List.map
+let shrink_finding ~log (proto : Spec.t) f =
+  let minimal, trace = Shrink.minimize proto f.schedule in
+  log
+    (Printf.sprintf "%s: shrunk %d -> %d steps (%d actions)" (Spec.name proto)
+       (Schedule.length f.schedule) (Schedule.length minimal) (List.length trace));
+  { f with shrunk = Some minimal; trace }
+
+let run ?(log = fun _ -> ()) ?(jobs = 1) (proto : Spec.t) cfg =
+  if cfg.iterations < 1 then invalid_arg "Campaign.run: iterations must be >= 1";
+  if cfg.batches < 1 then invalid_arg "Campaign.run: batches must be >= 1";
+  if cfg.batches = 1 then begin
+    (* The sequential campaign: one RNG stream, identical to the
+       pre-batching behaviour run for run. *)
+    let rng = Rng.of_int cfg.seed in
+    let started = Sys.time () in
+    let runs, corpus, found = run_batch proto cfg ~batch:0 ~rng ~iterations:cfg.iterations in
+    let finding =
+      match found with
+      | None -> None
+      | Some f ->
+          log
+            (Printf.sprintf "%s: violation after %d runs (%d coverage keys): %s"
+               (Spec.name proto) runs (Corpus.coverage_size corpus) f.violation);
+          Some (if cfg.shrink then shrink_finding ~log proto f else f)
+    in
+    {
+      protocol = Spec.name proto;
+      runs;
+      coverage = Corpus.coverage_size corpus;
+      corpus = Corpus.size corpus;
+      elapsed = Sys.time () -. started;
+      finding;
+    }
+  end
+  else begin
+    (* Batched campaign: the batch count fixes the RNG streams (batch i's
+       generator is the i-th [Rng.split] of the root seed) and the
+       iteration split, so which violations exist — and which batch finds
+       one — depends only on (seed, batches), never on [jobs] or worker
+       interleaving.  The reported finding is the one from the lowest
+       batch index. *)
+    let root = Rng.of_int cfg.seed in
+    let per = cfg.iterations / cfg.batches in
+    let rem = cfg.iterations mod cfg.batches in
+    let specs =
+      List.init cfg.batches (fun i ->
+          (i, Rng.split root, per + if i < rem then 1 else 0))
+    in
+    let started = Sys.time () in
+    let outs =
+      Pool.map ~jobs
+        (fun (i, rng, iterations) -> run_batch proto cfg ~batch:i ~rng ~iterations)
+        specs
+    in
+    let corpus = Corpus.create () in
+    List.iter (fun (_, c, _) -> Corpus.merge corpus c) outs;
+    let runs = List.fold_left (fun acc (r, _, _) -> acc + r) 0 outs in
+    let finding =
+      match List.find_map (fun (_, _, f) -> f) outs with
+      | None -> None
+      | Some f ->
+          log
+            (Printf.sprintf "%s: violation in batch %d at run %d (%d coverage keys): %s"
+               (Spec.name proto) f.batch f.found_at (Corpus.coverage_size corpus) f.violation);
+          Some (if cfg.shrink then shrink_finding ~log proto f else f)
+    in
+    {
+      protocol = Spec.name proto;
+      runs;
+      coverage = Corpus.coverage_size corpus;
+      corpus = Corpus.size corpus;
+      elapsed = Sys.time () -. started;
+      finding;
+    }
+  end
+
+let run_all ?log ?(jobs = 1) cfg =
+  Pool.map ~jobs
     (fun entry -> run ?log (entry.Nfc_protocol.Registry.default ()) cfg)
     Nfc_protocol.Registry.all
 
@@ -110,6 +181,7 @@ let to_json r =
                  [
                    ("violation", Json.String f.violation);
                    ("found_at_run", Json.Int f.found_at);
+                   ("batch", Json.Int f.batch);
                    ("schedule_steps", Json.Int (Schedule.length f.schedule));
                    ( "shrunk_steps",
                      Json.opt (fun s -> Json.Int (Schedule.length s)) f.shrunk );

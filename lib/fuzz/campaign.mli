@@ -3,24 +3,37 @@
     One campaign fuzzes one protocol: generate or mutate a schedule, run it
     ({!Interp}), feed the coverage back ({!Corpus}), stop at the first DL
     violation (optionally shrinking it) or when the budget runs out.  With
-    [time_budget = None] a campaign is a pure function of its seed. *)
+    [time_budget = None] a campaign is a pure function of its seed.
+
+    With [batches > 1] the run budget is split across that many
+    independent RNG streams (batch i's generator is the i-th {!Rng.split}
+    of the root seed), each with its own corpus, merged afterwards in
+    batch order.  The batch count — not the job count — fixes the random
+    streams, so results depend only on (seed, batches) and a finding is
+    reproducible from its [batch] index; [jobs] only decides how many
+    domains execute the batches. *)
 
 type cfg = {
-  iterations : int;  (** run budget *)
-  time_budget : float option;  (** optional CPU-seconds cap (non-deterministic) *)
+  iterations : int;  (** run budget (split across batches) *)
+  time_budget : float option;
+      (** optional CPU-seconds cap, applied per batch (non-deterministic;
+          CPU time is process-wide, so under parallelism it triggers
+          early) *)
   seed : int;
   gen : Gen.cfg;
   mutate_ratio : float;  (** probability of mutating a corpus entry vs generating fresh *)
   shrink : bool;  (** minimize the finding with {!Shrink} *)
+  batches : int;  (** independent RNG streams; 1 = the sequential campaign *)
 }
 
-(** 50k iterations, no time cap, seed 1, no shrinking. *)
+(** 50k iterations, no time cap, seed 1, no shrinking, one batch. *)
 val default_cfg : cfg
 
 type finding = {
   schedule : Schedule.t;  (** the violating schedule as found *)
   violation : string;
-  found_at : int;  (** 1-based run number *)
+  found_at : int;  (** 1-based run number within the finding batch *)
+  batch : int;  (** 0-based batch index ([0] for sequential campaigns) *)
   shrunk : Schedule.t option;
   trace : Nfc_automata.Execution.t;
       (** execution of the shrunk schedule when shrinking, else of the
@@ -29,18 +42,23 @@ type finding = {
 
 type result = {
   protocol : string;
-  runs : int;
-  coverage : int;  (** distinct configurations reached *)
+  runs : int;  (** total runs across batches *)
+  coverage : int;  (** distinct configurations reached (union over batches) *)
   corpus : int;  (** schedules kept as mutation seeds *)
-  elapsed : float;  (** CPU seconds *)
+  elapsed : float;  (** CPU seconds (summed across domains when parallel) *)
   finding : finding option;
+      (** the lowest-batch-index finding; shrinking and logging happen
+          once, after the batches complete *)
 }
 
-val run : ?log:(string -> unit) -> Nfc_protocol.Spec.t -> cfg -> result
+(** [jobs] (default 1) fans batches out over that many domains ([0] = one
+    per core); it never changes the result. *)
+val run : ?log:(string -> unit) -> ?jobs:int -> Nfc_protocol.Spec.t -> cfg -> result
 
 (** Fuzz every protocol in {!Nfc_protocol.Registry.all} (default
-    parameters), in registry order. *)
-val run_all : ?log:(string -> unit) -> cfg -> result list
+    parameters), in registry order.  [jobs] parallelises across
+    protocols. *)
+val run_all : ?log:(string -> unit) -> ?jobs:int -> cfg -> result list
 
 (** One compact JSON object per result; {!jsonl} joins them one per line. *)
 val to_json : result -> string

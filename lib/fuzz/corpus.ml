@@ -39,3 +39,11 @@ let observe t sched ~coverage =
 
 let pick rng t =
   if t.n_entries = 0 then None else Some t.entries.(Rng.int rng t.n_entries)
+
+(* Union [src] into [dst]: coverage keys are merged, and every schedule
+   [src] kept stays a mutation seed.  Used to aggregate per-batch corpora
+   after a parallel campaign; merge order is the caller's (batch-index)
+   order, so the aggregate is independent of worker interleaving. *)
+let merge dst src =
+  Hashtbl.iter (fun key () -> if not (Hashtbl.mem dst.seen key) then Hashtbl.add dst.seen key ()) src.seen;
+  Array.iter (fun sched -> keep dst sched) (Array.sub src.entries 0 src.n_entries)

@@ -24,3 +24,9 @@ val entries : t -> Schedule.t list
 
 (** Uniform-random kept schedule, [None] while empty. *)
 val pick : Nfc_util.Rng.t -> t -> Schedule.t option
+
+(** [merge dst src] unions [src]'s coverage keys into [dst] and appends
+    every kept schedule — the batch-aggregation step of a parallel
+    campaign.  Merging in a fixed (batch-index) order makes the aggregate
+    independent of how batches interleaved at run time. *)
+val merge : t -> t -> unit

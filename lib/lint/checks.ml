@@ -1,7 +1,6 @@
 module Spec = Nfc_protocol.Spec
 module Explore = Nfc_mcheck.Explore
 module Boundness = Nfc_mcheck.Boundness
-module M = Nfc_util.Multiset.Int
 module Iset = Set.Make (Int)
 
 type config = {
@@ -115,32 +114,46 @@ module Make (P : Spec.S) = struct
           record "on_data" (Some p) (Format.asprintf "%a" P.pp_receiver r) e;
           r
     end in
-    let module E = Explore.Make (G) in
+    let module B = Boundness.Make (G) in
+    let module E = B.E in
     let reach = E.reachable_set cfg.bounds in
     (* --------------------------- alphabet census and state collection *)
     let atr = ref Iset.empty in
     let art = ref Iset.empty in
-    let senders = ref Sset.empty in
-    let receivers = ref Rset.empty in
+    let sender_by_id : (int, P.sender) Hashtbl.t = Hashtbl.create 64 in
+    let receiver_by_id : (int, P.receiver) Hashtbl.t = Hashtbl.create 64 in
     List.iter
       (fun (c : E.config) ->
-        senders := Sset.add c.E.sender !senders;
-        receivers := Rset.add c.E.receiver !receivers;
-        List.iter (fun p -> atr := Iset.add p !atr) (M.support c.E.tr);
-        List.iter (fun p -> art := Iset.add p !art) (M.support c.E.rt);
-        (* Poll probes catch emissions the capacity bound suppressed. *)
-        (match G.sender_poll c.E.sender with
-        | Some p, _ -> atr := Iset.add p !atr
-        | None, _ -> ()
-        | exception e ->
-            record "sender_poll" None (Format.asprintf "%a" P.pp_sender c.E.sender) e);
-        match G.receiver_poll c.E.receiver with
-        | Some (Spec.Rsend p), _ -> art := Iset.add p !art
-        | (Some Spec.Rdeliver | None), _ -> ()
-        | exception e ->
-            record "receiver_poll" None
-              (Format.asprintf "%a" P.pp_receiver c.E.receiver) e)
+        (* Interned-id equality is comparator equality, so deduping on the
+           id visits each distinct station state — and poll-probes it —
+           exactly once instead of once per configuration. *)
+        if not (Hashtbl.mem sender_by_id c.E.sid) then begin
+          Hashtbl.add sender_by_id c.E.sid c.E.sender;
+          (* Poll probes catch emissions the capacity bound suppressed. *)
+          match G.sender_poll c.E.sender with
+          | Some p, _ -> atr := Iset.add p !atr
+          | None, _ -> ()
+          | exception e ->
+              record "sender_poll" None (Format.asprintf "%a" P.pp_sender c.E.sender) e
+        end;
+        if not (Hashtbl.mem receiver_by_id c.E.rid) then begin
+          Hashtbl.add receiver_by_id c.E.rid c.E.receiver;
+          match G.receiver_poll c.E.receiver with
+          | Some (Spec.Rsend p), _ -> art := Iset.add p !art
+          | (Some Spec.Rdeliver | None), _ -> ()
+          | exception e ->
+              record "receiver_poll" None
+                (Format.asprintf "%a" P.pp_receiver c.E.receiver) e
+        end;
+        List.iter (fun (p, _) -> atr := Iset.add p !atr) (E.packets_tr c);
+        List.iter (fun (p, _) -> art := Iset.add p !art) (E.packets_rt c))
       reach.E.configs;
+    let senders =
+      ref (Sset.of_list (Hashtbl.fold (fun _ s acc -> s :: acc) sender_by_id []))
+    in
+    let receivers =
+      ref (Rset.of_list (Hashtbl.fold (fun _ r acc -> r :: acc) receiver_by_id []))
+    in
     let k_t = Sset.cardinal !senders in
     let k_r = Rset.cardinal !receivers in
     let product = k_t * k_r in
@@ -208,10 +221,12 @@ module Make (P : Spec.S) = struct
         end)
       (List.rev !partial);
     (* ------------------------------- B1: Theorem 2.1 certificate *)
+    (* The ungated reach above is reused whenever it is phantom-free (the
+       registry protocols) — the gated pass then provably visits the same
+       set, so boundness costs probes, not a second exploration. *)
     let breport =
-      Boundness.measure ~max_probes:cfg.max_probes
-        (module G : Spec.S)
-        ~explore:cfg.bounds ~probe:cfg.probe
+      B.measure ~max_probes:cfg.max_probes ~reach ~explore:cfg.bounds
+        ~probe_bounds:cfg.probe ()
     in
     (match breport.Boundness.boundness with
     | Some b when b > product ->
@@ -228,21 +243,27 @@ module Make (P : Spec.S) = struct
              "Theorem 2.1 certificate: boundness <= k_t*k_r = %d (measurement inconclusive, %d probes exhausted)"
              product breport.Boundness.probes_exhausted));
     (* -------------------------- T1: impossibility consistency *)
+    (* The reach's phantom scan stands in for a dedicated
+       [E.search ~stop_at_phantom:true] pass: [first_phantom] is the very
+       move that search stops at (same BFS generation order), and
+       [phantom_in_budget] / the node count reproduce its
+       [Violation] / [Node_budget] / [No_violation] trichotomy. *)
     (match P.header_bound with
     | Some k when cfg.bounds.Explore.submit_budget > k -> (
-        match E.search ~stop_at_phantom:true cfg.bounds with
-        | Explore.Violation trace ->
+        match reach.E.first_phantom with
+        | Some len when reach.E.phantom_in_budget ->
             emit ~rule:"T1" ~severity:Diagnostic.Info
-              ~witness:(spf "phantom delivery after %d actions" (List.length trace))
+              ~witness:(spf "phantom delivery after %d actions" len)
               (spf
                  "impossibility confirmed: %d headers under a %d-submit budget forces a DL1 violation (Theorems 3.1/4.1)"
                  k cfg.bounds.Explore.submit_budget)
-        | Explore.No_violation _ when breport.Boundness.boundness <> None ->
+        | _ when reach.E.reach_stats.Explore.nodes >= cfg.bounds.Explore.max_nodes -> ()
+        | _ when breport.Boundness.boundness <> None ->
             emit ~rule:"T1" ~severity:Diagnostic.Warning
               (spf
                  "declares %d headers under a %d-submit budget yet measures bounded with no DL1 violation in the fully explored space — the configuration Theorems 3.1/4.1 prove impossible; widen the bounds"
                  k cfg.bounds.Explore.submit_budget)
-        | Explore.No_violation _ | Explore.Node_budget _ -> ())
+        | _ -> ())
     | _ -> ());
     (* ----------------------- Q1: quiescence / dead configurations *)
     let dead = ref 0 in

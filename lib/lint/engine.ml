@@ -10,4 +10,9 @@ let run cfg proto =
   let diagnostics, certificate = C.analyze cfg in
   { protocol = P.name; diagnostics; certificate }
 
-let run_registry cfg = List.map (run cfg) (Nfc_protocol.Registry.defaults ())
+(* Each protocol's analysis instantiates its own engine (interners,
+   visited tables) inside [run], so per-protocol jobs are independent and
+   the fan-out is safe; results come back in registry order at any job
+   count. *)
+let run_registry ?(jobs = 1) cfg =
+  Nfc_util.Pool.map ~jobs (run cfg) (Nfc_protocol.Registry.defaults ())

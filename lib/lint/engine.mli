@@ -8,5 +8,8 @@ type result = {
 
 val run : Checks.config -> Nfc_protocol.Spec.t -> result
 
-(** Every protocol in {!Nfc_protocol.Registry}, in registry order. *)
-val run_registry : Checks.config -> result list
+(** Every protocol in {!Nfc_protocol.Registry}, in registry order.
+    [jobs] (default 1) fans the per-protocol analyses out over that many
+    domains ([0] = one per core); results are identical — and identically
+    ordered — at any job count. *)
+val run_registry : ?jobs:int -> Checks.config -> result list

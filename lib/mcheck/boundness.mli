@@ -40,12 +40,43 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+(** The measurement engine behind {!measure}, exposed so callers that
+    already hold an exploration (the linter) can share it.  [E] is the
+    engine instance the measurement runs on: instantiate [Make] once per
+    protocol per domain and use [E] for any exploration whose result is
+    passed back in. *)
+module Make (P : Nfc_protocol.Spec.S) : sig
+  module E : module type of Explore.Make (P)
+
+  (** As the toplevel {!measure}, plus [reach]: an {e ungated}
+      [E.reachable_set] at the same [explore] bounds.  When that reach is
+      phantom-free ([first_phantom = None]) the gated exploration provably
+      visits the identical set and is skipped — one BFS pass instead of
+      two; a reach carrying a phantom is ignored and the gated pass runs
+      as usual, so the report is the same either way. *)
+  val measure :
+    ?max_probes:int ->
+    ?jobs:int ->
+    ?reach:E.reach ->
+    explore:Explore.bounds ->
+    probe_bounds:probe_bounds ->
+    unit ->
+    report
+end
+
 (** Explore with [explore_bounds] (see {!Explore.bounds}), then probe every
     semi-valid configuration found — or only the first [max_probes] of
-    them in BFS order, for callers (the linter) that need a bounded-cost
-    sample rather than the exact explored maximum. *)
+    them in the canonical configuration order (the tree-based engine's
+    visited-set order), for callers (the linter) that need a bounded-cost
+    sample rather than the exact explored maximum.
+
+    [jobs] (default 1) fans the probes out over that many domains; each
+    probe is self-contained, and the aggregation (max over costs, count of
+    exhausted probes) is order-independent, so the report is identical at
+    any job count. *)
 val measure :
   ?max_probes:int ->
+  ?jobs:int ->
   Nfc_protocol.Spec.t ->
   explore:Explore.bounds ->
   probe:probe_bounds ->

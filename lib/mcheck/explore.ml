@@ -1,5 +1,4 @@
 open Nfc_automata
-module M = Nfc_util.Multiset.Int
 module Spec = Nfc_protocol.Spec
 
 type bounds = {
@@ -43,143 +42,321 @@ let pp_outcome ppf = function
         "no violation within node budget (%d configurations, k_t=%d, k_r=%d, depth<=%d)"
         s.nodes s.sender_states s.receiver_states s.max_depth
 
+(* Generic state interner: dense ids in first-sight order.  With a hash
+   hook the table is hash-bucketed and the comparator only breaks
+   collisions; without one, a comparator-keyed balanced map stands in
+   (always safe, O(log k) per lookup). *)
+let intern_hashed (type a) (hash : a -> int) (equal : a -> a -> bool) : a -> int =
+  let tbl : (int, (a * int) list) Hashtbl.t = Hashtbl.create 512 in
+  let n = ref 0 in
+  fun v ->
+    let h = hash v in
+    let bucket = match Hashtbl.find_opt tbl h with Some b -> b | None -> [] in
+    match List.find_opt (fun (w, _) -> equal w v) bucket with
+    | Some (_, id) -> id
+    | None ->
+        let id = !n in
+        incr n;
+        Hashtbl.replace tbl h ((v, id) :: bucket);
+        id
+
 module Make (P : Spec.S) = struct
+  (* Each [Make] instantiation is one engine run with its own mutable
+     intern tables; create engines inside the job that uses them and never
+     share one across domains. *)
+
+  module Smap = Map.Make (struct
+    type t = P.sender
+
+    let compare = P.compare_sender
+  end)
+
+  module Rmap = Map.Make (struct
+    type t = P.receiver
+
+    let compare = P.compare_receiver
+  end)
+
+  let intern_mapped (type a) (module M : Map.S with type key = a) : a -> int =
+    let m = ref M.empty in
+    let n = ref 0 in
+    fun v ->
+      match M.find_opt v !m with
+      | Some id -> id
+      | None ->
+          let id = !n in
+          incr n;
+          m := M.add v id !m;
+          id
+
+  let intern_sender =
+    match P.hash_sender with
+    | Some h -> intern_hashed h (fun a b -> P.compare_sender a b = 0)
+    | None -> intern_mapped (module Smap)
+
+  let intern_receiver =
+    match P.hash_receiver with
+    | Some h -> intern_hashed h (fun a b -> P.compare_receiver a b = 0)
+    | None -> intern_mapped (module Rmap)
+
+  let pkts = Pvec.Index.create ()
+
   type config = {
     sender : P.sender;
+    sid : int;
     receiver : P.receiver;
-    tr : M.t;
-    rt : M.t;
+    rid : int;
+    tr : Pvec.t;
+    rt : Pvec.t;
     submitted : int;
     delivered : int;
   }
 
-  module Cfg = struct
-    type t = config
+  (* Transition memo tables keyed on interned ids.  Spec transition
+     functions are pure, so each distinct (state, input) pair is computed
+     — and its result state interned — exactly once; afterwards a
+     successor state costs one small-int table probe instead of a
+     protocol call plus a structural hash.  (For instrumented specs that
+     record exceptions, e.g. the linter's partiality probe, this means
+     each distinct failing pair is recorded once rather than once per
+     visit.) *)
+  let memo tbl key f =
+    match Hashtbl.find_opt tbl key with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        Hashtbl.add tbl key v;
+        v
 
-    let compare a b =
-      let c = compare a.submitted b.submitted in
-      if c <> 0 then c
-      else
-        let c = compare a.delivered b.delivered in
-        if c <> 0 then c
-        else
-          let c = P.compare_sender a.sender b.sender in
-          if c <> 0 then c
-          else
-            let c = P.compare_receiver a.receiver b.receiver in
-            if c <> 0 then c
-            else
-              let c = M.compare a.tr b.tr in
-              if c <> 0 then c else M.compare a.rt b.rt
-  end
+  let submit_memo : (int, P.sender * int) Hashtbl.t = Hashtbl.create 256
+  let spoll_memo : (int, int option * P.sender * int) Hashtbl.t = Hashtbl.create 256
+  let rpoll_memo : (int, Spec.remit option * P.receiver * int) Hashtbl.t = Hashtbl.create 256
+  let ack_memo : (int * int, P.sender * int) Hashtbl.t = Hashtbl.create 512
+  let data_memo : (int * int, P.receiver * int) Hashtbl.t = Hashtbl.create 512
 
-  module Cset = Set.Make (Cfg)
+  let on_submit c =
+    memo submit_memo c.sid (fun () ->
+        let s = P.on_submit c.sender in
+        (s, intern_sender s))
+
+  let sender_poll c =
+    memo spoll_memo c.sid (fun () ->
+        let emit, s = P.sender_poll c.sender in
+        (emit, s, intern_sender s))
+
+  let receiver_poll c =
+    memo rpoll_memo c.rid (fun () ->
+        let emit, r = P.receiver_poll c.receiver in
+        (emit, r, intern_receiver r))
+
+  let on_ack c pkt =
+    memo ack_memo (c.sid, pkt) (fun () ->
+        let s = P.on_ack c.sender pkt in
+        (s, intern_sender s))
+
+  let on_data c pkt =
+    memo data_memo (c.rid, pkt) (fun () ->
+        let r = P.on_data c.receiver pkt in
+        (r, intern_receiver r))
 
   let initial =
     {
       sender = P.sender_init;
+      sid = intern_sender P.sender_init;
       receiver = P.receiver_init;
-      tr = M.empty;
-      rt = M.empty;
+      rid = intern_receiver P.receiver_init;
+      tr = Pvec.empty;
+      rt = Pvec.empty;
       submitted = 0;
       delivered = 0;
     }
 
-  (* Successors with the action that labels the move ([None] = silent). *)
-  let successors bounds c =
-    let moves = ref [] in
-    let push act c' = moves := (act, c') :: !moves in
+  let assoc_of v =
+    List.sort Stdlib.compare
+      (Pvec.fold (fun id c acc -> (Pvec.Index.packet pkts id, c) :: acc) v [])
+
+  let packets_tr c = assoc_of c.tr
+  let packets_rt c = assoc_of c.rt
+
+  (* The canonical comparator over configurations — the tree-based
+     engine's visited-set order, kept for consumers that need a
+     BFS-independent total order (boundness probes sample the first
+     [max_probes] semi-valid configurations in this order). *)
+  let compare_config a b =
+    let c = compare a.submitted b.submitted in
+    if c <> 0 then c
+    else
+      let c = compare a.delivered b.delivered in
+      if c <> 0 then c
+      else
+        let c = P.compare_sender a.sender b.sender in
+        if c <> 0 then c
+        else
+          let c = P.compare_receiver a.receiver b.receiver in
+          if c <> 0 then c
+          else
+            (* Sorted (packet, count) association lists compare exactly as
+               [Multiset.Int.compare] (bindings in key order) did. *)
+            let c = Stdlib.compare (assoc_of a.tr) (assoc_of b.tr) in
+            if c <> 0 then c else Stdlib.compare (assoc_of a.rt) (assoc_of b.rt)
+
+  (* O(1) visited-set identity: interned state ids, packed counters, and
+     canonical count vectors.  The interners already fell back to the
+     comparators on hash collision, so id equality *is* comparator
+     equality. *)
+  module Ctbl = Hashtbl.Make (struct
+    type t = config
+
+    let equal a b =
+      a.submitted = b.submitted && a.delivered = b.delivered && a.sid = b.sid
+      && a.rid = b.rid && Pvec.equal a.tr b.tr && Pvec.equal a.rt b.rt
+
+    let hash c =
+      let h = (c.submitted * 31) + c.delivered in
+      let h = (h * 1000003) lxor c.sid in
+      let h = (h * 1000003) lxor c.rid in
+      let h = (h * 1000003) lxor Pvec.hash c.tr in
+      let h = (h * 1000003) lxor Pvec.hash c.rt in
+      h land max_int
+  end)
+
+  (* Successors with the action that labels the move ([None] = silent).
+     [deliver_valid_only] gates message delivery on a message actually
+     pending — the boundness semantics, which never explores phantom
+     branches.  Channel moves are enumerated in increasing packet-value
+     order (see {!Pvec.Index.iter_by_value}), so BFS visits configurations
+     in exactly the order the tree-based engine did.
+
+     [iter_successors] is the allocation-free spine the breadth-first
+     loops run on (one closure call per move, no list); [successors]
+     reifies the same enumeration for consumers that want the list. *)
+  let iter_successors ?(deliver_valid_only = false) bounds c push =
     (* User submission. *)
-    if c.submitted < bounds.submit_budget then
+    if c.submitted < bounds.submit_budget then begin
+      let s', sid' = on_submit c in
       push (Some (Action.Send_msg c.submitted))
-        { c with sender = P.on_submit c.sender; submitted = c.submitted + 1 };
+        { c with sender = s'; sid = sid'; submitted = c.submitted + 1 }
+    end;
     (* Sender poll: emission or silent tick. *)
-    (match P.sender_poll c.sender with
-    | Some pkt, s' ->
-        if M.cardinal c.tr < bounds.capacity_tr then
-          push
-            (Some (Action.Send_pkt (Action.T_to_r, pkt)))
-            { c with sender = s'; tr = M.add pkt c.tr }
-    | None, s' -> if P.compare_sender s' c.sender <> 0 then push None { c with sender = s' });
+    (let emit, s', sid' = sender_poll c in
+     match emit with
+     | Some pkt ->
+         if Pvec.cardinal c.tr < bounds.capacity_tr then
+           push
+             (Some (Action.Send_pkt (Action.T_to_r, pkt)))
+             { c with sender = s'; sid = sid'; tr = Pvec.add c.tr (Pvec.Index.id pkts pkt) }
+     | None ->
+         (* Interned-id equality is comparator equality, so this is the old
+            [P.compare_sender s' c.sender <> 0] silent-tick test. *)
+         if sid' <> c.sid then push None { c with sender = s'; sid = sid' });
     (* Receiver poll: delivery, reverse send, or silent tick. *)
-    (match P.receiver_poll c.receiver with
-    | Some Spec.Rdeliver, r' ->
-        push
-          (Some (Action.Receive_msg c.delivered))
-          { c with receiver = r'; delivered = c.delivered + 1 }
-    | Some (Spec.Rsend pkt), r' ->
-        if M.cardinal c.rt < bounds.capacity_rt then
-          push
-            (Some (Action.Send_pkt (Action.R_to_t, pkt)))
-            { c with receiver = r'; rt = M.add pkt c.rt }
-    | None, r' -> if P.compare_receiver r' c.receiver <> 0 then push None { c with receiver = r' });
+    (let emit, r', rid' = receiver_poll c in
+     match emit with
+     | Some Spec.Rdeliver ->
+         if (not deliver_valid_only) || c.delivered < c.submitted then
+           push
+             (Some (Action.Receive_msg c.delivered))
+             { c with receiver = r'; rid = rid'; delivered = c.delivered + 1 }
+     | Some (Spec.Rsend pkt) ->
+         if Pvec.cardinal c.rt < bounds.capacity_rt then
+           push
+             (Some (Action.Send_pkt (Action.R_to_t, pkt)))
+             { c with receiver = r'; rid = rid'; rt = Pvec.add c.rt (Pvec.Index.id pkts pkt) }
+     | None -> if rid' <> c.rid then push None { c with receiver = r'; rid = rid' });
     (* Adversarial channel: deliver any in-transit packet, either direction. *)
-    List.iter
-      (fun pkt ->
-        match M.remove_one pkt c.tr with
+    Pvec.Index.iter_by_value pkts (fun id ->
+        match Pvec.remove_one c.tr id with
         | Some tr' ->
+            let pkt = Pvec.Index.packet pkts id in
+            let r', rid' = on_data c pkt in
             push
               (Some (Action.Receive_pkt (Action.T_to_r, pkt)))
-              { c with tr = tr'; receiver = P.on_data c.receiver pkt };
+              { c with receiver = r'; rid = rid'; tr = tr' };
             if bounds.allow_drop then
               push (Some (Action.Drop_pkt (Action.T_to_r, pkt))) { c with tr = tr' }
-        | None -> ())
-      (M.support c.tr);
-    List.iter
-      (fun pkt ->
-        match M.remove_one pkt c.rt with
+        | None -> ());
+    Pvec.Index.iter_by_value pkts (fun id ->
+        match Pvec.remove_one c.rt id with
         | Some rt' ->
+            let pkt = Pvec.Index.packet pkts id in
+            let s', sid' = on_ack c pkt in
             push
               (Some (Action.Receive_pkt (Action.R_to_t, pkt)))
-              { c with rt = rt'; sender = P.on_ack c.sender pkt };
+              { c with sender = s'; sid = sid'; rt = rt' };
             if bounds.allow_drop then
               push (Some (Action.Drop_pkt (Action.R_to_t, pkt))) { c with rt = rt' }
         | None -> ())
-      (M.support c.rt);
+
+  let successors ?deliver_valid_only bounds c =
+    let moves = ref [] in
+    iter_successors ?deliver_valid_only bounds c (fun act c' ->
+        moves := (act, c') :: !moves);
     List.rev !moves
 
-  type reach = { configs : config list; truncated : bool; reach_stats : stats }
+  type reach = {
+    configs : config list;
+    truncated : bool;
+    reach_stats : stats;
+    first_phantom : int option;
+    phantom_in_budget : bool;
+  }
 
   (* The reachable set itself, in BFS order, for consumers that need the
      configurations and not just a counterexample search: the linter walks
      it to certify header budgets, probe input-enabledness and detect dead
-     configurations. *)
-  let reachable_set bounds =
-    let module Sset = Set.Make (struct
-      type t = P.sender
+     configurations; boundness measurement reuses it with
+     [~deliver_valid_only:true].
 
-      let compare = P.compare_sender
-    end) in
-    let module Rset = Set.Make (struct
-      type t = P.receiver
-
-      let compare = P.compare_receiver
-    end) in
-    let visited = ref Cset.empty in
+     The sweep also scans for phantom deliveries as it generates
+     successors.  [first_phantom] is the action count of the first move
+     (in BFS generation order — exactly the move {!search} stops at) that
+     produces a configuration with [delivered > submitted], [None] when no
+     expansion anywhere produced one.  [first_phantom = None] certifies
+     that the ungated and delivery-gated successor graphs coincide on this
+     exploration: every delivery taken had a message pending, so a gated
+     traversal would make the identical moves — {!Boundness} exploits this
+     to skip its own gated pass.  [phantom_in_budget] tells whether the
+     phantom move was generated before the point where {!search} would
+     have exhausted its node budget, i.e. whether [search] would have
+     returned [Violation] rather than [Node_budget]. *)
+  let reachable_set ?deliver_valid_only bounds =
+    let visited = Ctbl.create 4096 in
+    let senders = Hashtbl.create 256 in
+    let receivers = Hashtbl.create 256 in
     let order = ref [] in
     let n_visited = ref 0 in
-    let senders = ref Sset.empty in
-    let receivers = ref Rset.empty in
     let max_depth = ref 0 in
     let truncated = ref false in
-    let queue = Queue.create () in
-    let visit cfg depth =
-      if not (Cset.mem cfg !visited) then
+    let first_phantom = ref None in
+    let phantom_in_budget = ref false in
+    let scan_in_budget = ref true in
+    let queue : (config * int * int) Queue.t = Queue.create () in
+    let visit cfg depth acts =
+      if not (Ctbl.mem visited cfg) then
         if !n_visited >= bounds.max_nodes then truncated := true
         else begin
-          visited := Cset.add cfg !visited;
+          Ctbl.add visited cfg ();
           incr n_visited;
           order := cfg :: !order;
-          senders := Sset.add cfg.sender !senders;
-          receivers := Rset.add cfg.receiver !receivers;
-          max_depth := max !max_depth depth;
-          Queue.push (cfg, depth) queue
+          Hashtbl.replace senders cfg.sid ();
+          Hashtbl.replace receivers cfg.rid ();
+          if depth > !max_depth then max_depth := depth;
+          Queue.push (cfg, depth, acts) queue
         end
     in
-    visit initial 0;
+    visit initial 0 0;
     while not (Queue.is_empty queue) do
-      let cfg, depth = Queue.pop queue in
-      List.iter (fun (_, cfg') -> visit cfg' (depth + 1)) (successors bounds cfg)
+      let cfg, depth, acts = Queue.pop queue in
+      (* [search] exits at the first dequeue past the node budget; phantoms
+         generated beyond that point are real but budget-invisible. *)
+      if !n_visited >= bounds.max_nodes then scan_in_budget := false;
+      iter_successors ?deliver_valid_only bounds cfg (fun act cfg' ->
+          let acts' = acts + (match act with Some _ -> 1 | None -> 0) in
+          if !first_phantom = None && cfg'.delivered > cfg'.submitted then begin
+            first_phantom := Some acts';
+            phantom_in_budget := !scan_in_budget
+          end;
+          visit cfg' (depth + 1) acts')
     done;
     {
       configs = List.rev !order;
@@ -187,26 +364,20 @@ module Make (P : Spec.S) = struct
       reach_stats =
         {
           nodes = !n_visited;
-          sender_states = Sset.cardinal !senders;
-          receiver_states = Rset.cardinal !receivers;
+          sender_states = Hashtbl.length senders;
+          receiver_states = Hashtbl.length receivers;
           max_depth = !max_depth;
         };
+      first_phantom = !first_phantom;
+      phantom_in_budget = !phantom_in_budget;
     }
 
   type node = { cfg : config; parent : int; act : Action.t option; depth : int }
 
   let search ?(stop_at_phantom = true) bounds =
-    let module Sset = Set.Make (struct
-      type t = P.sender
-
-      let compare = P.compare_sender
-    end) in
-    let module Rset = Set.Make (struct
-      type t = P.receiver
-
-      let compare = P.compare_receiver
-    end) in
-    let nodes : node array ref = ref (Array.make 1024 { cfg = initial; parent = -1; act = None; depth = 0 }) in
+    let nodes : node array ref =
+      ref (Array.make 1024 { cfg = initial; parent = -1; act = None; depth = 0 })
+    in
     let n_nodes = ref 0 in
     let add_node node =
       if !n_nodes >= Array.length !nodes then begin
@@ -218,19 +389,19 @@ module Make (P : Spec.S) = struct
       incr n_nodes;
       !n_nodes - 1
     in
-    let visited = ref Cset.empty in
+    let visited = Ctbl.create 4096 in
+    let senders = Hashtbl.create 256 in
+    let receivers = Hashtbl.create 256 in
     let n_visited = ref 0 in
-    let senders = ref Sset.empty in
-    let receivers = ref Rset.empty in
     let max_depth = ref 0 in
     let queue = Queue.create () in
     let visit cfg parent act depth =
-      if not (Cset.mem cfg !visited) then begin
-        visited := Cset.add cfg !visited;
+      if not (Ctbl.mem visited cfg) then begin
+        Ctbl.add visited cfg ();
         incr n_visited;
-        senders := Sset.add cfg.sender !senders;
-        receivers := Rset.add cfg.receiver !receivers;
-        max_depth := max !max_depth depth;
+        Hashtbl.replace senders cfg.sid ();
+        Hashtbl.replace receivers cfg.rid ();
+        if depth > !max_depth then max_depth := depth;
         let idx = add_node { cfg; parent; act; depth } in
         Queue.push idx queue
       end
@@ -252,8 +423,7 @@ module Make (P : Spec.S) = struct
          if !n_visited >= bounds.max_nodes then raise Exit;
          let idx = Queue.pop queue in
          let node = !nodes.(idx) in
-         List.iter
-           (fun (act, cfg') ->
+         iter_successors bounds node.cfg (fun act cfg' ->
              (* Phantom delivery: more receive_msg than send_msg. *)
              if stop_at_phantom && cfg'.delivered > cfg'.submitted then begin
                let prefix = path_to idx in
@@ -262,14 +432,13 @@ module Make (P : Spec.S) = struct
                raise Exit
              end;
              visit cfg' idx act (node.depth + 1))
-           (successors bounds node.cfg)
        done
      with Exit -> ());
     let stats =
       {
         nodes = !n_visited;
-        sender_states = Sset.cardinal !senders;
-        receiver_states = Rset.cardinal !receivers;
+        sender_states = Hashtbl.length senders;
+        receiver_states = Hashtbl.length receivers;
         max_depth = !max_depth;
       }
     in
@@ -282,10 +451,9 @@ module Make (P : Spec.S) = struct
      reached by the propagation is wedged.  Frontier (unexpanded) nodes
      are conservatively assumed able to deliver. *)
   let find_wedge_search bounds =
-    let module Cmap = Map.Make (Cfg) in
     let nodes = ref [||] in
     let n_nodes = ref 0 in
-    let index = ref Cmap.empty in
+    let index = Ctbl.create 4096 in
     let parents = ref [||] in
     let parent_act = ref [||] in
     let preds : int list array ref = ref [||] in
@@ -293,7 +461,7 @@ module Make (P : Spec.S) = struct
     let delivery_enabled = ref [||] in
     let grow () =
       let len = max 1024 (2 * Array.length !nodes) in
-      let resize a mk = 
+      let resize a mk =
         let bigger = Array.make len mk in
         Array.blit a 0 bigger 0 !n_nodes;
         bigger
@@ -306,7 +474,7 @@ module Make (P : Spec.S) = struct
       delivery_enabled := resize !delivery_enabled false
     in
     let add cfg parent act =
-      match Cmap.find_opt cfg !index with
+      match Ctbl.find_opt index cfg with
       | Some id ->
           if parent >= 0 then !preds.(id) <- parent :: !preds.(id);
           None
@@ -318,7 +486,7 @@ module Make (P : Spec.S) = struct
           !parents.(id) <- parent;
           !parent_act.(id) <- act;
           if parent >= 0 then !preds.(id) <- parent :: !preds.(id);
-          index := Cmap.add cfg id !index;
+          Ctbl.add index cfg id;
           Some id
     in
     let queue = Queue.create () in
@@ -328,15 +496,13 @@ module Make (P : Spec.S) = struct
          if !n_nodes >= bounds.max_nodes then raise Exit;
          let id = Queue.pop queue in
          !expanded.(id) <- true;
-         List.iter
-           (fun (act, cfg') ->
+         iter_successors bounds !nodes.(id) (fun act cfg' ->
              (match act with
              | Some (Action.Receive_msg _) -> !delivery_enabled.(id) <- true
              | _ -> ());
              match add cfg' id act with
              | Some id' -> Queue.push id' queue
              | None -> ())
-           (successors bounds !nodes.(id))
        done
      with Exit -> ());
     (* Backward propagation of "good" (can eventually deliver). *)
@@ -369,23 +535,14 @@ module Make (P : Spec.S) = struct
          end
        done
      with Exit -> ());
-    let stats =
-      {
-        nodes = !n_nodes;
-        sender_states = 0;
-        receiver_states = 0;
-        max_depth = 0;
-      }
-    in
+    let stats = { nodes = !n_nodes; sender_states = 0; receiver_states = 0; max_depth = 0 } in
     match !wedged with
     | None -> No_wedge stats
     | Some id ->
         let rec path id acc =
           if id < 0 then acc
           else
-            let acc =
-              match !parent_act.(id) with None -> acc | Some a -> a :: acc
-            in
+            let acc = match !parent_act.(id) with None -> acc | Some a -> a :: acc in
             path !parents.(id) acc
         in
         Wedged (path id [], stats)

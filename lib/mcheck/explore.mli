@@ -12,6 +12,18 @@
     finite-control protocols; counter-based protocols are explored up to
     the node budget.
 
+    Engine representation: sender/receiver states are interned into dense
+    ids (hash-bucketed when the spec provides {!Nfc_protocol.Spec.S.hash_sender}
+    hooks, comparator-keyed otherwise) and channel multisets are
+    {!Pvec.t} count vectors over the interned packet alphabet.  The
+    visited set is a [Hashtbl] over this packed encoding, making the
+    membership test O(1) amortised instead of a balanced-tree walk with
+    up to four multiset comparisons per node.  Channel moves are still
+    enumerated in increasing packet-value order, so BFS order — and hence
+    every counterexample, statistic, and report — is identical to the
+    tree-based engine's (retained as {!Reference} for differential
+    testing).
+
     [find_phantom] searches for the invalid executions at the heart of
     Theorems 3.1 and 4.1: a reachable configuration in which the receiver
     delivers an (n+1)-th message when only n were submitted (rm > sm, the
@@ -29,18 +41,18 @@ type bounds = {
 
 val default_bounds : bounds
 
-type outcome =
-  | Violation of Nfc_automata.Execution.t
-      (** shortest action sequence ending in the phantom [Receive_msg] *)
-  | No_violation of stats  (** full space explored, no violation *)
-  | Node_budget of stats  (** search stopped at [max_nodes] *)
-
-and stats = {
+type stats = {
   nodes : int;  (** distinct configurations visited *)
   sender_states : int;  (** distinct sender states seen *)
   receiver_states : int;
   max_depth : int;
 }
+
+type outcome =
+  | Violation of Nfc_automata.Execution.t
+      (** shortest action sequence ending in the phantom [Receive_msg] *)
+  | No_violation of stats  (** full space explored, no violation *)
+  | Node_budget of stats  (** search stopped at [max_nodes] *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
@@ -67,35 +79,91 @@ val pp_wedge_outcome : Format.formatter -> wedge_outcome -> unit
     sequence-number protocols never do within any explored space. *)
 val find_wedge : Nfc_protocol.Spec.t -> bounds -> wedge_outcome
 
+(** Generic dense-id interner: [intern_hashed hash equal] returns a
+    closure assigning ids in first-sight order, hash-bucketed with
+    [equal] breaking collisions — so id equality is exactly
+    [equal]-equality.  Exposed for sibling analyses (boundness probes)
+    that build their own packed visited sets. *)
+val intern_hashed : ('a -> int) -> ('a -> 'a -> bool) -> 'a -> int
+
 (** The per-protocol exploration engine, exposed so downstream static
     analyses (notably [Nfc_lint]) can work with typed configurations and
     the labelled successor relation rather than only the monomorphic
-    search wrappers above. *)
+    search wrappers above.
+
+    An instantiation owns mutable intern tables: create the engine inside
+    the job that uses it and never share one instance across domains
+    (per-protocol jobs each instantiate their own). *)
 module Make (P : Nfc_protocol.Spec.S) : sig
   type config = {
     sender : P.sender;
+    sid : int;  (** interned id of [sender] (comparator equality) *)
     receiver : P.receiver;
-    tr : Nfc_util.Multiset.Int.t;  (** packets in transit t->r *)
-    rt : Nfc_util.Multiset.Int.t;
+    rid : int;
+    tr : Pvec.t;  (** packets in transit t->r, as interned counts *)
+    rt : Pvec.t;
     submitted : int;
     delivered : int;
   }
 
   val initial : config
 
+  (** In-transit packets of a configuration as a (packet value, count)
+      association list sorted by packet value — the decoded view of the
+      interned vectors, for alphabet censuses and order-stable output. *)
+  val packets_tr : config -> (int * int) list
+
+  val packets_rt : config -> (int * int) list
+
+  (** Total order on configurations matching the tree-based engine's
+      visited-set order: (submitted, delivered), then the state
+      comparators, then the channel multisets in key order.  Used where a
+      BFS-independent order matters (boundness probe sampling). *)
+  val compare_config : config -> config -> int
+
   (** Labelled successor relation under the given bounds ([None] labels a
-      silent timer tick). *)
+      silent timer tick).  [deliver_valid_only] (default false) gates
+      message delivery on [delivered < submitted] — the boundness
+      semantics, which never explores phantom branches. *)
   val successors :
-    bounds -> config -> (Nfc_automata.Action.t option * config) list
+    ?deliver_valid_only:bool ->
+    bounds ->
+    config ->
+    (Nfc_automata.Action.t option * config) list
+
+  (** The same enumeration in continuation-passing style — the spine the
+      breadth-first loops run on; no per-move allocation beyond the
+      successor configuration itself. *)
+  val iter_successors :
+    ?deliver_valid_only:bool ->
+    bounds ->
+    config ->
+    (Nfc_automata.Action.t option -> config -> unit) ->
+    unit
 
   type reach = {
     configs : config list;  (** every visited configuration, in BFS order *)
     truncated : bool;  (** true iff [max_nodes] cut the exploration off *)
     reach_stats : stats;
+    first_phantom : int option;
+        (** action count of the first phantom-producing move in BFS
+            generation order (= the trace length {!search} would report);
+            [None] certifies no expansion anywhere produced
+            [delivered > submitted], hence that the delivery-gated
+            successor graph coincides with the ungated one on this
+            exploration ({!Boundness} reuses the set on that strength) *)
+    phantom_in_budget : bool;
+        (** whether that first phantom move was generated before {!search}
+            would have exhausted [max_nodes] — i.e. whether [search]
+            returns [Violation] rather than [Node_budget] *)
   }
 
-  (** The reachable set itself (not just its statistics). *)
-  val reachable_set : bounds -> reach
+  (** The reachable set itself (not just its statistics).  One full
+      breadth-first sweep serves three consumers: the configuration list
+      (census, probing), the phantom scan (replacing a separate
+      {!search} pass), and — when phantom-free — the boundness
+      measurement's gated exploration. *)
+  val reachable_set : ?deliver_valid_only:bool -> bounds -> reach
 
   val search : ?stop_at_phantom:bool -> bounds -> outcome
   val find_wedge_search : bounds -> wedge_outcome

@@ -142,6 +142,13 @@ let make ?(retransmit = 2) ?(ping_every = 4) () : Spec.t =
         (a.delivered, a.deliver_due, Nfc_util.Deque.to_list a.echo_due)
         (b.delivered, b.deliver_due, Nfc_util.Deque.to_list b.echo_due)
 
+    let hash_sender = Some Spec.structural_hash
+
+    let hash_receiver =
+      Some
+        (fun r ->
+          Spec.structural_hash (r.delivered, r.deliver_due, Nfc_util.Deque.to_list r.echo_due))
+
     let pp_sender ppf s =
       let a, b, c = s.sent and x, y, z = s.echo in
       Format.fprintf ppf "{pending=%d; sending=%b; epoch=%d; sent=(%d,%d,%d); echo=(%d,%d,%d)}"

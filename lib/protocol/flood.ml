@@ -108,6 +108,8 @@ let make ?(base = 1) ?(ratio = 2.0) () : Spec.t =
 
     let compare_sender = Stdlib.compare
     let compare_receiver = Stdlib.compare
+    let hash_sender = Some Spec.structural_hash
+    let hash_receiver = Some Spec.structural_hash
 
     let pp_sender ppf s =
       Format.fprintf ppf "{pending=%d; sending=%b; epoch=%d; ack_since=%d}" s.pending

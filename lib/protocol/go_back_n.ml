@@ -107,6 +107,13 @@ let make ?(window = 4) ?(timeout = 8) () : Spec.t =
         (a.expected, a.deliver_due, Nfc_util.Deque.to_list a.ack_due)
         (b.expected, b.deliver_due, Nfc_util.Deque.to_list b.ack_due)
 
+    let hash_sender = Some Spec.structural_hash
+
+    let hash_receiver =
+      Some
+        (fun r ->
+          Spec.structural_hash (r.expected, r.deliver_due, Nfc_util.Deque.to_list r.ack_due))
+
     let pp_sender ppf s =
       Format.fprintf ppf "{base=%d; next=%d; submitted=%d; timer=%d}" s.base s.next
         s.submitted s.timer

@@ -136,6 +136,21 @@ let make ?(window = 4) ?(timeout = 8) () : Spec.t =
         (a.expected, Iset.elements a.buffered, a.deliver_due, Nfc_util.Deque.to_list a.ack_due)
         (b.expected, Iset.elements b.buffered, b.deliver_due, Nfc_util.Deque.to_list b.ack_due)
 
+    (* Both comparators normalise (set elements, deque contents); hash the
+       same normal forms so compare-equal states hash equally. *)
+    let hash_sender =
+      Some
+        (fun s ->
+          Spec.structural_hash
+            (s.base, s.next, s.submitted, Iset.elements s.acked, s.timer, s.sweep))
+
+    let hash_receiver =
+      Some
+        (fun r ->
+          Spec.structural_hash
+            (r.expected, Iset.elements r.buffered, r.deliver_due,
+             Nfc_util.Deque.to_list r.ack_due))
+
     let pp_sender ppf s =
       Format.fprintf ppf "{base=%d; next=%d; submitted=%d; acked=%d}" s.base s.next
         s.submitted (Iset.cardinal s.acked)

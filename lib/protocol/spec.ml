@@ -62,6 +62,18 @@ module type S = sig
 
   val compare_sender : sender -> sender -> int
   val compare_receiver : receiver -> receiver -> int
+
+  (** Optional O(1) state hashes for the state-space engines' interners
+      ({!Nfc_mcheck.Explore}).  A hook must be consistent with the
+      corresponding comparator: compare-equal states must hash equally
+      (beware comparators that normalise, e.g. through [Deque.to_list] —
+      hash the same normal form).  [None] is always safe: the engines then
+      fall back to a comparator-keyed intern table, paying O(log k) state
+      comparisons per lookup instead of O(1). *)
+  val hash_sender : (sender -> int) option
+
+  val hash_receiver : (receiver -> int) option
+
   val pp_sender : Format.formatter -> sender -> unit
   val pp_receiver : Format.formatter -> receiver -> unit
 
@@ -76,6 +88,10 @@ type t = (module S)
 
 let name (module P : S) = P.name
 let header_bound (module P : S) = P.header_bound
+
+(** The hash hook for states whose comparator is the structural
+    [Stdlib.compare]: the polymorphic structural hash agrees with it. *)
+let structural_hash : 'a -> int = Hashtbl.hash
 
 (** Number of bits to represent a non-negative int (at least 1). *)
 let bits_for_int n =

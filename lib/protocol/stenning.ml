@@ -88,6 +88,13 @@ let make ?(timeout = 4) () : Spec.t =
         (a.expected, a.deliver_due, Nfc_util.Deque.to_list a.ack_due)
         (b.expected, b.deliver_due, Nfc_util.Deque.to_list b.ack_due)
 
+    let hash_sender = Some Spec.structural_hash
+
+    let hash_receiver =
+      Some
+        (fun r ->
+          Spec.structural_hash (r.expected, r.deliver_due, Nfc_util.Deque.to_list r.ack_due))
+
     let pp_sender ppf s =
       Format.fprintf ppf "{seq=%d; pending=%d; inflight=%b; timer=%d}" s.seq s.pending
         s.inflight s.timer

@@ -57,6 +57,8 @@ let make ?(timeout = 4) () : Spec.t =
 
     let compare_sender = Stdlib.compare
     let compare_receiver = Stdlib.compare
+    let hash_sender = Some Spec.structural_hash
+    let hash_receiver = Some Spec.structural_hash
 
     let pp_sender ppf s =
       Format.fprintf ppf "{pending=%d; inflight=%b; timer=%d}" s.pending s.inflight s.timer

@@ -1,0 +1,59 @@
+(* Work distributor over OCaml 5 domains: stdlib [Domain] + [Mutex] only.
+
+   Jobs are pulled from a shared index behind a mutex (work stealing at
+   item granularity), results land in a preallocated slot per item, so the
+   output order always matches the input order regardless of worker
+   interleaving — callers that print results in list order are therefore
+   deterministic for any job count. *)
+
+let recommended () = Domain.recommended_domain_count ()
+
+(* An explicit job count is honoured even past the hardware parallelism
+   (oversubscription is the caller's choice, and it is how the
+   determinism-under-parallelism tests exercise real multi-domain runs on
+   small machines); only [jobs = 0] defers to the hardware.  Never more
+   workers than items. *)
+let clamp_jobs jobs n_items =
+  let j = if jobs <= 0 then recommended () else jobs in
+  max 1 (min j n_items)
+
+let map ?(jobs = 1) f items =
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs = 1 -> List.map f items
+  | _ ->
+      let arr = Array.of_list items in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let next = ref 0 in
+      let m = Mutex.create () in
+      let take () =
+        Mutex.lock m;
+        let i = !next in
+        if i < n then incr next;
+        Mutex.unlock m;
+        if i < n then Some i else None
+      in
+      let worker () =
+        let rec go () =
+          match take () with
+          | None -> ()
+          | Some i ->
+              (results.(i) <-
+                 (match f arr.(i) with
+                 | v -> Some (Ok v)
+                 | exception e -> Some (Error e)));
+              go ()
+        in
+        go ()
+      in
+      let n_workers = clamp_jobs jobs n in
+      let domains = List.init (n_workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains;
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)

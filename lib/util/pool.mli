@@ -1,0 +1,20 @@
+(** Multi-core fan-out over independent jobs (stdlib [Domain] + [Mutex]).
+
+    The engines and campaign drivers hand whole independent jobs — one
+    protocol's lint analysis, one boundness probe, one fuzz batch — to a
+    small pool of domains.  Jobs must not share mutable state: every
+    engine instance (interners, visited tables) is created inside its own
+    job.  Results are returned in input order, so printing them in list
+    order is deterministic for any job count. *)
+
+(** [Domain.recommended_domain_count ()] — the default worker count when
+    callers pass [jobs = 0]. *)
+val recommended : unit -> int
+
+(** [map ~jobs f items] applies [f] to every item, fanning out across at
+    most [jobs] domains ([0] means one per core, [1] means plain
+    sequential [List.map] on the calling domain — no domain is spawned).
+    Output order matches input order.  If any job raises, the first
+    exception in input order is re-raised after all workers have
+    drained. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

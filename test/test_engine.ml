@@ -1,0 +1,192 @@
+(* Differential tests for the hashed state-space engine against the
+   retained tree-based reference ({!Nfc_mcheck.Reference}), plus the
+   determinism guarantees of the domain-parallel paths: same statistics,
+   same verdicts, same boundness reports, same lint output and same fuzz
+   findings at every job count. *)
+open Nfc_mcheck
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let registry () = Nfc_protocol.Registry.defaults ()
+
+let name_of proto =
+  let module P = (val proto : Nfc_protocol.Spec.S) in
+  P.name
+
+(* Modest budget: full spaces for the finite protocols, real truncation
+   for the flooding one — both regimes must agree. *)
+let bounds =
+  {
+    Explore.capacity_tr = 2;
+    capacity_rt = 2;
+    submit_budget = 3;
+    max_nodes = 8_000;
+    allow_drop = true;
+  }
+
+let probe = { Boundness.max_nodes = 1_000; max_cost = 100 }
+
+(* ------------------------------------------------ reach differential *)
+
+let test_reach_stats_agree () =
+  List.iter
+    (fun proto ->
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module E = Explore.Make (P) in
+      let r = E.reachable_set bounds in
+      let ref_stats, ref_truncated = Reference.reachable_set_stats proto bounds in
+      let n = P.name in
+      checki (n ^ " nodes") ref_stats.Explore.nodes r.E.reach_stats.Explore.nodes;
+      checki (n ^ " k_t") ref_stats.Explore.sender_states
+        r.E.reach_stats.Explore.sender_states;
+      checki (n ^ " k_r") ref_stats.Explore.receiver_states
+        r.E.reach_stats.Explore.receiver_states;
+      checki (n ^ " max_depth") ref_stats.Explore.max_depth
+        r.E.reach_stats.Explore.max_depth;
+      checkb (n ^ " truncated") ref_truncated r.E.truncated;
+      checki (n ^ " |configs| = nodes") r.E.reach_stats.Explore.nodes
+        (List.length r.E.configs))
+    (registry ())
+
+(* ---------------------------------------------- verdict differential *)
+
+let verdict = function
+  | Explore.Violation t -> `Violation (List.length t)
+  | Explore.No_violation _ -> `No_violation
+  | Explore.Node_budget _ -> `Node_budget
+
+let test_phantom_verdicts_agree () =
+  List.iter
+    (fun proto ->
+      let got = verdict (Explore.find_phantom proto bounds) in
+      let want = verdict (Reference.find_phantom proto bounds) in
+      checkb
+        (name_of proto ^ " verdict (incl. trace length)")
+        true (got = want))
+    (registry ())
+
+(* The reach sweep's phantom scan must reproduce [search]'s trichotomy:
+   the linter's T1 rule is derived from it instead of a second pass. *)
+let test_reach_phantom_scan_matches_search () =
+  List.iter
+    (fun proto ->
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module E = Explore.Make (P) in
+      let r = E.reachable_set bounds in
+      let n = P.name in
+      match E.search ~stop_at_phantom:true bounds with
+      | Explore.Violation trace ->
+          checkb (n ^ " scan in budget") true r.E.phantom_in_budget;
+          checki (n ^ " scan trace length") (List.length trace)
+            (match r.E.first_phantom with Some l -> l | None -> -1)
+      | Explore.No_violation _ ->
+          checkb (n ^ " scan found nothing in budget") true
+            (r.E.first_phantom = None || not r.E.phantom_in_budget);
+          checkb (n ^ " search exhausted the space") true
+            (r.E.reach_stats.Explore.nodes < bounds.Explore.max_nodes)
+      | Explore.Node_budget _ ->
+          checkb (n ^ " budget-invisible phantom") true
+            (r.E.first_phantom = None || not r.E.phantom_in_budget))
+    (registry ())
+
+(* -------------------------------------------- boundness differential *)
+
+let test_boundness_reports_agree () =
+  List.iter
+    (fun proto ->
+      let got = Boundness.measure ~max_probes:100 proto ~explore:bounds ~probe in
+      let want = Reference.measure_boundness ~max_probes:100 proto ~explore:bounds ~probe in
+      checkb (name_of proto ^ " boundness report") true (got = want))
+    (registry ())
+
+(* The linter's one-pass path: a phantom-free ungated reach handed to
+   [measure] must yield the identical report the gated pass computes. *)
+let test_boundness_reach_reuse () =
+  List.iter
+    (fun proto ->
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module B = Boundness.Make (P) in
+      let reach = B.E.reachable_set bounds in
+      let with_hint =
+        B.measure ~max_probes:100 ~reach ~explore:bounds ~probe_bounds:probe ()
+      in
+      let without =
+        B.measure ~max_probes:100 ~explore:bounds ~probe_bounds:probe ()
+      in
+      checkb (P.name ^ " reach reuse") true (with_hint = without))
+    (registry ())
+
+(* ------------------------------------------- parallel lint determinism *)
+
+let test_lint_jobs_deterministic () =
+  let cfg =
+    {
+      Nfc_lint.Checks.default_config with
+      Nfc_lint.Checks.bounds =
+        { Nfc_lint.Checks.default_config.Nfc_lint.Checks.bounds with
+          Explore.max_nodes = 4_000 };
+    }
+  in
+  let seq = Nfc_lint.Engine.run_registry ~jobs:1 cfg in
+  let par = Nfc_lint.Engine.run_registry ~jobs:4 cfg in
+  checki "registry size" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Nfc_lint.Engine.result) (b : Nfc_lint.Engine.result) ->
+      checkb (a.Nfc_lint.Engine.protocol ^ " lint result identical") true (a = b))
+    seq par
+
+(* --------------------------------------------- fuzz batch determinism *)
+
+let strip_elapsed (r : Nfc_fuzz.Campaign.result) = { r with Nfc_fuzz.Campaign.elapsed = 0. }
+
+let test_fuzz_batches_job_independent () =
+  let cfg =
+    {
+      Nfc_fuzz.Campaign.default_cfg with
+      Nfc_fuzz.Campaign.iterations = 6_000;
+      seed = 7;
+      batches = 3;
+      shrink = true;
+    }
+  in
+  let proto = Nfc_protocol.Alternating_bit.make () in
+  let r1 = strip_elapsed (Nfc_fuzz.Campaign.run ~jobs:1 proto cfg) in
+  let r3 = strip_elapsed (Nfc_fuzz.Campaign.run ~jobs:3 proto cfg) in
+  checkb "batched result independent of jobs" true (r1 = r3);
+  (* The altbit phantom is in reach of this budget; the finding must be
+     reproducible from its (seed, batch) coordinates alone. *)
+  match r1.Nfc_fuzz.Campaign.finding with
+  | None -> Alcotest.fail "expected a violation under batched fuzzing"
+  | Some f ->
+      checkb "batch index recorded" true (f.Nfc_fuzz.Campaign.batch >= 0);
+      let again = strip_elapsed (Nfc_fuzz.Campaign.run ~jobs:2 proto cfg) in
+      checkb "rerun reproduces the same finding" true
+        (match again.Nfc_fuzz.Campaign.finding with
+        | Some g ->
+            g.Nfc_fuzz.Campaign.batch = f.Nfc_fuzz.Campaign.batch
+            && g.Nfc_fuzz.Campaign.found_at = f.Nfc_fuzz.Campaign.found_at
+            && g.Nfc_fuzz.Campaign.schedule = f.Nfc_fuzz.Campaign.schedule
+        | None -> false)
+
+(* ----------------------------------------- boundness jobs determinism *)
+
+let test_boundness_jobs_deterministic () =
+  List.iter
+    (fun proto ->
+      let r1 = Boundness.measure ~max_probes:100 ~jobs:1 proto ~explore:bounds ~probe in
+      let r4 = Boundness.measure ~max_probes:100 ~jobs:4 proto ~explore:bounds ~probe in
+      checkb (name_of proto ^ " probe fan-out deterministic") true (r1 = r4))
+    (registry ())
+
+let suite =
+  [
+    ("reach stats agree with tree reference", `Quick, test_reach_stats_agree);
+    ("phantom verdicts agree with tree reference", `Quick, test_phantom_verdicts_agree);
+    ("reach phantom scan matches search", `Quick, test_reach_phantom_scan_matches_search);
+    ("boundness reports agree with tree reference", `Quick, test_boundness_reports_agree);
+    ("boundness reuses a phantom-free reach", `Quick, test_boundness_reach_reuse);
+    ("lint registry identical at jobs=1 and jobs=4", `Quick, test_lint_jobs_deterministic);
+    ("fuzz batches independent of job count", `Quick, test_fuzz_batches_job_independent);
+    ("boundness probes identical at jobs=1 and jobs=4", `Quick, test_boundness_jobs_deterministic);
+  ]

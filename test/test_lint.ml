@@ -30,6 +30,11 @@ module Broken = struct
   let receiver_poll r = if r > 0 then (Some (Spec.Rsend 9), r - 1) else (None, r)
   let compare_sender = Int.compare
   let compare_receiver = Int.compare
+
+  (* One hook present, one absent: the lint run exercises both the hashed
+     and the comparator-keyed intern paths of the engine. *)
+  let hash_sender = Some Spec.structural_hash
+  let hash_receiver = None
   let pp_sender = Format.pp_print_int
   let pp_receiver = Format.pp_print_int
   let sender_space_bits = Spec.bits_for_int

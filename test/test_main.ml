@@ -9,6 +9,7 @@ let () =
       ("protocol", Test_protocol.suite);
       ("sim", Test_sim.suite);
       ("mcheck", Test_mcheck.suite);
+      ("engine", Test_engine.suite);
       ("fuzz", Test_fuzz.suite);
       ("core", Test_core.suite);
       ("transport", Test_transport.suite);
