@@ -39,8 +39,8 @@ smoke: build
 # plus the end-to-end lint wall-clock at the old and new node budgets.
 # Set NFC_BENCH_FULL=1 to include the substrate suite.
 bench-json: build
-	dune exec bench/main.exe -- --json > BENCH_3.json
-	@echo "wrote BENCH_3.json"
+	dune exec bench/main.exe -- --json > BENCH_4.json
+	@echo "wrote BENCH_4.json"
 
 clean:
 	dune clean

@@ -374,6 +374,36 @@ let json_mode ~full =
           [ ("max_nodes", Json.Int nodes); ("seconds", Json.Float (lint_wall nodes)) ])
       [ 15_000; 100_000 ]
   in
+  (* Cover vs explore: wall-clock and cover-set size per protocol — the
+     budget-free coverability tier priced against the bounded sweep it
+     rides on.  Each pair shares one engine instance, exactly as
+     [lint --complete] runs them. *)
+  let cover_cap = if full then 200_000 else 150_000 in
+  let cover_vs_explore =
+    List.map
+      (fun proto ->
+        let module P = (val proto : Nfc_protocol.Spec.S) in
+        let module E = Nfc_mcheck.Explore.Make (P) in
+        let module C = Nfc_absint.Cover.Make (P) (E) in
+        let t0 = Unix.gettimeofday () in
+        ignore (E.reachable_set engine_bounds);
+        let t1 = Unix.gettimeofday () in
+        let st =
+          C.run ~max_nodes:cover_cap
+            ~submit_budget:engine_bounds.Nfc_mcheck.Explore.submit_budget ()
+        in
+        let t2 = Unix.gettimeofday () in
+        Json.Obj
+          [
+            ("protocol", Json.String P.name);
+            ("explore_seconds", Json.Float (t1 -. t0));
+            ("cover_seconds", Json.Float (t2 -. t1));
+            ("cover_size", Json.Int st.Nfc_absint.Cover.cover_size);
+            ("cover_omega_configs", Json.Int st.Nfc_absint.Cover.omega_configs);
+            ("cover_converged", Json.Bool st.Nfc_absint.Cover.converged);
+          ])
+      (Nfc_protocol.Registry.defaults ())
+  in
   let estimates =
     List.map
       (fun (name, ns, r2) ->
@@ -389,12 +419,13 @@ let json_mode ~full =
     (Json.to_string
        (Json.Obj
           [
-            ("bench", Json.String "BENCH_3");
+            ("bench", Json.String "BENCH_4");
             ("mode", Json.String (if full then "full" else "quick"));
             ("unit", Json.String "ns/run (bechamel OLS, monotonic clock)");
             ("estimates", Json.List estimates);
             ("engine_ablation", Json.List engine);
             ("lint_registry_wall_clock", Json.List lint);
+            ("cover_vs_explore", Json.List cover_vs_explore);
           ]))
 
 let () =

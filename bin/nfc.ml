@@ -6,7 +6,8 @@
      nfc simulate ...              one harness run, metrics (and trace)
      nfc mcheck ...                search for a DL1 counterexample
      nfc fuzz ...                  coverage-guided schedule fuzzing (+ shrinking)
-     nfc lint ...                  static protocol verification (H1/E1/B1/T1/Q1)
+     nfc lint ...                  static protocol verification (H1/E1/B1/T1/Q1/S1/C1)
+     nfc cover ...                 Karp-Miller cover set (budget-free coverability)
      nfc boundness ...             measure boundness vs k_t*k_r (Thm 2.1)
      nfc experiment t21|t31|t41|t51|all   regenerate the paper's tables *)
 
@@ -480,7 +481,29 @@ let lint_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per protocol (JSONL)")
   in
-  let run protocol capacity submits nodes strict json jobs =
+  let complete =
+    Arg.(
+      value & flag
+      & info [ "complete" ]
+          ~doc:
+            "Also run the budget-free coverability tier (Karp-Miller ω-acceleration over \
+             the lossy channel): converged covers upgrade corroborated H1/T1/Q1 verdicts \
+             to 'complete' strength, valid for every node budget and channel capacity")
+  in
+  let cover_nodes =
+    Arg.(
+      value & opt int 200_000
+      & info [ "cover-nodes" ] ~docv:"N"
+          ~doc:"Divergence backstop for the --complete cover fixpoint")
+  in
+  let sarif =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:"Also write the diagnostics to FILE as SARIF 2.1.0 (JSONL is unchanged)")
+  in
+  let run protocol capacity submits nodes strict json complete cover_nodes sarif jobs =
     let cfg =
       {
         Checks.default_config with
@@ -492,6 +515,8 @@ let lint_cmd =
             max_nodes = nodes;
             allow_drop = true;
           };
+        complete;
+        cover_max_nodes = cover_nodes;
       }
     in
     match
@@ -501,6 +526,14 @@ let lint_cmd =
     with
     | results ->
         if json then print_string (Report.jsonl results) else Report.print results;
+        (match sarif with
+        | Some file ->
+            let oc = open_out file in
+            output_string oc (Sarif.to_string results);
+            output_char oc '\n';
+            close_out oc;
+            if not json then Format.printf "SARIF report written to %s@." file
+        | None -> ());
         exit (Report.exit_code ~strict results)
     | exception e ->
         Format.eprintf "lint: internal error: %s@." (Printexc.to_string e);
@@ -511,7 +544,52 @@ let lint_cmd =
        ~doc:
          ("Statically verify protocol invariants (rules " ^ Nfc_lint.Rules.doc
         ^ "): header budgets, input-enabledness, Theorem 2.1 boundness certificates"))
-    Term.(const run $ protocol $ capacity $ submits $ nodes $ strict $ json $ jobs_arg)
+    Term.(
+      const run $ protocol $ capacity $ submits $ nodes $ strict $ json $ complete
+      $ cover_nodes $ sarif $ jobs_arg)
+
+(* ---------------------------------------------------------------- cover *)
+
+let cover_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt protocol_conv (Nfc_protocol.Alternating_bit.make ~timeout:2 ())
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:protocol_doc)
+  in
+  let positional =
+    Arg.(
+      value
+      & pos 0 (some protocol_conv) None
+      & info [] ~docv:"PROTO" ~doc:"Protocol (positional alternative to -p)")
+  in
+  let submits =
+    Arg.(value & opt int 3 & info [ "submits" ] ~docv:"S" ~doc:"User submission budget")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 200_000
+      & info [ "nodes" ] ~docv:"N" ~doc:"Karp-Miller tree cap (divergence backstop)")
+  in
+  let run protocol positional submits nodes =
+    let protocol = Option.value positional ~default:protocol in
+    let module P = (val protocol : Nfc_protocol.Spec.S) in
+    let module E = Nfc_mcheck.Explore.Make (P) in
+    let module C = Nfc_absint.Cover.Make (P) (E) in
+    let stats = C.run ~max_nodes:nodes ~submit_budget:submits () in
+    Format.printf "== %s (submit budget %d) ==@.%a@." P.name submits
+      Nfc_absint.Cover.pp_stats stats;
+    List.iter
+      (fun s -> Format.printf "  acceleration: %s@." s)
+      stats.Nfc_absint.Cover.accel_samples;
+    exit (if stats.Nfc_absint.Cover.converged then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "cover"
+       ~doc:
+         "Compute the Karp-Miller cover set of a protocol over the ω-abstracted non-FIFO \
+          channel (budget-free coverability; exit 1 when the fixpoint diverges)")
+    Term.(const run $ protocol $ positional $ submits $ nodes)
 
 (* ----------------------------------------------------------- experiment *)
 
@@ -597,6 +675,7 @@ let () =
             mcheck_cmd;
             fuzz_cmd;
             lint_cmd;
+            cover_cmd;
             boundness_cmd;
             theorems_cmd;
             replay_cmd;

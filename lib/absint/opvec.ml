@@ -1,0 +1,122 @@
+(* ω-extended count vectors.  Representation: a canonical int array
+   (trailing zeros trimmed) with ω encoded as [max_int]; the numeric
+   order/max on counts then coincide with the ω-extended order/join, so
+   [le]/[join]/[accelerate] are plain array scans. *)
+
+let omega = max_int
+
+type t = { counts : int array }
+
+let trim a =
+  let len = ref (Array.length a) in
+  while !len > 0 && a.(!len - 1) = 0 do
+    decr len
+  done;
+  if !len = Array.length a then a else Array.sub a 0 !len
+
+let empty = { counts = [||] }
+
+let of_array a =
+  Array.iter (fun c -> if c < 0 then invalid_arg "Opvec.of_array: negative count") a;
+  { counts = trim (Array.copy a) }
+
+(* Pvec arrays are already canonical and all-finite. *)
+let of_pvec v = { counts = Nfc_mcheck.Pvec.to_array v }
+
+let count t id = if id < Array.length t.counts then t.counts.(id) else 0
+let is_omega t id = count t id = omega
+
+let omega_count t =
+  Array.fold_left (fun n c -> if c = omega then n + 1 else n) 0 t.counts
+
+let grown t id =
+  let len = max (id + 1) (Array.length t.counts) in
+  let counts = Array.make len 0 in
+  Array.blit t.counts 0 counts 0 (Array.length t.counts);
+  counts
+
+let add t id =
+  let c = count t id in
+  if c = omega then t
+  else
+    let counts = grown t id in
+    counts.(id) <- c + 1;
+    { counts }
+
+let remove_one t id =
+  match count t id with
+  | 0 -> None
+  | c when c = omega -> Some t
+  | c ->
+      let counts = Array.copy t.counts in
+      counts.(id) <- c - 1;
+      Some { counts = trim counts }
+
+let set_omega t id =
+  if is_omega t id then t
+  else begin
+    let counts = grown t id in
+    counts.(id) <- omega;
+    { counts }
+  end
+
+let le a b =
+  (* Canonical trimming means a longer array has a positive top count. *)
+  Array.length a.counts <= Array.length b.counts
+  && (let ok = ref true in
+      Array.iteri (fun i c -> if c > b.counts.(i) then ok := false) a.counts;
+      !ok)
+
+let equal a b =
+  Array.length a.counts = Array.length b.counts
+  && (let ok = ref true in
+      Array.iteri (fun i c -> if c <> b.counts.(i) then ok := false) a.counts;
+      !ok)
+
+let hash t =
+  let h = ref 17 in
+  Array.iter (fun c -> h := (!h * 1000003) + c) t.counts;
+  !h land max_int
+
+let join a b =
+  let short, long = if Array.length a.counts <= Array.length b.counts then (a, b) else (b, a) in
+  let counts = Array.copy long.counts in
+  Array.iteri (fun i c -> if c > counts.(i) then counts.(i) <- c) short.counts;
+  { counts }
+
+let accelerate ~prev t =
+  (* Callers guarantee [le prev t]; coordinates that strictly grew along
+     the repeatable path pump to ω. *)
+  let counts = Array.copy t.counts in
+  let changed = ref false in
+  Array.iteri
+    (fun i c ->
+      if c <> omega && c > count prev i then begin
+        counts.(i) <- omega;
+        changed := true
+      end)
+    t.counts;
+  if !changed then { counts } else t
+
+let support t =
+  List.rev
+    (snd
+       (Array.fold_left
+          (fun (i, acc) c -> (i + 1, if c > 0 then i :: acc else acc))
+          (0, []) t.counts))
+
+let fold f t acc =
+  let acc = ref acc in
+  Array.iteri (fun id c -> if c > 0 then acc := f id c !acc) t.counts;
+  !acc
+
+let pp ?(packet = fun id -> id) ppf t =
+  let items =
+    fold
+      (fun id c acc ->
+        (if c = omega then Printf.sprintf "%d:ω" (packet id)
+         else Printf.sprintf "%d:%d" (packet id) c)
+        :: acc)
+      t []
+  in
+  Format.fprintf ppf "{%s}" (String.concat ", " (List.rev items))

@@ -1,0 +1,80 @@
+(** ω-extended packet-count vectors — the abstract channel domain of the
+    coverability engine.
+
+    An {!t} is a {!Nfc_mcheck.Pvec.t} whose per-packet counts may also be
+    ω ("arbitrarily many copies of this packet are in transit").  The
+    order is the pointwise count order with [n <= ω] for every finite
+    [n]; it is exactly the simulation order of the non-FIFO channel under
+    packet loss (PL2: any sub-multiset of an in-transit multiset is a
+    possible channel content), which is what makes reachable sets
+    downward-closed and coverability the right question
+    ({!Cover}, DESIGN §5.8).
+
+    Vectors are immutable and canonical (trailing zeros trimmed), so
+    [equal] and [hash] are cheap int-array scans, like {!Nfc_mcheck.Pvec}.
+    Indices are the dense packet ids of the engine's
+    {!Nfc_mcheck.Pvec.Index} — an [Opvec.t] is only meaningful against the
+    interner of the engine instance that produced it. *)
+
+type t
+
+(** The ω count.  Exposed for tests; never a meaningful finite count
+    (it is [max_int], far above any reachable multiplicity). *)
+val omega : int
+
+val empty : t
+
+(** Inject a concrete channel vector (all counts finite). *)
+val of_pvec : Nfc_mcheck.Pvec.t -> t
+
+(** Build from raw counts (entries may be {!omega}); negative counts are
+    invalid.  Exposed for the law tests' generators. *)
+val of_array : int array -> t
+
+(** [count v id]: the multiplicity of [id], {!omega} when ω. *)
+val count : t -> int -> int
+
+val is_omega : t -> int -> bool
+
+(** Number of ω coordinates. *)
+val omega_count : t -> int
+
+(** [add v id]: one more copy; ω absorbs ([add] at an ω coordinate is the
+    identity). *)
+val add : t -> int -> t
+
+(** [remove_one v id]: one copy fewer, [None] when the count is 0.  An ω
+    coordinate stays ω: removing one of "arbitrarily many" leaves
+    arbitrarily many. *)
+val remove_one : t -> int -> t option
+
+(** Force coordinate [id] to ω. *)
+val set_omega : t -> int -> t
+
+(** Pointwise order: [le a b] iff every count of [a] is at most the
+    corresponding count of [b] (ω only below ω). *)
+val le : t -> t -> bool
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** Pointwise maximum — the least upper bound of the {!le} order. *)
+val join : t -> t -> t
+
+(** The Karp–Miller widening: [accelerate ~prev v] (for [le prev v] and
+    [not (equal prev v)]) sets every coordinate where [v] strictly
+    exceeds [prev] to ω — the pumping argument made a domain operator:
+    the move sequence [prev → … → v] is repeatable (strong monotonicity),
+    so those coordinates grow without bound. *)
+val accelerate : prev:t -> t -> t
+
+(** Ids with a positive (or ω) count, ascending. *)
+val support : t -> int list
+
+(** [fold f v acc] over (id, count) pairs with positive count, in id
+    order; ω coordinates pass {!omega}. *)
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Prints as a [{id:count}] multiset with [ω] for ω counts, ids decoded
+    through [packet] when given (e.g. [Pvec.Index.packet pkts]). *)
+val pp : ?packet:(int -> int) -> Format.formatter -> t -> unit

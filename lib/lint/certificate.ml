@@ -1,5 +1,16 @@
 module Json = Nfc_util.Json
 
+type strength = Bounded of int | Complete
+
+type cover_summary = {
+  cover_converged : bool;
+  cover_size : int;
+  cover_iterations : int;
+  cover_accelerations : int;
+  cover_omega_configs : int;
+  accel_samples : string list;
+}
+
 type t = {
   protocol : string;
   declared_header_bound : int option;
@@ -12,7 +23,19 @@ type t = {
   probes_exhausted : int;
   configs_explored : int;
   truncated : bool;
+  strength : strength;
+  rule_strengths : (string * strength) list;
+  cover : cover_summary option;
 }
+
+let strength_to_string = function
+  | Complete -> "complete"
+  | Bounded n -> Printf.sprintf "bounded(%d)" n
+
+let weakest a b =
+  match (a, b) with
+  | Complete, s | s, Complete -> s
+  | Bounded m, Bounded n -> Bounded (min m n)
 
 let alphabet_size c =
   let module Iset = Set.Make (Int) in
@@ -21,7 +44,7 @@ let alphabet_size c =
 let pp ppf c =
   Format.fprintf ppf
     "@[<v>%s: |P|=%d (declared %s); k_t=%d k_r=%d => boundness <= %d;@ measured boundness %s \
-     over %d configs%s@]"
+     over %d configs%s;@ strength %s%s@]"
     c.protocol (alphabet_size c)
     (match c.declared_header_bound with
     | Some k -> string_of_int k
@@ -32,6 +55,24 @@ let pp ppf c =
     | None -> "unbounded?")
     c.configs_explored
     (if c.truncated then " (truncated)" else "")
+    (strength_to_string c.strength)
+    (match c.cover with
+    | None -> ""
+    | Some cv ->
+        Printf.sprintf " (cover %s: %d element(s), %d ω, %d acceleration(s))"
+          (if cv.cover_converged then "converged" else "diverged")
+          cv.cover_size cv.cover_omega_configs cv.cover_accelerations)
+
+let cover_to_json cv =
+  Json.Obj
+    [
+      ("converged", Json.Bool cv.cover_converged);
+      ("size", Json.Int cv.cover_size);
+      ("iterations", Json.Int cv.cover_iterations);
+      ("accelerations", Json.Int cv.cover_accelerations);
+      ("omega_configs", Json.Int cv.cover_omega_configs);
+      ("accel_samples", Json.List (List.map (fun s -> Json.String s) cv.accel_samples));
+    ]
 
 let to_json c =
   Json.Obj
@@ -48,4 +89,19 @@ let to_json c =
       ("probes_exhausted", Json.Int c.probes_exhausted);
       ("configs_explored", Json.Int c.configs_explored);
       ("truncated", Json.Bool c.truncated);
+      (* Every record carries its strength: "complete" (cover fixpoint
+         corroborated) or "bounded" with the node budget the verdicts are
+         relative to. *)
+      ( "strength",
+        Json.String (match c.strength with Complete -> "complete" | Bounded _ -> "bounded") );
+      ("budget", (match c.strength with Complete -> Json.Null | Bounded n -> Json.Int n));
+      ( "rule_strengths",
+        Json.Obj
+          (List.map
+             (fun (rule, s) ->
+               ( rule,
+                 Json.String
+                   (match s with Complete -> "complete" | Bounded _ -> "bounded") ))
+             c.rule_strengths) );
+      ("cover", Json.opt cover_to_json c.cover);
     ]

@@ -6,7 +6,30 @@
     whose product is Theorem 2.1's boundness ceiling, and the boundness
     measured by {!Nfc_mcheck.Boundness} on the same bounds.  For every
     honest protocol [measured_boundness <= state_product] — a mechanical
-    confirmation of Theorem 2.1; the B1 rule fires when it fails. *)
+    confirmation of Theorem 2.1; the B1 rule fires when it fails.
+
+    Since the coverability tier ({!Nfc_absint.Cover}) each certificate
+    also carries a {!strength}: [Bounded n] means the verdicts hold
+    within an [n]-node exploration; [Complete] means the converged cover
+    fixpoint corroborated them, so they hold for {e every} node budget
+    and channel capacity (at the certificate's submission budget). *)
+
+(** [Bounded n]: verdicts relative to an [n]-node exploration.
+    [Complete]: budget-free — corroborated by a converged coverability
+    fixpoint over the ω-abstracted channel. *)
+type strength = Bounded of int | Complete
+
+(** What the cover fixpoint did, for audit: convergence, retained
+    maximal elements, iterations, ω-acceleration lemma instances (with up
+    to 8 rendered samples), and how many retained elements carry an ω. *)
+type cover_summary = {
+  cover_converged : bool;
+  cover_size : int;
+  cover_iterations : int;
+  cover_accelerations : int;
+  cover_omega_configs : int;
+  accel_samples : string list;
+}
 
 type t = {
   protocol : string;
@@ -22,7 +45,20 @@ type t = {
   probes_exhausted : int;
   configs_explored : int;
   truncated : bool;  (** the node budget cut the exploration off *)
+  strength : strength;
+      (** weakest of the per-rule strengths: [Complete] only when the
+          cover converged and corroborated every upgradable rule *)
+  rule_strengths : (string * strength) list;
+      (** per-rule strength for the upgradable rules (H1, T1, Q1) *)
+  cover : cover_summary option;  (** present when the cover tier ran *)
 }
+
+(** ["complete"] or ["bounded(N)"]. *)
+val strength_to_string : strength -> string
+
+(** The weaker of two strengths ([Bounded] below [Complete], smaller
+    budgets below larger ones) — for summary footers. *)
+val weakest : strength -> strength -> strength
 
 (** Total distinct packets, both directions combined (Section 2.3's |P|). *)
 val alphabet_size : t -> int

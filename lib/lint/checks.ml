@@ -10,6 +10,8 @@ type config = {
   fault_packets : int list;
   max_probe_states : int;
   max_witnesses : int;
+  complete : bool;
+  cover_max_nodes : int;
 }
 
 let default_config =
@@ -35,6 +37,11 @@ let default_config =
     fault_packets = [ -1; 1_000_003 ];
     max_probe_states = 2_000;
     max_witnesses = 3;
+    complete = false;
+    (* The cover's node cap is a divergence backstop, not an exploration
+       budget: converging protocols finish orders of magnitude below it,
+       and only the hook-less flooding protocols ever hit it. *)
+    cover_max_nodes = 200_000;
   }
 
 let take n l =
@@ -326,6 +333,93 @@ module Make (P : Spec.S) = struct
           (spf "%d receiver state(s) in the input closure are never reached by the composed system"
              (Rset.cardinal (Rset.diff closed !receivers)))
     | _ -> ());
+    (* ----------------------------------------- S1: spec sanitizer *)
+    (* Probes the spec-to-engine contract (comparator reflexivity,
+       hash/comparator coherence, step purity) on the instrumented spec,
+       so partiality stays E1's finding and never aborts S1. *)
+    let module S = Sanitize.Make (G) in
+    List.iter
+      (fun (f : Sanitize.finding) ->
+        emit ~rule:"S1" ~severity:Diagnostic.Error ?witness:f.Sanitize.witness
+          (spf "[%s] %s" f.Sanitize.kind f.Sanitize.message))
+      (S.run ~max_states:cfg.max_probe_states ~fault_packets:cfg.fault_packets ());
+    (* --------------------- C1: budget-free cover tier (--complete) *)
+    (* The bounded verdicts above remain THE verdicts; a converged cover
+       fixpoint can only *upgrade* their strength when it corroborates
+       them.  Divergence (the hook-less flooding protocols) downgrades
+       explicitly; a converged cover that *disagrees* with a bounded
+       verdict is itself a warning — one of the two analyses is wrong,
+       and both are shipped in this repo.  Unsound saturation hooks can
+       therefore never change a verdict, only mislabel its strength. *)
+    let bounded = Certificate.Bounded cfg.bounds.Explore.max_nodes in
+    let rule_strengths = ref [ ("H1", bounded); ("T1", bounded); ("Q1", bounded) ] in
+    let set_strength rule s =
+      rule_strengths := List.map (fun (r, s0) -> (r, if r = rule then s else s0)) !rule_strengths
+    in
+    let cover_summary = ref None in
+    if cfg.complete then begin
+      let module Cv = Nfc_absint.Cover.Make (G) (E) in
+      let st =
+        Cv.run ~max_nodes:cfg.cover_max_nodes
+          ~submit_budget:cfg.bounds.Explore.submit_budget ()
+      in
+      cover_summary :=
+        Some
+          {
+            Certificate.cover_converged = st.Nfc_absint.Cover.converged;
+            cover_size = st.Nfc_absint.Cover.cover_size;
+            cover_iterations = st.Nfc_absint.Cover.iterations;
+            cover_accelerations = st.Nfc_absint.Cover.accelerations;
+            cover_omega_configs = st.Nfc_absint.Cover.omega_configs;
+            accel_samples = st.Nfc_absint.Cover.accel_samples;
+          };
+      if not st.Nfc_absint.Cover.converged then
+        emit ~rule:"C1" ~severity:Diagnostic.Info
+          (spf
+             "cover fixpoint diverged within %d nodes (station state unbounded under ω \
+              inputs, no saturation hook) — certificate stays bounded(%d)"
+             cfg.cover_max_nodes cfg.bounds.Explore.max_nodes)
+      else begin
+        let corroborate rule agrees bounded_text cover_text =
+          if agrees then set_strength rule Certificate.Complete
+          else
+            emit ~rule:"C1" ~severity:Diagnostic.Warning
+              (spf
+                 "converged cover contradicts the bounded %s verdict (bounded: %s; cover: \
+                  %s) — one analysis is wrong, strength stays bounded"
+                 rule bounded_text cover_text)
+        in
+        let cover_tr = Iset.of_list st.Nfc_absint.Cover.alphabet_tr in
+        let cover_rt = Iset.of_list st.Nfc_absint.Cover.alphabet_rt in
+        let alpha_set s = "{" ^ String.concat ", " (List.map string_of_int (Iset.elements s)) ^ "}" in
+        corroborate "H1"
+          (Iset.equal cover_tr !atr && Iset.equal cover_rt !art)
+          (spf "alphabet %s / %s" (alpha_set !atr) (alpha_set !art))
+          (spf "alphabet %s / %s" (alpha_set cover_tr) (alpha_set cover_rt));
+        corroborate "T1"
+          (st.Nfc_absint.Cover.phantom_coverable = (reach.E.first_phantom <> None))
+          (if reach.E.first_phantom <> None then "phantom reachable" else "no phantom")
+          (if st.Nfc_absint.Cover.phantom_coverable then "phantom coverable"
+           else "phantom not coverable");
+        corroborate "Q1"
+          ((st.Nfc_absint.Cover.stuck_controls > 0) = (!dead > 0))
+          (spf "%d stuck configuration(s)" !dead)
+          (spf "%d stuck control(s)" st.Nfc_absint.Cover.stuck_controls);
+        if List.for_all (fun (_, s) -> s = Certificate.Complete) !rule_strengths then
+          emit ~rule:"C1" ~severity:Diagnostic.Info
+            (spf
+               "complete certification: cover fixpoint converged (%d element(s), %d \
+                acceleration(s)) and corroborates H1/T1/Q1 for every node budget and \
+                channel capacity at submit budget %d"
+               st.Nfc_absint.Cover.cover_size st.Nfc_absint.Cover.accelerations
+               cfg.bounds.Explore.submit_budget)
+      end
+    end;
+    let strength =
+      List.fold_left
+        (fun acc (_, s) -> Certificate.weakest acc s)
+        Certificate.Complete !rule_strengths
+    in
     let certificate =
       {
         Certificate.protocol = P.name;
@@ -339,6 +433,9 @@ module Make (P : Spec.S) = struct
         probes_exhausted = breport.Boundness.probes_exhausted;
         configs_explored = reach.E.reach_stats.Explore.nodes;
         truncated = reach.E.truncated;
+        strength = (if cfg.complete then strength else bounded);
+        rule_strengths = !rule_strengths;
+        cover = !cover_summary;
       }
     in
     (List.rev !diags, certificate)

@@ -21,6 +21,11 @@ type config = {
   fault_packets : int list;  (** extra out-of-alphabet packets for E1 *)
   max_probe_states : int;  (** cap on states probed / closed over *)
   max_witnesses : int;  (** cap on witnesses per rule *)
+  complete : bool;
+      (** run the budget-free cover tier ({!Nfc_absint.Cover}) and
+          upgrade corroborated H1/T1/Q1 verdicts to
+          {!Certificate.Complete} strength *)
+  cover_max_nodes : int;  (** divergence backstop for the cover fixpoint *)
 }
 
 val default_config : config

@@ -27,6 +27,7 @@ let print results =
           ("declared", Nfc_util.Table.Right);
           ("k_t*k_r", Nfc_util.Table.Right);
           ("boundness", Nfc_util.Table.Right);
+          ("strength", Nfc_util.Table.Left);
         ]
   in
   List.iter
@@ -45,9 +46,23 @@ let print results =
           (match c.Certificate.measured_boundness with
           | Some b -> string_of_int b
           | None -> "?");
+          Certificate.strength_to_string c.Certificate.strength;
         ])
     results;
-  Nfc_util.Table.print table
+  Nfc_util.Table.print table;
+  (* The footer states the weakest strength in the run: the whole report
+     is only as budget-free as its weakest certificate. *)
+  match results with
+  | [] -> ()
+  | r0 :: rest ->
+      let weakest =
+        List.fold_left
+          (fun acc (r : Engine.result) ->
+            Certificate.weakest acc r.certificate.Certificate.strength)
+          r0.certificate.Certificate.strength rest
+      in
+      Format.printf "weakest certificate strength: %s@."
+        (Certificate.strength_to_string weakest)
 
 let jsonl results =
   String.concat ""

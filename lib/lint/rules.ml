@@ -37,6 +37,20 @@ let all =
       summary =
         "no reachable configuration may be stuck with a message pending";
     };
+    {
+      id = "S1";
+      title = "spec sanitizer";
+      anchor = "Section 2.1 (the spec-to-engine contract)";
+      summary =
+        "comparators reflexive, hash hooks coherent, step functions pure";
+    };
+    {
+      id = "C1";
+      title = "cover convergence";
+      anchor = "Karp-Miller coverability over the lossy channel (DESIGN 5.8)";
+      summary =
+        "whether the budget-free cover fixpoint converged and corroborated H1/T1/Q1";
+    };
   ]
 
 let find id = List.find_opt (fun m -> m.id = id) all

@@ -1,0 +1,87 @@
+(* SARIF 2.1.0 rendering of a lint run — one run, one result per
+   diagnostic, protocols as logical locations (there are no files to
+   anchor to: the analysis target is a protocol module).  Kept to the
+   minimal schema subset GitHub code scanning and the generic SARIF
+   viewers accept; the JSONL report is unchanged and remains the
+   machine-readable certificate channel. *)
+
+module Json = Nfc_util.Json
+
+let level_of = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+let rule_to_json (m : Rules.meta) =
+  Json.Obj
+    [
+      ("id", Json.String m.Rules.id);
+      ("name", Json.String m.Rules.title);
+      ("shortDescription", Json.Obj [ ("text", Json.String m.Rules.summary) ]);
+      ("fullDescription", Json.Obj [ ("text", Json.String m.Rules.anchor) ]);
+    ]
+
+let result_to_json (protocol : string) (d : Diagnostic.t) =
+  let text =
+    match d.Diagnostic.witness with
+    | Some w -> d.Diagnostic.message ^ " (witness: " ^ w ^ ")"
+    | None -> d.Diagnostic.message
+  in
+  Json.Obj
+    [
+      ("ruleId", Json.String d.Diagnostic.rule);
+      ("level", Json.String (level_of d.Diagnostic.severity));
+      ("message", Json.Obj [ ("text", Json.String text) ]);
+      ( "locations",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "logicalLocations",
+                  Json.List
+                    [
+                      Json.Obj
+                        [
+                          ("name", Json.String protocol);
+                          ("kind", Json.String "module");
+                        ];
+                    ] );
+              ];
+          ] );
+    ]
+
+let of_results (results : Engine.result list) =
+  Json.Obj
+    [
+      ("version", Json.String "2.1.0");
+      ("$schema", Json.String "https://json.schemastore.org/sarif-2.1.0.json");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "nfc lint");
+                            ("version", Json.String "1.0.0");
+                            ( "informationUri",
+                              Json.String
+                                "https://dl.acm.org/doi/10.1145/72981.72986" );
+                            ("rules", Json.List (List.map rule_to_json Rules.all));
+                          ] );
+                    ] );
+                ( "results",
+                  Json.List
+                    (List.concat_map
+                       (fun (r : Engine.result) ->
+                         List.map (result_to_json r.Engine.protocol) r.Engine.diagnostics)
+                       results) );
+              ];
+          ] );
+    ]
+
+let to_string results = Json.to_string (of_results results)

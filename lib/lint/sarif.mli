@@ -1,0 +1,13 @@
+(** SARIF 2.1.0 export of a lint run ([nfc lint --sarif FILE]).
+
+    One SARIF [run] per invocation, one [result] per diagnostic; severity
+    maps Error/Warning/Info to error/warning/note, and each result
+    carries the protocol as a logical location of kind ["module"] (the
+    analysis target is a protocol module, not a source file).  The rule
+    catalogue ({!Rules.all}) becomes the driver's [rules] array.  The
+    JSONL report is unchanged by this export. *)
+
+val of_results : Engine.result list -> Nfc_util.Json.t
+
+(** [Json.to_string] of {!of_results} — the exact file contents. *)
+val to_string : Engine.result list -> string

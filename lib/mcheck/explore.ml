@@ -134,30 +134,40 @@ module Make (P : Spec.S) = struct
   let ack_memo : (int * int, P.sender * int) Hashtbl.t = Hashtbl.create 512
   let data_memo : (int * int, P.receiver * int) Hashtbl.t = Hashtbl.create 512
 
-  let on_submit c =
-    memo submit_memo c.sid (fun () ->
-        let s = P.on_submit c.sender in
-        (s, intern_sender s))
+  (* The id-keyed steps are exposed (alongside the interners and the
+     packet index) so sibling analyses over the same interned state space —
+     the coverability engine of {!Nfc_absint.Cover} — share these memo
+     tables instead of re-running protocol code. *)
+  let step_submit s sid =
+    memo submit_memo sid (fun () ->
+        let s' = P.on_submit s in
+        (s', intern_sender s'))
 
-  let sender_poll c =
-    memo spoll_memo c.sid (fun () ->
-        let emit, s = P.sender_poll c.sender in
-        (emit, s, intern_sender s))
+  let step_sender_poll s sid =
+    memo spoll_memo sid (fun () ->
+        let emit, s' = P.sender_poll s in
+        (emit, s', intern_sender s'))
 
-  let receiver_poll c =
-    memo rpoll_memo c.rid (fun () ->
-        let emit, r = P.receiver_poll c.receiver in
-        (emit, r, intern_receiver r))
+  let step_receiver_poll r rid =
+    memo rpoll_memo rid (fun () ->
+        let emit, r' = P.receiver_poll r in
+        (emit, r', intern_receiver r'))
 
-  let on_ack c pkt =
-    memo ack_memo (c.sid, pkt) (fun () ->
-        let s = P.on_ack c.sender pkt in
-        (s, intern_sender s))
+  let step_ack s sid pkt =
+    memo ack_memo (sid, pkt) (fun () ->
+        let s' = P.on_ack s pkt in
+        (s', intern_sender s'))
 
-  let on_data c pkt =
-    memo data_memo (c.rid, pkt) (fun () ->
-        let r = P.on_data c.receiver pkt in
-        (r, intern_receiver r))
+  let step_data r rid pkt =
+    memo data_memo (rid, pkt) (fun () ->
+        let r' = P.on_data r pkt in
+        (r', intern_receiver r'))
+
+  let on_submit c = step_submit c.sender c.sid
+  let sender_poll c = step_sender_poll c.sender c.sid
+  let receiver_poll c = step_receiver_poll c.receiver c.rid
+  let on_ack c pkt = step_ack c.sender c.sid pkt
+  let on_data c pkt = step_data c.receiver c.rid pkt
 
   let initial =
     {

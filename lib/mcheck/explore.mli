@@ -108,6 +108,32 @@ module Make (P : Nfc_protocol.Spec.S) : sig
 
   val initial : config
 
+  (** The engine's packet alphabet interner: shared by any sibling
+      analysis ({!Nfc_absint.Cover}) so ids and {!Pvec.t} layouts agree
+      across the bounded and ω-accelerated explorations. *)
+  val pkts : Pvec.Index.t
+
+  (** The state interners (dense ids in first-sight order; id equality is
+      comparator equality). *)
+  val intern_sender : P.sender -> int
+
+  val intern_receiver : P.receiver -> int
+
+  (** Memoised single-step transitions keyed on interned ids: each
+      distinct (state, input) pair runs protocol code once, engine-wide —
+      including calls made by sibling analyses sharing this instance.
+      [step_submit s sid] requires [sid = intern_sender s] (and so on);
+      the returned int is the interned id of the post-state. *)
+  val step_submit : P.sender -> int -> P.sender * int
+
+  val step_sender_poll : P.sender -> int -> int option * P.sender * int
+
+  val step_receiver_poll :
+    P.receiver -> int -> Nfc_protocol.Spec.remit option * P.receiver * int
+
+  val step_ack : P.sender -> int -> int -> P.sender * int
+  val step_data : P.receiver -> int -> int -> P.receiver * int
+
   (** In-transit packets of a configuration as a (packet value, count)
       association list sorted by packet value — the decoded view of the
       interned vectors, for alphabet censuses and order-stable output. *)

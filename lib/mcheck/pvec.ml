@@ -109,3 +109,5 @@ let fold f t acc =
   let acc = ref acc in
   Array.iteri (fun id c -> if c > 0 then acc := f id c !acc) t.counts;
   !acc
+
+let to_array t = Array.copy t.counts

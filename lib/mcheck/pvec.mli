@@ -49,3 +49,8 @@ val hash : t -> int
 
 (** [fold f v acc] over (id, positive count) pairs in id order. *)
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** The raw count array (a fresh copy; index = interned id, trailing zeros
+    trimmed).  The escape hatch for abstract domains built over the same
+    interned alphabet ({!Nfc_absint.Opvec} lifts these counts to ω). *)
+val to_array : t -> int array

@@ -149,6 +149,15 @@ let make ?(retransmit = 2) ?(ping_every = 4) () : Spec.t =
         (fun r ->
           Spec.structural_hash (r.delivered, r.deliver_due, Nfc_util.Deque.to_list r.echo_due))
 
+    (* No cover saturation: the flush rule compares cumulative per-colour
+       send and echo counters, so the sender's state space is genuinely
+       unbounded (Theorem 4.1's cost is paid in counter growth) and no
+       finite representative preserves the [flushed] predicate.  The
+       coverability fixpoint diverges; the verifier reports the
+       bounded-strength fallback. *)
+    let cover_norm_sender = None
+    let cover_norm_receiver = None
+
     let pp_sender ppf s =
       let a, b, c = s.sent and x, y, z = s.echo in
       Format.fprintf ppf "{pending=%d; sending=%b; epoch=%d; sent=(%d,%d,%d); echo=(%d,%d,%d)}"

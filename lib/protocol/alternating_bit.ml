@@ -89,6 +89,23 @@ let make ?(timeout = 4) () : Spec.t =
         (fun r ->
           Spec.structural_hash (r.expected, r.deliver_due, Nfc_util.Deque.to_list r.ack_due))
 
+    (* Cover saturation.  The sender is finite under a budget.  The
+       receiver absorbs ω data packets into [deliver_due] and [ack_due];
+       pending deliveries saturate at [budget + 2] (deliveries are gated
+       at [submitted + 1]) and the owed-ack queue collapses runs of equal
+       acks to two — the receiver re-acks every data receipt, so dropped
+       duplicates are regenerable from the ω data still in transit. *)
+    let cover_norm_sender = None
+
+    let cover_norm_receiver =
+      Some
+        (fun ~budget r ->
+          {
+            r with
+            deliver_due = Spec.saturate_counter ~cap:(budget + 2) r.deliver_due;
+            ack_due = Spec.saturate_deque ~max_len:(2 * (budget + 1)) r.ack_due;
+          })
+
     let pp_sender ppf s =
       Format.fprintf ppf "{bit=%d; pending=%d; inflight=%b; timer=%d}" s.bit s.pending
         s.inflight s.timer

@@ -111,6 +111,15 @@ let make ?(base = 1) ?(ratio = 2.0) () : Spec.t =
     let hash_sender = Some Spec.structural_hash
     let hash_receiver = Some Spec.structural_hash
 
+    (* No cover saturation: counting *is* the protocol.  [count_since]
+       resets at each threshold T(i) and the thresholds grow, so the
+       receiver's state space is genuinely unbounded under ω data — any
+       cap would erase exactly the distinctions the delivery rule reads.
+       The coverability fixpoint therefore diverges here and the verifier
+       reports the documented bounded-strength fallback. *)
+    let cover_norm_sender = None
+    let cover_norm_receiver = None
+
     let pp_sender ppf s =
       Format.fprintf ppf "{pending=%d; sending=%b; epoch=%d; ack_since=%d}" s.pending
         s.sending s.epoch s.ack_since

@@ -114,6 +114,21 @@ let make ?(window = 4) ?(timeout = 8) () : Spec.t =
         (fun r ->
           Spec.structural_hash (r.expected, r.deliver_due, Nfc_util.Deque.to_list r.ack_due))
 
+    (* Cover saturation: identical argument to {!Stenning} — [expected] is
+       budget-bounded, pending deliveries cap at [budget + 2], and the
+       cumulative re-ack queue collapses equal runs (stale data always
+       re-acks [expected - 1], so the queue is runs by construction). *)
+    let cover_norm_sender = None
+
+    let cover_norm_receiver =
+      Some
+        (fun ~budget r ->
+          {
+            r with
+            deliver_due = Spec.saturate_counter ~cap:(budget + 2) r.deliver_due;
+            ack_due = Spec.saturate_deque ~max_len:(2 * (budget + 1)) r.ack_due;
+          })
+
     let pp_sender ppf s =
       Format.fprintf ppf "{base=%d; next=%d; submitted=%d; timer=%d}" s.base s.next
         s.submitted s.timer

@@ -151,6 +151,21 @@ let make ?(window = 4) ?(timeout = 8) () : Spec.t =
             (r.expected, Iset.elements r.buffered, r.deliver_due,
              Nfc_util.Deque.to_list r.ack_due))
 
+    (* Cover saturation: [expected] and [buffered] are budget/window
+       bounded; only the owed-work fields grow under ω data, and they
+       saturate as in {!Stenning} (selective re-acks are regenerable — the
+       receiver acks every data receipt). *)
+    let cover_norm_sender = None
+
+    let cover_norm_receiver =
+      Some
+        (fun ~budget r ->
+          {
+            r with
+            deliver_due = Spec.saturate_counter ~cap:(budget + 2) r.deliver_due;
+            ack_due = Spec.saturate_deque ~max_len:(2 * (budget + 1)) r.ack_due;
+          })
+
     let pp_sender ppf s =
       Format.fprintf ppf "{base=%d; next=%d; submitted=%d; acked=%d}" s.base s.next
         s.submitted (Iset.cardinal s.acked)

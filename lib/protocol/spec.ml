@@ -74,6 +74,28 @@ module type S = sig
 
   val hash_receiver : (receiver -> int) option
 
+  (** Optional saturation hooks for the ω-accelerated coverability engine
+      ({!Nfc_absint.Cover}).  The engine lifts the channels to ω-counts;
+      what keeps its control space finite is the {e station} state, and
+      several protocols carry owed-work fields (pending deliveries, queued
+      acknowledgements) that grow without bound as ω packets are absorbed.
+      [cover_norm_sender]/[cover_norm_receiver] map a station state to a
+      behaviourally saturated representative under the given submission
+      budget: beyond the returned state, further growth of the saturated
+      fields enables no composed-system behaviour that the representative
+      cannot already produce (each protocol documents its argument at the
+      hook).  [None] means no saturation is available — the cover then
+      simply diverges for state-unbounded protocols and the verifier
+      reports the honest downgrade.  Hooks must be idempotent and must
+      commute with the comparators/hash hooks (saturated states are
+      interned like any other).  Unsound hooks cannot corrupt verdicts —
+      the verifier only {e upgrades certificate strength} when the cover
+      agrees with the bounded exploration — but they can wrongly label a
+      verdict complete; keep the arguments conservative. *)
+  val cover_norm_sender : (budget:int -> sender -> sender) option
+
+  val cover_norm_receiver : (budget:int -> receiver -> receiver) option
+
   val pp_sender : Format.formatter -> sender -> unit
   val pp_receiver : Format.formatter -> receiver -> unit
 
@@ -98,3 +120,39 @@ let bits_for_int n =
   if n < 0 then invalid_arg "Spec.bits_for_int: negative";
   let rec go acc n = if n = 0 then max 1 acc else go (acc + 1) (n lsr 1) in
   go 0 n
+
+(** Building blocks for {!S.cover_norm_sender}/{!S.cover_norm_receiver}. *)
+
+(** Saturate a monotone counter at [cap] (idempotent). *)
+let saturate_counter ~cap n = if n > cap then cap else n
+
+(** Saturate an owed-packet queue into a canonical bounded multiset:
+    sort ascending (over a non-FIFO channel the emission *order* of owed
+    packets is semantically void — the channel may deliver the emitted
+    packets in any order anyway, so two queues with the same multiset of
+    owed packets are behaviourally equivalent at unbounded capacity),
+    collapse each value to at most two copies (a station owing the same
+    packet twice behaves like one owing it many times — the extras are
+    regenerable duplicates), then keep at most [max_len] entries (ack
+    truncation is forced packet loss, which the lossy channel could
+    inflict on the emitted packets regardless — and always leaves a
+    non-empty queue non-empty, so poll-silence analyses are unaffected).
+    Idempotent, and stable under the [Deque.to_list]-normalising
+    comparators the protocols use.  Without the sort, ω inputs drive an
+    ack queue through every arrival ordering and the cover-control space
+    explodes combinatorially. *)
+let saturate_deque ~max_len (d : int Nfc_util.Deque.t) : int Nfc_util.Deque.t =
+  let sorted = List.sort Int.compare (Nfc_util.Deque.to_list d) in
+  let squash =
+    List.rev
+      (List.fold_left
+         (fun acc x ->
+           match acc with a :: b :: _ when a = x && b = x -> acc | _ -> x :: acc)
+         [] sorted)
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  let capped = take max_len squash in
+  if capped = Nfc_util.Deque.to_list d then d else Nfc_util.Deque.of_list capped

@@ -95,6 +95,22 @@ let make ?(timeout = 4) () : Spec.t =
         (fun r ->
           Spec.structural_hash (r.expected, r.deliver_due, Nfc_util.Deque.to_list r.ack_due))
 
+    (* Cover saturation.  [expected] is bounded by the budget (the sender
+       never issues an index above [submitted]); the owed-work fields
+       saturate exactly as in {!Alternating_bit}: pending deliveries cap
+       at [budget + 2] and the re-ack queue collapses equal runs, the
+       extras being regenerable from ω data still in transit. *)
+    let cover_norm_sender = None
+
+    let cover_norm_receiver =
+      Some
+        (fun ~budget r ->
+          {
+            r with
+            deliver_due = Spec.saturate_counter ~cap:(budget + 2) r.deliver_due;
+            ack_due = Spec.saturate_deque ~max_len:(2 * (budget + 1)) r.ack_due;
+          })
+
     let pp_sender ppf s =
       Format.fprintf ppf "{seq=%d; pending=%d; inflight=%b; timer=%d}" s.seq s.pending
         s.inflight s.timer

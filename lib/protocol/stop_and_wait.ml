@@ -60,6 +60,22 @@ let make ?(timeout = 4) () : Spec.t =
     let hash_sender = Some Spec.structural_hash
     let hash_receiver = Some Spec.structural_hash
 
+    (* Cover saturation.  The sender is finite under a submission budget
+       ([pending <= budget], [timer < timeout]).  The receiver's owed-work
+       counters saturate: with deliveries gated at [submitted + 1], more
+       than [budget + 2] pending deliveries add no behaviour, and acks
+       beyond what the sender can ever consume are regenerable duplicates
+       (every data receipt owes a fresh one). *)
+    let cover_norm_sender = None
+
+    let cover_norm_receiver =
+      Some
+        (fun ~budget r ->
+          {
+            deliver_due = Spec.saturate_counter ~cap:(budget + 2) r.deliver_due;
+            ack_due = Spec.saturate_counter ~cap:(2 * (budget + 1)) r.ack_due;
+          })
+
     let pp_sender ppf s =
       Format.fprintf ppf "{pending=%d; inflight=%b; timer=%d}" s.pending s.inflight s.timer
 

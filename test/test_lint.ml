@@ -35,10 +35,61 @@ module Broken = struct
      and the comparator-keyed intern paths of the engine. *)
   let hash_sender = Some Spec.structural_hash
   let hash_receiver = None
+  let cover_norm_sender = None
+  let cover_norm_receiver = None
   let pp_sender = Format.pp_print_int
   let pp_receiver = Format.pp_print_int
   let sender_space_bits = Spec.bits_for_int
   let receiver_space_bits = Spec.bits_for_int
+end
+
+(* A spec whose hash hook is incoherent with its comparator: the
+   receiver is a two-list batched queue compared on its canonical form
+   (front @ rev back) but hashed on the raw structure, so the two
+   representations of the same logical queue hash apart — exactly the
+   defect that makes a hash-bucketed interner split one state into
+   several ids.  S1 must flag it. *)
+module Incoherent = struct
+  let name = "incoherent-hash-spec"
+  let describe = "batched-queue receiver hashed on the raw representation"
+  let header_bound = Some 1
+
+  type sender = unit
+  type receiver = { front : int list; back : int list }
+
+  let sender_init = ()
+  let receiver_init = { front = []; back = [] }
+  let on_submit s = s
+  let on_ack s _ = s
+  let sender_poll s = (None, s)
+  let on_data r p = { r with back = p :: r.back }
+
+  let receiver_poll r =
+    match r.front with
+    | _ :: front -> (None, { r with front })
+    | [] -> (
+        match List.rev r.back with
+        | _ :: front -> (None, { front; back = [] })
+        | [] -> (None, r))
+
+  let canon r = r.front @ List.rev r.back
+  let compare_sender = compare
+  let compare_receiver a b = compare (canon a) (canon b)
+  let hash_sender = None
+
+  (* The bug: hashes the representation, not the normal form. *)
+  let hash_receiver = Some Spec.structural_hash
+  let cover_norm_sender = None
+  let cover_norm_receiver = None
+  let pp_sender ppf () = Format.pp_print_string ppf "()"
+
+  let pp_receiver ppf r =
+    Format.fprintf ppf "{front=[%s];back=[%s]}"
+      (String.concat ";" (List.map string_of_int r.front))
+      (String.concat ";" (List.map string_of_int r.back))
+
+  let sender_space_bits _ = 1
+  let receiver_space_bits _ = 8
 end
 
 (* Small bounds: the broken spec's defects are visible within a few
@@ -53,6 +104,7 @@ let small_cfg =
   }
 
 let broken_result = lazy (Engine.run small_cfg (module Broken : Spec.S))
+let incoherent_result = lazy (Engine.run small_cfg (module Incoherent : Spec.S))
 
 let has ~rule ~severity (r : Engine.result) =
   List.exists
@@ -114,6 +166,72 @@ let test_broken_witnesses_name_the_defect () =
         (String.length w >= 7 && String.sub w 0 7 = "on_data")
   | None -> Alcotest.fail "E1 must carry a witness"
 
+let test_s1_flags_incoherent_hash () =
+  let r = Lazy.force incoherent_result in
+  checkb "S1 error (hash incoherent with comparator)" true
+    (has ~rule:"S1" ~severity:Diagnostic.Error r);
+  let s1 =
+    List.find (fun (d : Diagnostic.t) -> d.Diagnostic.rule = "S1") r.Engine.diagnostics
+  in
+  checkb "S1 names the hash defect" true
+    (let msg = s1.Diagnostic.message in
+     String.length msg >= 6 && String.sub msg 0 6 = "[hash-");
+  checkb "S1 carries the colliding states as witness" true (s1.Diagnostic.witness <> None)
+
+let test_s1_clean_on_honest_and_broken_specs () =
+  (* Partiality (Broken's on_data) is E1's finding; S1 must not double
+     report it — and the honest registry passes the contract checks
+     (already implied by the zero-error assertion above, stated here
+     directly). *)
+  checkb "no S1 on the merely partial spec" false
+    (List.exists
+       (fun (d : Diagnostic.t) -> d.Diagnostic.rule = "S1")
+       (Lazy.force broken_result).Engine.diagnostics);
+  List.iter
+    (fun (r : Engine.result) ->
+      checkb (r.Engine.protocol ^ ": no S1 findings") false
+        (List.exists
+           (fun (d : Diagnostic.t) -> d.Diagnostic.rule = "S1")
+           r.Engine.diagnostics))
+    (Lazy.force registry_results)
+
+let test_bounded_strength_without_complete () =
+  (* Without --complete every certificate is budget-relative, and the
+     JSONL says so in every record. *)
+  List.iter
+    (fun (r : Engine.result) ->
+      match r.Engine.certificate.Certificate.strength with
+      | Certificate.Bounded n ->
+          checki (r.Engine.protocol ^ ": budget is the node bound")
+            Checks.default_config.Checks.bounds.Nfc_mcheck.Explore.max_nodes n
+      | Certificate.Complete ->
+          Alcotest.fail (r.Engine.protocol ^ ": complete strength without the cover tier"))
+    (Lazy.force registry_results);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun line ->
+      checkb "record carries a strength" true (contains line {|"strength":"bounded"|});
+      checkb "record carries its budget" true (contains line {|"budget":|}))
+    (String.split_on_char '\n' (String.trim (Report.jsonl (Lazy.force registry_results))))
+
+let test_sarif_shape () =
+  let results = [ Lazy.force broken_result ] in
+  let s = Sarif.to_string results in
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "declares SARIF 2.1.0" true (contains {|"version":"2.1.0"|});
+  checkb "rules catalogue embedded" true (contains {|"id":"H1"|});
+  checkb "errors map to level error" true (contains {|"level":"error"|});
+  checkb "protocol is a logical location" true
+    (contains {|"name":"broken-lint-spec","kind":"module"|})
+
 let test_jsonl_one_object_per_protocol () =
   let results = Lazy.force registry_results in
   let lines =
@@ -141,6 +259,10 @@ let suite =
     ("certificates respect Theorem 2.1", `Quick, test_registry_certificates_sound);
     ("declared header budgets certified", `Quick, test_registry_header_budgets_certified);
     ("broken spec flags H1+E1", `Quick, test_broken_flags_h1_and_e1);
+    ("S1 flags the incoherent hash hook", `Quick, test_s1_flags_incoherent_hash);
+    ("S1 silent on honest and merely partial specs", `Quick, test_s1_clean_on_honest_and_broken_specs);
+    ("bounded strength without --complete", `Quick, test_bounded_strength_without_complete);
+    ("sarif shape", `Quick, test_sarif_shape);
     ("E1 witness names the defect", `Quick, test_broken_witnesses_name_the_defect);
     ("jsonl shape", `Quick, test_jsonl_one_object_per_protocol);
     ("exit codes", `Quick, test_exit_codes);

@@ -15,6 +15,7 @@ let () =
       ("transport", Test_transport.suite);
       ("mutation", Test_mutation.suite);
       ("lint", Test_lint.suite);
+      ("absint", Test_absint.suite);
       ("boundness-def", Test_boundness_def.suite);
       ("matrix", Test_matrix.suite);
       ("edge", Test_edge.suite);
