@@ -1,6 +1,6 @@
 # Convenience targets around dune; `make check` is the tier-1 gate.
 
-.PHONY: all build test check fmt lint smoke bench-json clean
+.PHONY: all build test check fmt lint smoke serve-smoke bench-json clean
 
 all: build
 
@@ -34,13 +34,19 @@ smoke: build
 	if [ $$? -ne 2 ]; then echo "smoke: replay did not confirm the violation"; exit 1; fi
 	@echo "smoke: violation found, shrunk, and re-confirmed on replay"
 
+# Boot the real `nfc serve` binary on an ephemeral port and drive it over
+# HTTP: byte-identical lint verdict vs the CLI, 429 backpressure, the
+# Prometheus series, and a 100-request loadgen storm with zero drops.
+serve-smoke: build
+	sh scripts/serve_smoke.sh
+
 # Machine-readable bench trajectory: bechamel OLS estimates for the
 # engine ablation (hashed vs tree reference on every registry protocol)
 # plus the end-to-end lint wall-clock at the old and new node budgets.
 # Set NFC_BENCH_FULL=1 to include the substrate suite.
 bench-json: build
-	dune exec bench/main.exe -- --json > BENCH_4.json
-	@echo "wrote BENCH_4.json"
+	dune exec bench/main.exe -- --json > BENCH_5.json
+	@echo "wrote BENCH_5.json"
 
 clean:
 	dune clean

@@ -415,17 +415,55 @@ let json_mode ~full =
           ])
       ests
   in
+  (* Service throughput: an in-process [nfc serve] (4 worker domains)
+     under a loadgen storm — every request must end terminal or 429, and
+     the p50/p95/p99 submit-to-terminal latencies are the headline of the
+     resident-cache work. *)
+  let service =
+    let requests = if full then 500 else 300 in
+    let server =
+      Nfc_serve.Server.start
+        {
+          Nfc_serve.Server.host = "127.0.0.1";
+          port = 0;
+          jobs = 4;
+          queue_depth = 512;
+          result_ttl = 60.0;
+        }
+    in
+    let stats =
+      Fun.protect
+        ~finally:(fun () -> Nfc_serve.Server.stop server)
+        (fun () ->
+          Nfc_serve.Loadgen.run
+            {
+              Nfc_serve.Loadgen.default_cfg with
+              Nfc_serve.Loadgen.port = Nfc_serve.Server.port server;
+              requests;
+              concurrency = requests;
+              body = {|{"protocol":"stop-and-wait","nodes":3000}|};
+            })
+    in
+    Json.Obj
+      [
+        ("workers", Json.Int 4);
+        ("queue_depth", Json.Int 512);
+        ("zero_dropped", Json.Bool (Nfc_serve.Loadgen.check stats));
+        ("stats", Nfc_serve.Loadgen.json stats);
+      ]
+  in
   print_endline
     (Json.to_string
        (Json.Obj
           [
-            ("bench", Json.String "BENCH_4");
+            ("bench", Json.String "BENCH_5");
             ("mode", Json.String (if full then "full" else "quick"));
             ("unit", Json.String "ns/run (bechamel OLS, monotonic clock)");
             ("estimates", Json.List estimates);
             ("engine_ablation", Json.List engine);
             ("lint_registry_wall_clock", Json.List lint);
             ("cover_vs_explore", Json.List cover_vs_explore);
+            ("service_loadgen", service);
           ]))
 
 let () =

@@ -9,6 +9,8 @@
      nfc lint ...                  static protocol verification (H1/E1/B1/T1/Q1/S1/C1)
      nfc cover ...                 Karp-Miller cover set (budget-free coverability)
      nfc boundness ...             measure boundness vs k_t*k_r (Thm 2.1)
+     nfc serve ...                 run the HTTP verification service
+     nfc loadgen ...               drive a running service with concurrent jobs
      nfc experiment t21|t31|t41|t51|all   regenerate the paper's tables *)
 
 open Cmdliner
@@ -32,41 +34,15 @@ let protocol_conv =
 let channel_doc =
   "Channel: reliable | lossy:P | reorder:DELIVER:DROP | prob:Q | delayed:L[:P] | silent"
 
-let parse_channel s =
-  match String.split_on_char ':' s with
-  | [ "reliable" ] -> Ok Nfc_channel.Policy.fifo_reliable
-  | [ "silent" ] -> Ok Nfc_channel.Policy.silent
-  | [ "lossy"; p ] -> (
-      match float_of_string_opt p with
-      | Some loss when loss >= 0.0 && loss < 1.0 -> Ok (Nfc_channel.Policy.fifo_lossy ~loss)
-      | _ -> Error (`Msg "lossy takes lossy:P with 0 <= P < 1"))
-  | [ "reorder"; d; x ] -> (
-      match (float_of_string_opt d, float_of_string_opt x) with
-      | Some deliver, Some drop -> Ok (Nfc_channel.Policy.uniform_reorder ~deliver ~drop)
-      | _ -> Error (`Msg "reorder takes reorder:DELIVER:DROP"))
-  | [ "delayed"; l ] -> (
-      match int_of_string_opt l with
-      | Some latency when latency >= 0 -> Ok (Nfc_channel.Policy.fifo_delayed ~latency ())
-      | _ -> Error (`Msg "delayed takes delayed:LATENCY[:LOSS]"))
-  | [ "delayed"; l; p ] -> (
-      match (int_of_string_opt l, float_of_string_opt p) with
-      | Some latency, Some loss when latency >= 0 && loss >= 0.0 && loss < 1.0 ->
-          Ok (Nfc_channel.Policy.fifo_delayed ~latency ~loss ())
-      | _ -> Error (`Msg "delayed takes delayed:LATENCY[:LOSS]"))
-  | [ "prob"; q ] -> (
-      match float_of_string_opt q with
-      | Some q when q >= 0.0 && q <= 1.0 -> Ok (Nfc_channel.Policy.probabilistic ~q ())
-      | _ -> Error (`Msg "prob takes prob:Q with 0 <= Q <= 1"))
-  | _ -> Error (`Msg (Printf.sprintf "unknown channel %S" s))
-
 (* Policies can carry per-channel mutable state (fifo_delayed's clock), so
-   the CLI parses a channel *factory* and instantiates it once per
-   direction. *)
+   the parser -- shared with the /v1/simulate endpoint via
+   Nfc_channel.Policy.parse_factory -- yields a channel *factory*,
+   instantiated once per direction. *)
 let channel_conv =
   let parse s =
-    match parse_channel s with
-    | Ok _ -> Ok (s, fun () -> Result.get_ok (parse_channel s))
-    | Error _ as e -> (match e with Error m -> Error m | Ok _ -> assert false)
+    match Nfc_channel.Policy.parse_factory s with
+    | Ok factory -> Ok (s, factory)
+    | Error msg -> Error (`Msg msg)
   in
   Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
 
@@ -660,6 +636,107 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate the paper's evaluation (DESIGN.md section 4)")
     Term.(const run $ which $ quick_arg $ seed_arg)
 
+(* ---------------------------------------------------------------- serve *)
+
+let serve_cmd =
+  let host =
+    Arg.(
+      value
+      & opt string Nfc_serve.Server.default_cfg.Nfc_serve.Server.host
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind")
+  in
+  let port =
+    Arg.(
+      value
+      & opt int Nfc_serve.Server.default_cfg.Nfc_serve.Server.port
+      & info [ "port" ] ~docv:"PORT" ~doc:"Port to bind (0 = ephemeral)")
+  in
+  let queue_depth =
+    Arg.(
+      value
+      & opt int Nfc_serve.Server.default_cfg.Nfc_serve.Server.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Admission queue capacity; a full queue answers 429 + Retry-After")
+  in
+  let result_ttl =
+    Arg.(
+      value
+      & opt float Nfc_serve.Server.default_cfg.Nfc_serve.Server.result_ttl
+      & info [ "result-ttl" ] ~docv:"SECONDS"
+          ~doc:"How long terminal jobs stay pollable before eviction")
+  in
+  let run host port jobs queue_depth result_ttl =
+    Nfc_serve.Server.run_forever
+      { Nfc_serve.Server.host; port; jobs; queue_depth; result_ttl }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification service: POST /v1/{lint,simulate,fuzz,boundness,cover} \
+          submit jobs, GET /v1/jobs/ID polls them, GET /metrics is Prometheus")
+    Term.(const run $ host $ port $ jobs_arg $ queue_depth $ result_ttl)
+
+(* -------------------------------------------------------------- loadgen *)
+
+let loadgen_cmd =
+  let open Nfc_serve in
+  let host =
+    Arg.(
+      value
+      & opt string Loadgen.default_cfg.Loadgen.host
+      & info [ "host" ] ~docv:"HOST" ~doc:"Service address")
+  in
+  let port =
+    Arg.(
+      value
+      & opt int Loadgen.default_cfg.Loadgen.port
+      & info [ "port" ] ~docv:"PORT" ~doc:"Service port")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt int Loadgen.default_cfg.Loadgen.requests
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests to issue")
+  in
+  let concurrency =
+    Arg.(
+      value
+      & opt int Loadgen.default_cfg.Loadgen.concurrency
+      & info [ "concurrency" ] ~docv:"C"
+          ~doc:"Client threads = sessions in flight at once")
+  in
+  let endpoint =
+    Arg.(
+      value
+      & opt string Loadgen.default_cfg.Loadgen.endpoint
+      & info [ "endpoint" ] ~docv:"NAME" ~doc:"Endpoint: lint | simulate | fuzz | boundness | cover")
+  in
+  let body =
+    Arg.(
+      value
+      & opt string Loadgen.default_cfg.Loadgen.body
+      & info [ "body" ] ~docv:"JSON" ~doc:"Request body")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the stats as a single JSON object")
+  in
+  let run host port requests concurrency endpoint body json =
+    let stats =
+      Loadgen.run
+        ~log:(fun msg -> Format.eprintf "%s@." msg)
+        { Loadgen.default_cfg with Loadgen.host; port; requests; concurrency; endpoint; body }
+    in
+    if json then print_endline (Nfc_util.Json.to_string (Loadgen.json stats))
+    else Format.printf "%a@." Loadgen.pp stats;
+    if not (Loadgen.check stats) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running nfc serve with N concurrent job submissions and report \
+          throughput and latency percentiles (exit 2 if any request was dropped)")
+    Term.(const run $ host $ port $ requests $ concurrency $ endpoint $ body $ json)
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
@@ -679,5 +756,7 @@ let () =
             boundness_cmd;
             theorems_cmd;
             replay_cmd;
+            serve_cmd;
+            loadgen_cmd;
             experiment_cmd;
           ]))

@@ -52,6 +52,25 @@ let pp_stats ppf s =
     (alpha s.alphabet_tr) (alpha s.alphabet_rt) s.stuck_controls
     (match s.stuck_witness with None -> "" | Some w -> ": " ^ w)
 
+let stats_to_json s =
+  let module J = Nfc_util.Json in
+  let alpha l = J.List (List.map (fun v -> J.Int v) l) in
+  J.Obj
+    [
+      ("converged", J.Bool s.converged);
+      ("cover_size", J.Int s.cover_size);
+      ("iterations", J.Int s.iterations);
+      ("accelerations", J.Int s.accelerations);
+      ("omega_configs", J.Int s.omega_configs);
+      ("pruned_covered", J.Int s.pruned_covered);
+      ("phantom_coverable", J.Bool s.phantom_coverable);
+      ("alphabet_tr", alpha s.alphabet_tr);
+      ("alphabet_rt", alpha s.alphabet_rt);
+      ("stuck_controls", J.Int s.stuck_controls);
+      ("stuck_witness", J.opt (fun w -> J.String w) s.stuck_witness);
+      ("accel_samples", J.List (List.map (fun a -> J.String a) s.accel_samples));
+    ]
+
 (* Acceleration walks stop after this many parent hops: for converging
    protocols the tree is shallow and the walk is complete; for diverging
    ones (which hit the node cap anyway) the cap keeps the run from going

@@ -56,6 +56,9 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** The stats as a JSON value — the [/v1/cover] service payload. *)
+val stats_to_json : stats -> Nfc_util.Json.t
+
 module Make (P : Nfc_protocol.Spec.S) (E : module type of Nfc_mcheck.Explore.Make (P)) : sig
   (** Run the coverability fixpoint under the given submission budget.
       [max_nodes] (default 200_000) caps the Karp–Miller tree as a

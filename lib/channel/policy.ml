@@ -154,3 +154,41 @@ let probabilistic ?(release = 0.25) ?(lose = false) ~q () =
     on_send;
     on_poll;
   }
+
+(* CLI/service channel-spec syntax — one parser for [nfc simulate -c] and
+   the [/v1/simulate] endpoint, so the two can never drift.  Returns a
+   {e factory}: policies can carry per-channel mutable state
+   ([fifo_delayed]'s clock), so each direction instantiates its own. *)
+let parse_factory s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "unknown channel %S (reliable | lossy:P | reorder:DELIVER:DROP | prob:Q | \
+          delayed:L[:P] | silent)"
+         s)
+  in
+  match String.split_on_char ':' s with
+  | [ "reliable" ] -> Ok (fun () -> fifo_reliable)
+  | [ "silent" ] -> Ok (fun () -> silent)
+  | [ "lossy"; p ] -> (
+      match float_of_string_opt p with
+      | Some loss when loss >= 0.0 && loss < 1.0 -> Ok (fun () -> fifo_lossy ~loss)
+      | _ -> Error "lossy takes lossy:P with 0 <= P < 1")
+  | [ "reorder"; d; x ] -> (
+      match (float_of_string_opt d, float_of_string_opt x) with
+      | Some deliver, Some drop -> Ok (fun () -> uniform_reorder ~deliver ~drop)
+      | _ -> Error "reorder takes reorder:DELIVER:DROP")
+  | [ "delayed"; l ] -> (
+      match int_of_string_opt l with
+      | Some latency when latency >= 0 -> Ok (fun () -> fifo_delayed ~latency ())
+      | _ -> Error "delayed takes delayed:LATENCY[:LOSS]")
+  | [ "delayed"; l; p ] -> (
+      match (int_of_string_opt l, float_of_string_opt p) with
+      | Some latency, Some loss when latency >= 0 && loss >= 0.0 && loss < 1.0 ->
+          Ok (fun () -> fifo_delayed ~latency ~loss ())
+      | _ -> Error "delayed takes delayed:LATENCY[:LOSS]")
+  | [ "prob"; q ] -> (
+      match float_of_string_opt q with
+      | Some q when q >= 0.0 && q <= 1.0 -> Ok (fun () -> probabilistic ~q ())
+      | _ -> Error "prob takes prob:Q with 0 <= Q <= 1")
+  | _ -> fail ()

@@ -64,3 +64,10 @@ val gilbert_elliott :
     material of the lower-bound adversaries, which drive the transit
     directly. *)
 val silent : t
+
+(** Parse the CLI/service channel-spec syntax
+    ([reliable | lossy:P | reorder:DELIVER:DROP | prob:Q | delayed:L[:P]
+    | silent]) into a policy {e factory} — policies can carry per-channel
+    mutable state, so each direction instantiates its own.  Shared by
+    [nfc simulate -c] and the [/v1/simulate] endpoint. *)
+val parse_factory : string -> (unit -> t, string) result

@@ -165,10 +165,9 @@ let run_all ?log ?(jobs = 1) cfg =
     (fun entry -> run ?log (entry.Nfc_protocol.Registry.default ()) cfg)
     Nfc_protocol.Registry.all
 
-let to_json r =
-  Json.to_string
-    (Json.Obj
-       [
+let json r =
+  Json.Obj
+    [
          ("protocol", Json.String r.protocol);
          ("runs", Json.Int r.runs);
          ("coverage", Json.Int r.coverage);
@@ -188,8 +187,9 @@ let to_json r =
                    ("trace_actions", Json.Int (List.length f.trace));
                  ])
              r.finding );
-       ])
+    ]
 
+let to_json r = Json.to_string (json r)
 let jsonl results = String.concat "\n" (List.map to_json results) ^ "\n"
 
 let pp_result ppf r =

@@ -60,6 +60,10 @@ val run : ?log:(string -> unit) -> ?jobs:int -> Nfc_protocol.Spec.t -> cfg -> re
     protocols. *)
 val run_all : ?log:(string -> unit) -> ?jobs:int -> cfg -> result list
 
+(** The result as a JSON value — shared by the CLI's JSONL output and the
+    [/v1/fuzz] service endpoint. *)
+val json : result -> Nfc_util.Json.t
+
 (** One compact JSON object per result; {!jsonl} joins them one per line. *)
 val to_json : result -> string
 

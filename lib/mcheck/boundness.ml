@@ -26,6 +26,21 @@ let pp_report ppf r =
     r.probes_exhausted
     (if r.probes_skipped > 0 then Printf.sprintf ", %d skipped" r.probes_skipped else "")
 
+let to_json r =
+  let module J = Nfc_util.Json in
+  J.Obj
+    [
+      ("protocol", J.String r.protocol);
+      ("k_t", J.Int r.k_t);
+      ("k_r", J.Int r.k_r);
+      ("state_product", J.Int r.state_product);
+      ("configs_explored", J.Int r.configs_explored);
+      ("semi_valid_configs", J.Int r.semi_valid_configs);
+      ("boundness", J.opt (fun b -> J.Int b) r.boundness);
+      ("probes_exhausted", J.Int r.probes_exhausted);
+      ("probes_skipped", J.Int r.probes_skipped);
+    ]
+
 module Make (P : Spec.S) = struct
   (* Reachability is the shared engine's, with delivery gated on a message
      actually pending ([deliver_valid_only]): boundness only measures from

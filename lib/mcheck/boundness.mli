@@ -40,6 +40,9 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+(** The report as a JSON value — the [/v1/boundness] service payload. *)
+val to_json : report -> Nfc_util.Json.t
+
 (** The measurement engine behind {!measure}, exposed so callers that
     already hold an exploration (the linter) can share it.  [E] is the
     engine instance the measurement runs on: instantiate [Make] once per

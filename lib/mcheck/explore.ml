@@ -12,6 +12,10 @@ type bounds = {
 let default_bounds =
   { capacity_tr = 3; capacity_rt = 3; submit_budget = 3; max_nodes = 200_000; allow_drop = true }
 
+let bounds_key b =
+  Printf.sprintf "c%d:%d/s%d/n%d/d%b" b.capacity_tr b.capacity_rt b.submit_budget b.max_nodes
+    b.allow_drop
+
 type stats = {
   nodes : int;
   sender_states : int;

@@ -41,6 +41,11 @@ type bounds = {
 
 val default_bounds : bounds
 
+(** Canonical fingerprint of a bounds record — the memo key under which
+    resident analyses ({!Nfc_serve.Cache}) share one exploration across
+    requests.  Equal bounds, equal key; distinct bounds, distinct key. *)
+val bounds_key : bounds -> string
+
 type stats = {
   nodes : int;  (** distinct configurations visited *)
   sender_states : int;  (** distinct sender states seen *)

@@ -1,0 +1,40 @@
+(** The shared read-only analysis cache behind the service handlers.
+
+    One resident context per protocol: the exploration engine (state
+    interners, packet index, transition memos) and its sibling
+    Karp–Miller engine persist across requests, with reachable sets,
+    converged covers and whole reports memoized per parameter
+    fingerprint — the amortization that makes a resident verifier faster
+    than per-invocation CLI runs.
+
+    Every cached analysis runs the same deterministic code path as the
+    CLI ({!Nfc_lint.Engine.run}, {!Nfc_mcheck.Boundness.measure},
+    {!Nfc_absint.Cover.Make}), so a memo hit returns exactly the value a
+    cold run would have produced: served lint verdicts are byte-identical
+    to [nfc lint] CLI output at the same parameters.
+
+    Thread-safe: per-protocol locks serialise analyses on one protocol
+    (the first request computes while duplicates wait, then hit);
+    different protocols proceed in parallel. *)
+
+type t
+
+(** [on_lookup] fires per memoized lookup (telemetry). *)
+val create : ?on_lookup:(hit:bool -> unit) -> unit -> t
+
+(** Canonical names of the protocols with resident contexts so far. *)
+val protocols : t -> string list
+
+(** The full lint analysis — the value behind one line of
+    [nfc lint --json]. *)
+val lint : t -> Nfc_protocol.Spec.t -> Nfc_lint.Checks.config -> Nfc_lint.Engine.result
+
+val boundness :
+  t ->
+  Nfc_protocol.Spec.t ->
+  explore:Nfc_mcheck.Explore.bounds ->
+  probe:Nfc_mcheck.Boundness.probe_bounds ->
+  Nfc_mcheck.Boundness.report
+
+val cover :
+  t -> Nfc_protocol.Spec.t -> submit_budget:int -> max_nodes:int -> Nfc_absint.Cover.stats

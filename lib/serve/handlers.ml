@@ -1,0 +1,326 @@
+(* The HTTP endpoints.
+
+   Every POST endpoint decodes a JSON body (absent body = all defaults,
+   but [protocol] is always required), clamps the exploration and
+   iteration budgets so no request can park a worker domain on an
+   unbounded analysis, registers a job and offers it to the admission
+   queue: 202 with the job id on acceptance, 429 + [Retry-After] (and
+   the registration undone) when the queue is full.
+
+   Parameter names and defaults mirror the CLI flags of the
+   corresponding [nfc] subcommand, and each compute closure runs the
+   same code path the CLI runs — via {!Cache} for the memoizable
+   analyses — so a served result is byte-identical to the CLI's output
+   at the same parameters. *)
+
+module J = Nfc_util.Json
+
+type ctx = {
+  table : Jobs.table;
+  queue : Jobs.job Queue.t;
+  cache : Cache.t;
+  telemetry : Telemetry.t;
+  n_workers : int;
+  n_running : unit -> int;
+}
+
+let ( let* ) r k = match r with Ok v -> k v | Error _ as e -> e
+
+let parse_body (req : Http.request) =
+  if String.trim req.Http.body = "" then Ok (J.Obj [])
+  else
+    match J.of_string req.Http.body with
+    | Ok j -> Ok j
+    | Error msg -> Error ("invalid JSON body: " ^ msg)
+
+let protocol_of body =
+  let* name = J.get_string "protocol" body in
+  Nfc_protocol.Registry.parse name
+
+(* Clamp instead of reject: a client asking for a bigger budget than the
+   service grants still gets a well-defined (smaller) analysis, and the
+   job record names the actual parameters via the cache key. *)
+let get_clamped ~lo ~hi ?default k body =
+  let* v = J.get_int ?default k body in
+  Ok (max lo (min hi v))
+
+let chomp s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
+
+let json_response ?headers status j =
+  Http.response ?headers ~status (J.to_string j ^ "\n")
+
+(* Register + offer to the bounded queue.  Acceptance is the only path
+   that leaks a job id; rejection undoes the registration, so "every
+   request resolves to a terminal job state or a 429" holds by
+   construction. *)
+let submit ctx ~kind ~protocol ~compute =
+  let job = Jobs.submit ctx.table ~kind ~protocol ~compute in
+  if Queue.try_push ctx.queue job then begin
+    Telemetry.inc ctx.telemetry "nfc_jobs_submitted_total" [ ("kind", kind) ];
+    json_response 202
+      (J.Obj [ ("id", J.String job.Jobs.id); ("state", J.String "queued") ])
+  end
+  else begin
+    Jobs.remove ctx.table job;
+    Telemetry.inc ctx.telemetry "nfc_jobs_rejected_total" [ ("kind", kind) ];
+    json_response 429
+      ~headers:[ ("retry-after", "1") ]
+      (J.Obj
+         [
+           ("error", J.String "admission queue full; retry later");
+           ( "queue_capacity",
+             J.Int (Queue.capacity ctx.queue) );
+         ])
+  end
+
+let or_400 = function Ok resp -> resp | Error msg -> Router.json_error 400 msg
+
+let check_cancelled cancelled = if cancelled () then raise Jobs.Cancelled_job
+
+(* ------------------------------------------------------------ endpoints *)
+
+let lint ctx : Router.handler =
+ fun ~params:_ req ->
+  or_400
+    (let* body = parse_body req in
+     let* proto = protocol_of body in
+     let* capacity = get_clamped ~lo:1 ~hi:8 ~default:2 "capacity" body in
+     let* submits = get_clamped ~lo:0 ~hi:16 ~default:3 "submits" body in
+     let* nodes = get_clamped ~lo:1 ~hi:2_000_000 ~default:100_000 "nodes" body in
+     let* complete = J.get_bool ~default:false "complete" body in
+     let* cover_nodes =
+       get_clamped ~lo:1 ~hi:2_000_000 ~default:200_000 "cover_nodes" body
+     in
+     let cfg =
+       {
+         Nfc_lint.Checks.default_config with
+         Nfc_lint.Checks.bounds =
+           {
+             Nfc_mcheck.Explore.capacity_tr = capacity;
+             capacity_rt = capacity;
+             submit_budget = submits;
+             max_nodes = nodes;
+             allow_drop = true;
+           };
+         complete;
+         cover_max_nodes = cover_nodes;
+       }
+     in
+     Ok
+       (submit ctx ~kind:"lint" ~protocol:(Nfc_protocol.Spec.name proto)
+          ~compute:(fun ~cancelled ->
+            check_cancelled cancelled;
+            (* One line of [nfc lint --json], sans the newline. *)
+            chomp (Nfc_lint.Report.jsonl [ Cache.lint ctx.cache proto cfg ]))))
+
+let simulate ctx : Router.handler =
+ fun ~params:_ req ->
+  or_400
+    (let* body = parse_body req in
+     let* proto = protocol_of body in
+     let* spec = J.get_string ~default:"reorder:0.8:0.05" "channel" body in
+     let* factory = Nfc_channel.Policy.parse_factory spec in
+     let* n = get_clamped ~lo:1 ~hi:10_000 ~default:10 "messages" body in
+     let* pace = get_clamped ~lo:0 ~hi:1_000 ~default:3 "pace" body in
+     let* seed = J.get_int ~default:1 "seed" body in
+     let* max_rounds =
+       get_clamped ~lo:1 ~hi:5_000_000 ~default:500_000 "max_rounds" body
+     in
+     Ok
+       (submit ctx ~kind:"simulate" ~protocol:(Nfc_protocol.Spec.name proto)
+          ~compute:(fun ~cancelled ->
+            check_cancelled cancelled;
+            let result =
+              Nfc_sim.Harness.run proto
+                {
+                  Nfc_sim.Harness.default_config with
+                  policy_tr = factory ();
+                  policy_rt = factory ();
+                  n_messages = n;
+                  submit_every = pace;
+                  seed;
+                  record_trace = false;
+                  max_rounds;
+                  stall_rounds = Some 100_000;
+                }
+            in
+            Nfc_sim.Metrics.to_json result.Nfc_sim.Harness.metrics)))
+
+let fuzz ctx : Router.handler =
+ fun ~params:_ req ->
+  or_400
+    (let* body = parse_body req in
+     let* proto = protocol_of body in
+     let* iterations =
+       get_clamped ~lo:1 ~hi:1_000_000 ~default:50_000 "iterations" body
+     in
+     let* steps = get_clamped ~lo:1 ~hi:1_000 ~default:80 "steps" body in
+     let* submits = get_clamped ~lo:1 ~hi:16 ~default:4 "submits" body in
+     let* seed = J.get_int ~default:1 "seed" body in
+     let* shrink = J.get_bool ~default:false "shrink" body in
+     let* batches = get_clamped ~lo:1 ~hi:64 ~default:1 "batches" body in
+     let cfg =
+       {
+         Nfc_fuzz.Campaign.default_cfg with
+         Nfc_fuzz.Campaign.iterations;
+         seed;
+         shrink;
+         batches;
+         gen = { Nfc_fuzz.Gen.default_cfg with Nfc_fuzz.Gen.steps; submits };
+       }
+     in
+     Ok
+       (submit ctx ~kind:"fuzz" ~protocol:(Nfc_protocol.Spec.name proto)
+          ~compute:(fun ~cancelled ->
+            check_cancelled cancelled;
+            Nfc_fuzz.Campaign.to_json (Nfc_fuzz.Campaign.run proto cfg))))
+
+let boundness ctx : Router.handler =
+ fun ~params:_ req ->
+  or_400
+    (let* body = parse_body req in
+     let* proto = protocol_of body in
+     let* nodes = get_clamped ~lo:1 ~hi:2_000_000 ~default:30_000 "nodes" body in
+     let* capacity = get_clamped ~lo:1 ~hi:8 ~default:2 "capacity" body in
+     let* submits = get_clamped ~lo:0 ~hi:16 ~default:2 "submits" body in
+     let explore =
+       {
+         Nfc_mcheck.Explore.capacity_tr = capacity;
+         capacity_rt = capacity;
+         submit_budget = submits;
+         max_nodes = nodes;
+         allow_drop = true;
+       }
+     in
+     Ok
+       (submit ctx ~kind:"boundness" ~protocol:(Nfc_protocol.Spec.name proto)
+          ~compute:(fun ~cancelled ->
+            check_cancelled cancelled;
+            let report =
+              Cache.boundness ctx.cache proto ~explore
+                ~probe:Nfc_mcheck.Boundness.default_probe_bounds
+            in
+            J.to_string (Nfc_mcheck.Boundness.to_json report))))
+
+let cover ctx : Router.handler =
+ fun ~params:_ req ->
+  or_400
+    (let* body = parse_body req in
+     let* proto = protocol_of body in
+     let* submits = get_clamped ~lo:0 ~hi:16 ~default:3 "submits" body in
+     let* nodes =
+       get_clamped ~lo:1 ~hi:2_000_000 ~default:200_000 "nodes" body
+     in
+     Ok
+       (submit ctx ~kind:"cover" ~protocol:(Nfc_protocol.Spec.name proto)
+          ~compute:(fun ~cancelled ->
+            check_cancelled cancelled;
+            let stats =
+              Cache.cover ctx.cache proto ~submit_budget:submits ~max_nodes:nodes
+            in
+            J.to_string (Nfc_absint.Cover.stats_to_json stats))))
+
+(* ----------------------------------------------------------- job status *)
+
+let job_get ctx : Router.handler =
+ fun ~params _req ->
+  let id = List.assoc "id" params in
+  match Jobs.find ctx.table id with
+  | None -> Router.json_error 404 (Printf.sprintf "no such job: %s" id)
+  | Some job -> json_response 200 (Jobs.json ctx.table job)
+
+(* The stored result document, verbatim — the byte-identity endpoint the
+   end-to-end test and the CI smoke compare against CLI output. *)
+let job_result ctx : Router.handler =
+ fun ~params _req ->
+  let id = List.assoc "id" params in
+  match Jobs.find ctx.table id with
+  | None -> Router.json_error 404 (Printf.sprintf "no such job: %s" id)
+  | Some job -> (
+      match Jobs.peek ctx.table job with
+      | _, Some doc, _ -> Http.response ~status:200 (doc ^ "\n")
+      | Jobs.Failed, None, err ->
+          Router.json_error 500 (Option.value err ~default:"job failed")
+      | state, None, _ ->
+          Router.json_error 409
+            (Printf.sprintf "job %s is %s; no result yet" id
+               (Jobs.state_name state)))
+
+let job_cancel ctx : Router.handler =
+ fun ~params _req ->
+  let id = List.assoc "id" params in
+  match Jobs.request_cancel ctx.table id with
+  | Jobs.Not_found -> Router.json_error 404 (Printf.sprintf "no such job: %s" id)
+  | Jobs.Cancelled_queued ->
+      (* Pull it out of the admission queue too, so a worker never even
+         pops it. *)
+      Queue.filter ctx.queue (fun (j : Jobs.job) -> j.Jobs.id <> id);
+      json_response 200
+        (J.Obj [ ("id", J.String id); ("state", J.String "cancelled") ])
+  | Jobs.Cancelling_running ->
+      json_response 202
+        (J.Obj [ ("id", J.String id); ("state", J.String "cancelling") ])
+  | Jobs.Already_terminal ->
+      let state =
+        match Jobs.find ctx.table id with
+        | Some job ->
+            let s, _, _ = Jobs.peek ctx.table job in
+            Jobs.state_name s
+        | None -> "gone"
+      in
+      json_response 200 (J.Obj [ ("id", J.String id); ("state", J.String state) ])
+
+(* ------------------------------------------------------ health, metrics *)
+
+let healthz ctx : Router.handler =
+ fun ~params:_ _req ->
+  let q, r, d, f, c = Jobs.counts ctx.table in
+  json_response 200
+    (J.Obj
+       [
+         ("status", J.String "ok");
+         ("workers", J.Int ctx.n_workers);
+         ("running", J.Int (ctx.n_running ()));
+         ("queue_depth", J.Int (Queue.depth ctx.queue));
+         ("queue_capacity", J.Int (Queue.capacity ctx.queue));
+         ( "jobs",
+           J.Obj
+             [
+               ("queued", J.Int q);
+               ("running", J.Int r);
+               ("done", J.Int d);
+               ("failed", J.Int f);
+               ("cancelled", J.Int c);
+             ] );
+         ( "resident_protocols",
+           J.List (List.map (fun p -> J.String p) (Cache.protocols ctx.cache)) );
+       ])
+
+let metrics ctx : Router.handler =
+ fun ~params:_ _req ->
+  let gauges =
+    [
+      ("nfc_queue_depth", float_of_int (Queue.depth ctx.queue));
+      ("nfc_queue_capacity", float_of_int (Queue.capacity ctx.queue));
+      ("nfc_jobs_running", float_of_int (ctx.n_running ()));
+      ("nfc_workers", float_of_int ctx.n_workers);
+    ]
+  in
+  Http.response ~content_type:"text/plain; version=0.0.4" ~status:200
+    (Telemetry.render ctx.telemetry ~gauges)
+
+let routes ctx =
+  [
+    Router.route "POST" "/v1/lint" (lint ctx);
+    Router.route "POST" "/v1/simulate" (simulate ctx);
+    Router.route "POST" "/v1/fuzz" (fuzz ctx);
+    Router.route "POST" "/v1/boundness" (boundness ctx);
+    Router.route "POST" "/v1/cover" (cover ctx);
+    Router.route "GET" "/v1/jobs/:id" (job_get ctx);
+    Router.route "GET" "/v1/jobs/:id/result" (job_result ctx);
+    Router.route "DELETE" "/v1/jobs/:id" (job_cancel ctx);
+    Router.route "GET" "/healthz" (healthz ctx);
+    Router.route "GET" "/metrics" (metrics ctx);
+  ]

@@ -1,0 +1,23 @@
+(** The HTTP endpoints behind {!Server}.
+
+    POST [/v1/lint], [/v1/simulate], [/v1/fuzz], [/v1/boundness] and
+    [/v1/cover] decode a JSON body whose field names and defaults mirror
+    the corresponding [nfc] subcommand's flags ([protocol] is required),
+    clamp every budget, and submit a job: 202 with the job id, or 429
+    with [Retry-After] when the admission queue is full.
+
+    GET [/v1/jobs/:id] polls status; GET [/v1/jobs/:id/result] serves the
+    stored result document verbatim (the byte-identity endpoint);
+    DELETE [/v1/jobs/:id] cancels.  GET [/healthz] and GET [/metrics]
+    report service state, the latter in Prometheus text format. *)
+
+type ctx = {
+  table : Jobs.table;
+  queue : Jobs.job Queue.t;
+  cache : Cache.t;
+  telemetry : Telemetry.t;
+  n_workers : int;
+  n_running : unit -> int;  (** sampled at scrape time *)
+}
+
+val routes : ctx -> Router.route list

@@ -1,0 +1,230 @@
+(* HTTP/1.1 message framing over blocking Unix file descriptors: request
+   line + headers + Content-Length body, keep-alive by default.  This is
+   the only wire-format code in the repo — the server loop, the loadgen
+   client and the end-to-end tests all parse and serialize through here,
+   so a framing bug cannot hide on one side of a test. *)
+
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = { status : int; headers : (string * string) list; body : string }
+
+type error = Eof | Bad_request of string | Too_large
+
+(* ------------------------------------------------------------- buffers *)
+
+(* One [conn] per socket: bytes read past the current message stay in
+   [pending] for the next keep-alive request on the same connection. *)
+type conn = { fd : Unix.file_descr; pending : Buffer.t }
+
+let conn fd = { fd; pending = Buffer.create 1024 }
+
+let max_head_bytes = 16 * 1024
+
+(* Scratch is per-call in a threaded server: allocate fresh. *)
+let read_some c =
+  let scratch = Bytes.create 4096 in
+  match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+  | 0 -> false
+  | n ->
+      Buffer.add_subbytes c.pending scratch 0 n;
+      true
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> false
+
+let find_sub hay sub from =
+  let nh = String.length hay and ns = String.length sub in
+  let rec go i = if i + ns > nh then None else if String.sub hay i ns = sub then Some i else go (i + 1) in
+  go from
+
+(* Take [n] bytes off the front of [pending], reading as needed. *)
+let take_exact c n =
+  let rec fill () =
+    if Buffer.length c.pending >= n then true
+    else if read_some c then fill ()
+    else false
+  in
+  if not (fill ()) then None
+  else begin
+    let all = Buffer.contents c.pending in
+    let head = String.sub all 0 n in
+    Buffer.clear c.pending;
+    Buffer.add_substring c.pending all n (String.length all - n);
+    Some head
+  end
+
+(* ------------------------------------------------------------- parsing *)
+
+let lowercase = String.lowercase_ascii
+
+let trim = String.trim
+
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> None
+      | Some i ->
+          Some (lowercase (trim (String.sub line 0 i)), trim (String.sub line (i + 1) (String.length line - i - 1))))
+    lines
+
+let header key headers = List.assoc_opt (lowercase key) headers
+
+let split_crlf s =
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+
+(* Read one request; [Ok None]-like clean EOF is the [Eof] error so the
+   server's keep-alive loop can end quietly. *)
+let read_request ?(max_body = 8 * 1024 * 1024) c =
+  let rec head_loop () =
+    match find_sub (Buffer.contents c.pending) "\r\n\r\n" 0 with
+    | Some i -> Ok i
+    | None ->
+        if Buffer.length c.pending > max_head_bytes then Error Too_large
+        else if read_some c then head_loop ()
+        else if Buffer.length c.pending = 0 then Error Eof
+        else Error (Bad_request "truncated request head")
+  in
+  match head_loop () with
+  | Error _ as e -> e
+  | Ok head_end -> (
+      let all = Buffer.contents c.pending in
+      let head = String.sub all 0 head_end in
+      Buffer.clear c.pending;
+      Buffer.add_substring c.pending all (head_end + 4) (String.length all - head_end - 4);
+      match split_crlf head with
+      | [] -> Error (Bad_request "empty request")
+      | request_line :: header_lines -> (
+          match String.split_on_char ' ' request_line with
+          | [ meth; target; version ]
+            when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+              let headers = parse_headers header_lines in
+              let path =
+                match String.index_opt target '?' with
+                | None -> target
+                | Some i -> String.sub target 0 i
+              in
+              let length =
+                match header "content-length" headers with
+                | None -> Ok 0
+                | Some v -> (
+                    match int_of_string_opt (trim v) with
+                    | Some l when l >= 0 -> Ok l
+                    | _ -> Error (Bad_request "bad Content-Length"))
+              in
+              match length with
+              | Error _ as e -> e
+              | Ok l when l > max_body -> Error Too_large
+              | Ok l -> (
+                  match take_exact c l with
+                  | None -> Error (Bad_request "truncated body")
+                  | Some body -> Ok { meth; target; path; headers; body }))
+          | _ -> Error (Bad_request "malformed request line")))
+
+(* ----------------------------------------------------------- rendering *)
+
+let status_reason = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | s -> if s >= 200 && s < 300 then "OK" else "Error"
+
+let response ?(headers = []) ?(content_type = "application/json") ~status body =
+  { status; headers = ("content-type", content_type) :: headers; body }
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let write_response fd ~keep_alive r =
+  let buf = Buffer.create (String.length r.body + 256) in
+  Buffer.add_string buf (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status (status_reason r.status));
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v)) r.headers;
+  Buffer.add_string buf (Printf.sprintf "content-length: %d\r\n" (String.length r.body));
+  Buffer.add_string buf
+    (if keep_alive then "connection: keep-alive\r\n" else "connection: close\r\n");
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf r.body;
+  write_all fd (Buffer.contents buf)
+
+let wants_keep_alive (req : request) =
+  match header "connection" req.headers with
+  | Some v -> lowercase (trim v) <> "close"
+  | None -> true
+
+(* -------------------------------------------------------------- client *)
+
+let write_request fd ~meth ~target ?(headers = []) ?(body = "") () =
+  let buf = Buffer.create (String.length body + 256) in
+  Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
+  Buffer.add_string buf "host: nfc\r\n";
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  if body <> "" || meth = "POST" then begin
+    Buffer.add_string buf "content-type: application/json\r\n";
+    Buffer.add_string buf (Printf.sprintf "content-length: %d\r\n" (String.length body))
+  end;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  write_all fd (Buffer.contents buf)
+
+let read_response ?(max_body = 64 * 1024 * 1024) c =
+  let rec head_loop () =
+    match find_sub (Buffer.contents c.pending) "\r\n\r\n" 0 with
+    | Some i -> Ok i
+    | None ->
+        if read_some c then head_loop ()
+        else Error "connection closed before response head"
+  in
+  match head_loop () with
+  | Error _ as e -> e
+  | Ok head_end -> (
+      let all = Buffer.contents c.pending in
+      let head = String.sub all 0 head_end in
+      Buffer.clear c.pending;
+      Buffer.add_substring c.pending all (head_end + 4) (String.length all - head_end - 4);
+      match split_crlf head with
+      | status_line :: header_lines -> (
+          let headers = parse_headers header_lines in
+          match String.split_on_char ' ' status_line with
+          | _http :: code :: _ -> (
+              match int_of_string_opt code with
+              | None -> Error "malformed status line"
+              | Some status -> (
+                  let length =
+                    match header "content-length" headers with
+                    | None -> Some 0
+                    | Some v -> int_of_string_opt (trim v)
+                  in
+                  match length with
+                  | None -> Error "bad Content-Length"
+                  | Some l when l > max_body -> Error "response too large"
+                  | Some l -> (
+                      match take_exact c l with
+                      | None -> Error "truncated response body"
+                      | Some body -> Ok (status, headers, body))))
+          | _ -> Error "malformed status line")
+      | [] -> Error "empty response head")
+
+(* One round trip on an already-connected client [conn]. *)
+let call c ~meth ~target ?headers ?body () =
+  match write_request c.fd ~meth ~target ?headers ?body () with
+  | () -> read_response c
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)

@@ -1,0 +1,61 @@
+(** HTTP/1.1 framing over blocking Unix file descriptors.
+
+    Request line + headers + [Content-Length] body; no chunked encoding
+    (every peer is this module).  Server loop, loadgen client and the
+    end-to-end tests all go through here, so the wire format has exactly
+    one implementation. *)
+
+type request = {
+  meth : string;  (** verbatim, e.g. ["POST"] *)
+  target : string;  (** raw request target, query string included *)
+  path : string;  (** [target] up to the first [?] *)
+  headers : (string * string) list;  (** keys lowercased, values trimmed *)
+  body : string;
+}
+
+type response = { status : int; headers : (string * string) list; body : string }
+
+type error =
+  | Eof  (** clean close before the next request — end the keep-alive loop *)
+  | Bad_request of string  (** respond 400 *)
+  | Too_large  (** head or body over the cap — respond 413 *)
+
+(** A buffered connection; bytes read past one message wait for the next
+    (keep-alive) message on the same socket. *)
+type conn
+
+val conn : Unix.file_descr -> conn
+
+(** Read one request.  [max_body] (default 8 MiB) caps the declared
+    [Content-Length]; the head is capped at 16 KiB. *)
+val read_request : ?max_body:int -> conn -> (request, error) result
+
+(** Case-insensitive header lookup (keys are stored lowercased). *)
+val header : string -> (string * string) list -> string option
+
+val status_reason : int -> string
+
+(** [response ~status body] with [content-type: application/json] unless
+    overridden. *)
+val response :
+  ?headers:(string * string) list -> ?content_type:string -> status:int -> string -> response
+
+(** Serialize and send; appends [content-length] and [connection] headers. *)
+val write_response : Unix.file_descr -> keep_alive:bool -> response -> unit
+
+(** HTTP/1.1 defaults to keep-alive; [connection: close] opts out. *)
+val wants_keep_alive : request -> bool
+
+(** {1 Client side} — used by [nfc loadgen], the smoke script's peers and
+    the end-to-end tests. *)
+
+(** One round trip on a connected [conn]: write the request, read the
+    response as [(status, headers, body)]. *)
+val call :
+  conn ->
+  meth:string ->
+  target:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * (string * string) list * string, string) result

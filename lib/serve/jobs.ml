@@ -1,0 +1,188 @@
+(* The job table: every request admitted past the queue becomes a job
+   with an id the client polls.  States move strictly forward:
+
+     queued -> running -> done | failed
+     queued -> cancelled              (cancel before a worker picks it up)
+     running -> cancelled             (cooperative: the compute closure
+                                      observed [cancelled ()] and bailed)
+
+   Terminal jobs are retained for [ttl] seconds past completion so
+   clients can collect results, then evicted by the sweep that runs on
+   every submission — a service under load cleans itself up, an idle one
+   holds at most the tail of the last burst. *)
+
+type state = Queued | Running | Done | Failed | Cancelled
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+
+let terminal = function Done | Failed | Cancelled -> true | Queued | Running -> false
+
+type job = {
+  id : string;
+  kind : string;
+  protocol : string;
+  submitted_at : float;
+  mutable started_at : float option;
+  mutable finished_at : float option;
+  mutable state : state;
+  mutable result : string option;  (* rendered JSON document *)
+  mutable error : string option;
+  cancel_flag : bool Atomic.t;
+  compute : cancelled:(unit -> bool) -> string;
+}
+
+type table = {
+  mutex : Mutex.t;
+  tbl : (string, job) Hashtbl.t;
+  mutable next_id : int;
+  ttl : float;
+  now : unit -> float;
+}
+
+let create ?(now = Unix.gettimeofday) ~ttl () =
+  { mutex = Mutex.create (); tbl = Hashtbl.create 256; next_id = 1; ttl; now }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let sweep_locked t =
+  let now = t.now () in
+  let dead =
+    Hashtbl.fold
+      (fun id j acc ->
+        match (terminal j.state, j.finished_at) with
+        | true, Some fin when now -. fin > t.ttl -> id :: acc
+        | _ -> acc)
+      t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) dead;
+  List.length dead
+
+let sweep t = locked t (fun () -> sweep_locked t)
+
+let submit t ~kind ~protocol ~compute =
+  locked t (fun () ->
+      ignore (sweep_locked t);
+      let id = Printf.sprintf "j%d" t.next_id in
+      t.next_id <- t.next_id + 1;
+      let job =
+        {
+          id;
+          kind;
+          protocol;
+          submitted_at = t.now ();
+          started_at = None;
+          finished_at = None;
+          state = Queued;
+          result = None;
+          error = None;
+          cancel_flag = Atomic.make false;
+          compute;
+        }
+      in
+      Hashtbl.replace t.tbl id job;
+      job)
+
+let find t id = locked t (fun () -> Hashtbl.find_opt t.tbl id)
+
+(* For jobs refused at the admission queue: the client saw 429, no job id
+   ever escaped, so the registration is simply undone. *)
+let remove t job = locked t (fun () -> Hashtbl.remove t.tbl job.id)
+
+exception Cancelled_job
+
+(* Worker-side transitions.  [mark_running] refuses a job whose
+   cancellation was requested while it sat in the queue — the worker then
+   never runs the compute closure at all. *)
+let mark_running t job =
+  locked t (fun () ->
+      if Atomic.get job.cancel_flag || job.state <> Queued then begin
+        if job.state = Queued then begin
+          job.state <- Cancelled;
+          job.finished_at <- Some (t.now ())
+        end;
+        false
+      end
+      else begin
+        job.state <- Running;
+        job.started_at <- Some (t.now ());
+        true
+      end)
+
+let mark_done t job result =
+  locked t (fun () ->
+      job.state <- (if Atomic.get job.cancel_flag then Cancelled else Done);
+      job.result <- Some result;
+      job.finished_at <- Some (t.now ());
+      job.state)
+
+let mark_failed t job err =
+  locked t (fun () ->
+      job.state <- Failed;
+      job.error <- Some err;
+      job.finished_at <- Some (t.now ()))
+
+let mark_cancelled t job =
+  locked t (fun () ->
+      job.state <- Cancelled;
+      job.finished_at <- Some (t.now ()))
+
+type cancel_outcome = Cancelled_queued | Cancelling_running | Already_terminal | Not_found
+
+let request_cancel t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl id with
+      | None -> Not_found
+      | Some job ->
+          Atomic.set job.cancel_flag true;
+          (match job.state with
+          | Queued ->
+              (* The queue still holds it; {!Workers} filters it out and
+                 [mark_running] would refuse it regardless. *)
+              job.state <- Cancelled;
+              job.finished_at <- Some (t.now ());
+              Cancelled_queued
+          | Running -> Cancelling_running
+          | Done | Failed | Cancelled -> Already_terminal))
+
+(* Atomic view of (state, result, error) for the raw-result endpoint. *)
+let peek t job = locked t (fun () -> (job.state, job.result, job.error))
+
+let counts t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ j (q, r, d, f, c) ->
+          match j.state with
+          | Queued -> (q + 1, r, d, f, c)
+          | Running -> (q, r + 1, d, f, c)
+          | Done -> (q, r, d + 1, f, c)
+          | Failed -> (q, r, d, f + 1, c)
+          | Cancelled -> (q, r, d, f, c + 1))
+        t.tbl (0, 0, 0, 0, 0))
+
+(* Snapshot under the lock: the poll endpoint must never observe a
+   half-written transition (state done, result not yet set). *)
+let json t job =
+  let module J = Nfc_util.Json in
+  locked t (fun () ->
+      let ms = function None -> J.Null | Some at -> J.Float ((at -. job.submitted_at) *. 1000.) in
+      J.Obj
+        (List.concat
+           [
+             [
+               ("id", J.String job.id);
+               ("kind", J.String job.kind);
+               ("protocol", J.String job.protocol);
+               ("state", J.String (state_name job.state));
+               ("queued_ms", ms job.started_at);
+               ("total_ms", ms job.finished_at);
+             ];
+             (match job.result with Some r -> [ ("result", J.Raw r) ] | None -> []);
+             (match job.error with Some e -> [ ("error", J.String e) ] | None -> []);
+           ]))

@@ -1,0 +1,85 @@
+(** The job table: admitted requests become pollable jobs.
+
+    States move strictly forward — [queued -> running -> done | failed],
+    with [cancelled] reachable from [queued] (immediately effective) and
+    from [running] (cooperative, when the compute closure polls its
+    cancellation flag).  Terminal jobs are retained for [ttl] seconds so
+    clients can collect results, then evicted by the sweep that runs on
+    every submission. *)
+
+type state = Queued | Running | Done | Failed | Cancelled
+
+val state_name : state -> string
+val terminal : state -> bool
+
+type job = {
+  id : string;
+  kind : string;  (** endpoint name: ["lint"], ["simulate"], … *)
+  protocol : string;
+  submitted_at : float;
+  mutable started_at : float option;
+  mutable finished_at : float option;
+  mutable state : state;
+  mutable result : string option;  (** rendered JSON document, when [Done] *)
+  mutable error : string option;
+  cancel_flag : bool Atomic.t;
+  compute : cancelled:(unit -> bool) -> string;
+      (** runs on a worker domain; returns the rendered JSON result, or
+          raises to fail the job *)
+}
+
+type table
+
+(** [create ~ttl ()] — [now] is injectable for the TTL-eviction tests. *)
+val create : ?now:(unit -> float) -> ttl:float -> unit -> table
+
+(** Register a new [Queued] job (sweeping expired terminal jobs first).
+    The caller must still enqueue it with {!Queue.try_push} — and mark it
+    cancelled if admission fails. *)
+val submit :
+  table ->
+  kind:string ->
+  protocol:string ->
+  compute:(cancelled:(unit -> bool) -> string) ->
+  job
+
+val find : table -> string -> job option
+
+(** Undo a registration whose queue admission failed (the client got a
+    429 and the job id never escaped). *)
+val remove : table -> job -> unit
+
+(** Raised by a compute closure that observed its [cancelled] probe; the
+    worker marks the job cancelled rather than failed. *)
+exception Cancelled_job
+
+(** Evict expired terminal jobs; returns how many were removed. *)
+val sweep : table -> int
+
+(** Worker-side transitions.  [mark_running] returns [false] — marking
+    the job cancelled — when cancellation was requested while it sat in
+    the queue, so the compute closure never runs. *)
+val mark_running : table -> job -> bool
+
+(** Returns the terminal state actually reached: [Done], or [Cancelled]
+    when cancellation was requested while the job ran (the result is
+    still stored — the work was done anyway). *)
+val mark_done : table -> job -> string -> state
+val mark_failed : table -> job -> string -> unit
+val mark_cancelled : table -> job -> unit
+
+type cancel_outcome = Cancelled_queued | Cancelling_running | Already_terminal | Not_found
+
+val request_cancel : table -> string -> cancel_outcome
+
+(** Atomic [(state, result, error)] snapshot — the raw-result endpoint
+    must not observe a state/result torn pair. *)
+val peek : table -> job -> state * string option * string option
+
+(** (queued, running, done, failed, cancelled) — the health payload. *)
+val counts : table -> int * int * int * int * int
+
+(** Status snapshot, taken under the table lock so a poll never observes
+    a half-written transition.  The stored result document is spliced in
+    verbatim ({!Nfc_util.Json.Raw}). *)
+val json : table -> job -> Nfc_util.Json.t

@@ -1,0 +1,204 @@
+(* The load generator behind [nfc loadgen] and the service benchmark.
+
+   Each request is one client session on its own keep-alive connection:
+   POST the endpoint, then — if admitted — poll the job until it reaches
+   a terminal state.  [concurrency] threads drain a shared request
+   counter, so up to that many sessions are in flight at once.
+
+   The accounting mirrors the service's acceptance contract: every
+   request must end as completed, failed, cancelled, rejected (429) or a
+   transport error — [check stats] holds exactly when nothing was
+   dropped on the floor. *)
+
+module J = Nfc_util.Json
+
+type cfg = {
+  host : string;
+  port : int;
+  requests : int;
+  concurrency : int;
+  endpoint : string;  (* "lint", "simulate", ... *)
+  body : string;  (* JSON request body *)
+  poll_interval : float;
+}
+
+let default_cfg =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    requests = 500;
+    concurrency = 100;
+    endpoint = "lint";
+    body = {|{"protocol":"stop-and-wait"}|};
+    poll_interval = 0.002;
+  }
+
+type stats = {
+  requests : int;
+  accepted : int;
+  completed : int;
+  failed : int;
+  cancelled : int;
+  rejected : int;  (* 429 at admission *)
+  transport_errors : int;
+  elapsed : float;
+  throughput : float;  (* terminal outcomes per second, 429s included *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;  (* submit -> terminal latency of completed jobs *)
+}
+
+type outcome =
+  | Completed of float
+  | Failed_job of float
+  | Cancelled_job of float
+  | Rejected
+  | Transport of string
+
+let connect host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    Ok fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printexc.to_string e)
+
+let field k body =
+  match J.of_string body with
+  | Ok j -> (match J.member k j with Some (J.String s) -> Some s | _ -> None)
+  | Error _ -> None
+
+(* One full client session.  The poll loop reuses the submit
+   connection — the keep-alive path is exactly what it exercises. *)
+let run_one cfg =
+  match connect cfg.host cfg.port with
+  | Error msg -> Transport msg
+  | Ok fd ->
+      let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+      Fun.protect ~finally (fun () ->
+          let c = Http.conn fd in
+          let t0 = Unix.gettimeofday () in
+          match
+            Http.call c ~meth:"POST" ~target:("/v1/" ^ cfg.endpoint)
+              ~body:cfg.body ()
+          with
+          | Error msg -> Transport msg
+          | Ok (429, _, _) -> Rejected
+          | Ok (202, _, body) -> (
+              match field "id" body with
+              | None -> Transport ("202 without job id: " ^ body)
+              | Some id ->
+                  let target = "/v1/jobs/" ^ id in
+                  let rec poll () =
+                    match Http.call c ~meth:"GET" ~target () with
+                    | Error msg -> Transport msg
+                    | Ok (200, _, body) -> (
+                        let dt = Unix.gettimeofday () -. t0 in
+                        match field "state" body with
+                        | Some "done" -> Completed dt
+                        | Some "failed" -> Failed_job dt
+                        | Some "cancelled" -> Cancelled_job dt
+                        | Some ("queued" | "running") ->
+                            Thread.delay cfg.poll_interval;
+                            poll ()
+                        | _ -> Transport ("unexpected job status: " ^ body))
+                    | Ok (status, _, body) ->
+                        Transport (Printf.sprintf "poll %d: %s" status body)
+                  in
+                  poll ())
+          | Ok (status, _, body) ->
+              Transport (Printf.sprintf "submit %d: %s" status body))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1)))))
+
+let run ?(log = fun _ -> ()) (cfg : cfg) =
+  let next = Atomic.make 0 in
+  let mutex = Mutex.create () in
+  let outcomes = ref [] in
+  let record o =
+    Mutex.lock mutex;
+    outcomes := o :: !outcomes;
+    Mutex.unlock mutex
+  in
+  let worker () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < cfg.requests then begin
+        record (run_one cfg);
+        go ()
+      end
+    in
+    go ()
+  in
+  let started = Unix.gettimeofday () in
+  let threads =
+    List.init (max 1 cfg.concurrency) (fun _ -> Thread.create worker ())
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. started in
+  let outcomes = !outcomes in
+  let count p = List.length (List.filter p outcomes) in
+  let completed_lat =
+    List.filter_map (function Completed dt -> Some dt | _ -> None) outcomes
+  in
+  let sorted = Array.of_list (List.sort compare completed_lat) in
+  List.iter
+    (function Transport msg -> log ("transport error: " ^ msg) | _ -> ())
+    outcomes;
+  let ms x = 1000.0 *. x in
+  {
+    requests = cfg.requests;
+    accepted =
+      count (function Completed _ | Failed_job _ | Cancelled_job _ -> true | _ -> false);
+    completed = count (function Completed _ -> true | _ -> false);
+    failed = count (function Failed_job _ -> true | _ -> false);
+    cancelled = count (function Cancelled_job _ -> true | _ -> false);
+    rejected = count (function Rejected -> true | _ -> false);
+    transport_errors = count (function Transport _ -> true | _ -> false);
+    elapsed;
+    throughput = (if elapsed > 0.0 then float_of_int cfg.requests /. elapsed else 0.0);
+    p50_ms = ms (percentile sorted 0.50);
+    p95_ms = ms (percentile sorted 0.95);
+    p99_ms = ms (percentile sorted 0.99);
+    max_ms = (match Array.length sorted with 0 -> 0.0 | n -> ms sorted.(n - 1));
+  }
+
+(* Zero dropped jobs: every request reached a terminal job state or was
+   told 429 — the acceptance criterion of the service. *)
+let check s = s.accepted + s.rejected = s.requests && s.transport_errors = 0
+
+let json s =
+  J.Obj
+    [
+      ("requests", J.Int s.requests);
+      ("accepted", J.Int s.accepted);
+      ("completed", J.Int s.completed);
+      ("failed", J.Int s.failed);
+      ("cancelled", J.Int s.cancelled);
+      ("rejected", J.Int s.rejected);
+      ("transport_errors", J.Int s.transport_errors);
+      ("elapsed_s", J.Float s.elapsed);
+      ("throughput_rps", J.Float s.throughput);
+      ("p50_ms", J.Float s.p50_ms);
+      ("p95_ms", J.Float s.p95_ms);
+      ("p99_ms", J.Float s.p99_ms);
+      ("max_ms", J.Float s.max_ms);
+    ]
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>requests    %d@,\
+     accepted    %d (completed %d, failed %d, cancelled %d)@,\
+     rejected    %d (429)@,\
+     transport   %d errors@,\
+     elapsed     %.3f s (%.1f req/s)@,\
+     latency     p50 %.1f ms | p95 %.1f ms | p99 %.1f ms | max %.1f ms@,\
+     dropped     %s@]"
+    s.requests s.accepted s.completed s.failed s.cancelled s.rejected
+    s.transport_errors s.elapsed s.throughput s.p50_ms s.p95_ms s.p99_ms s.max_ms
+    (if check s then "none (every request terminal or 429)" else "SOME — contract violated")

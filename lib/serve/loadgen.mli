@@ -1,0 +1,43 @@
+(** The load generator behind [nfc loadgen] and the service benchmark:
+    [concurrency] client threads drive [requests] sessions (POST, then
+    poll the job to a terminal state on the same keep-alive connection)
+    and report throughput and submit-to-terminal latency percentiles. *)
+
+type cfg = {
+  host : string;
+  port : int;
+  requests : int;
+  concurrency : int;  (** client threads = max sessions in flight *)
+  endpoint : string;  (** ["lint"], ["simulate"], ["fuzz"], … *)
+  body : string;  (** JSON request body *)
+  poll_interval : float;  (** seconds between status polls *)
+}
+
+(** 500 requests, 100 threads, [/v1/lint] on stop-and-wait. *)
+val default_cfg : cfg
+
+type stats = {
+  requests : int;
+  accepted : int;  (** reached a terminal job state *)
+  completed : int;
+  failed : int;
+  cancelled : int;
+  rejected : int;  (** 429 at admission *)
+  transport_errors : int;
+  elapsed : float;
+  throughput : float;  (** requests resolved per second *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;  (** submit → terminal latency of completed jobs *)
+}
+
+(** [log] receives one line per transport error. *)
+val run : ?log:(string -> unit) -> cfg -> stats
+
+(** Zero dropped jobs: accepted + rejected = requests, no transport
+    errors — the service's acceptance contract. *)
+val check : stats -> bool
+
+val json : stats -> Nfc_util.Json.t
+val pp : Format.formatter -> stats -> unit

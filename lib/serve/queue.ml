@@ -1,0 +1,95 @@
+(* Bounded admission queue: the service's backpressure point.
+
+   [try_push] never blocks — a full queue is an immediate [false], which
+   the handlers turn into 429 + Retry-After.  Rejecting at admission
+   keeps the job table and worker pool sized by configuration, not by
+   client enthusiasm: every accepted job is guaranteed a slot to wait in,
+   so accepted work is never dropped.
+
+   Workers block in [pop] on a condition variable; [close] wakes them all
+   for shutdown.  Ring buffer rather than a linked queue: fixed capacity
+   is the point, and it sidesteps shadowing [Stdlib.Queue] inside this
+   very module. *)
+
+type 'a t = {
+  ring : 'a option array;
+  mutable head : int;  (* next pop *)
+  mutable count : int;
+  mutable closed : bool;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Queue.create: capacity must be >= 1";
+  {
+    ring = Array.make capacity None;
+    head = 0;
+    count = 0;
+    closed = false;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let capacity q = Array.length q.ring
+
+let depth q =
+  Mutex.lock q.mutex;
+  let d = q.count in
+  Mutex.unlock q.mutex;
+  d
+
+let try_push q v =
+  Mutex.lock q.mutex;
+  let ok =
+    if q.closed || q.count = Array.length q.ring then false
+    else begin
+      q.ring.((q.head + q.count) mod Array.length q.ring) <- Some v;
+      q.count <- q.count + 1;
+      Condition.signal q.nonempty;
+      true
+    end
+  in
+  Mutex.unlock q.mutex;
+  ok
+
+let pop q =
+  Mutex.lock q.mutex;
+  while q.count = 0 && not q.closed do
+    Condition.wait q.nonempty q.mutex
+  done;
+  let v =
+    if q.count = 0 then None
+    else begin
+      let v = q.ring.(q.head) in
+      q.ring.(q.head) <- None;
+      q.head <- (q.head + 1) mod Array.length q.ring;
+      q.count <- q.count - 1;
+      v
+    end
+  in
+  Mutex.unlock q.mutex;
+  v
+
+(* [filter] keeps only elements satisfying [p] — the cancellation path
+   for still-queued jobs.  Preserves order. *)
+let filter q p =
+  Mutex.lock q.mutex;
+  let kept = ref [] in
+  for i = 0 to q.count - 1 do
+    match q.ring.((q.head + i) mod Array.length q.ring) with
+    | Some v when p v -> kept := v :: !kept
+    | _ -> ()
+  done;
+  Array.fill q.ring 0 (Array.length q.ring) None;
+  q.head <- 0;
+  let kept = List.rev !kept in
+  List.iteri (fun i v -> q.ring.(i) <- Some v) kept;
+  q.count <- List.length kept;
+  Mutex.unlock q.mutex
+
+let close q =
+  Mutex.lock q.mutex;
+  q.closed <- true;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.mutex

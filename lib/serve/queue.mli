@@ -1,0 +1,30 @@
+(** Bounded admission queue — the service's backpressure point.
+
+    Admission never blocks: a full queue rejects immediately and the
+    handler answers 429 with [Retry-After].  Every {e accepted} job has a
+    slot until a worker pops it, so accepted work is never dropped —
+    the acceptance contract "every request resolves to a terminal job
+    state or a 429" rests on this module. *)
+
+type 'a t
+
+(** [create ~capacity] — fixed capacity, [>= 1]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Current number of queued elements (the [/metrics] queue-depth gauge). *)
+val depth : 'a t -> int
+
+(** [false] when full or closed — never blocks. *)
+val try_push : 'a t -> 'a -> bool
+
+(** Block until an element is available; [None] once the queue is closed
+    and drained — the workers' shutdown signal. *)
+val pop : 'a t -> 'a option
+
+(** Drop queued elements failing the predicate (job cancellation). *)
+val filter : 'a t -> ('a -> bool) -> unit
+
+(** Wake every blocked [pop]; subsequent pushes are rejected. *)
+val close : 'a t -> unit

@@ -1,0 +1,46 @@
+(* Method + path-pattern dispatch.  Patterns are slash-separated literals
+   with [:name] segments binding path parameters ("/v1/jobs/:id"); a
+   matched route's handler receives the bindings.  Unknown path -> 404,
+   known path with the wrong method -> 405 (with [allow]), so clients can
+   tell a typo from a misuse. *)
+
+type handler = params:(string * string) list -> Http.request -> Http.response
+
+type route = { meth : string; segments : string list; handler : handler }
+
+let split_path p =
+  String.split_on_char '/' p |> List.filter (fun s -> s <> "")
+
+let route meth pattern handler = { meth; segments = split_path pattern; handler }
+
+let match_segments pattern actual =
+  let rec go acc pattern actual =
+    match (pattern, actual) with
+    | [], [] -> Some (List.rev acc)
+    | p :: ps, a :: asegs when String.length p > 0 && p.[0] = ':' ->
+        go ((String.sub p 1 (String.length p - 1), a) :: acc) ps asegs
+    | p :: ps, a :: asegs when p = a -> go acc ps asegs
+    | _ -> None
+  in
+  go [] pattern actual
+
+let json_error status msg =
+  Http.response ~status
+    (Nfc_util.Json.to_string (Nfc_util.Json.Obj [ ("error", Nfc_util.Json.String msg) ]))
+
+let dispatch routes (req : Http.request) =
+  let actual = split_path req.path in
+  let matching = List.filter (fun r -> match_segments r.segments actual <> None) routes in
+  match List.find_opt (fun r -> r.meth = req.meth) matching with
+  | Some r -> (
+      let params = Option.get (match_segments r.segments actual) in
+      match r.handler ~params req with
+      | resp -> resp
+      | exception e ->
+          json_error 500 (Printf.sprintf "internal error: %s" (Printexc.to_string e)))
+  | None when matching <> [] ->
+      let allow = String.concat ", " (List.map (fun r -> r.meth) matching) in
+      { (json_error 405 "method not allowed") with
+        Http.headers =
+          ("allow", allow) :: (json_error 405 "").Http.headers }
+  | None -> json_error 404 (Printf.sprintf "no such endpoint: %s" req.path)

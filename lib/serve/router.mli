@@ -1,0 +1,19 @@
+(** Method + path-pattern request dispatch for {!Server}. *)
+
+type handler = params:(string * string) list -> Http.request -> Http.response
+
+type route
+
+(** [route "GET" "/v1/jobs/:id" h] — [:name] segments bind path
+    parameters, delivered to [h] as [~params]. *)
+val route : string -> string -> handler -> route
+
+(** First route whose pattern and method both match wins.  Pattern match
+    without a method match is 405 (with an [allow] header); no pattern
+    match is 404; an escaping handler exception is a 500 with the
+    exception text — a bad request must never tear down the connection
+    loop, let alone the daemon. *)
+val dispatch : route list -> Http.request -> Http.response
+
+(** [json_error status msg] — [{"error": msg}] with the given status. *)
+val json_error : int -> string -> Http.response

@@ -1,0 +1,32 @@
+(** The [nfc serve] daemon: accept thread + per-connection threads over
+    {!Handlers}, verification work on the {!Workers} domain group.
+
+    [start] returns once the socket is bound and the workers are up, so
+    the end-to-end tests run the service in-process on an ephemeral port
+    ([port = 0], then {!port}). *)
+
+type cfg = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port — see {!port} *)
+  jobs : int;  (** worker domains; 0 = one per core *)
+  queue_depth : int;  (** admission queue capacity (the 429 threshold) *)
+  result_ttl : float;  (** seconds terminal jobs stay pollable *)
+}
+
+(** 127.0.0.1:8080, 2 worker domains, queue depth 64, 300 s TTL. *)
+val default_cfg : cfg
+
+type t
+
+val start : cfg -> t
+
+(** The actually-bound port (differs from [cfg.port] when that was 0). *)
+val port : t -> int
+
+(** Close the listener, drain in-flight connections' keep-alive loops,
+    join the worker domains. *)
+val stop : t -> unit
+
+(** [start], then block until SIGINT/SIGTERM, then [stop] — the CLI
+    entrypoint. *)
+val run_forever : cfg -> unit

@@ -1,0 +1,28 @@
+(** Service telemetry, exposed at [/metrics] in Prometheus text format.
+
+    A mutex-protected registry under a fixed catalogue of metric names
+    (counters, histograms, render-time gauges) — an unknown name is an
+    assertion failure at the call site, never a silently unscrapeable
+    series. *)
+
+type t
+
+val create : unit -> t
+
+(** Histogram bucket upper bounds, in seconds. *)
+val buckets : float array
+
+(** [inc t name labels] adds [by] (default 1) to a counter series. *)
+val inc : ?by:float -> t -> string -> (string * string) list -> unit
+
+(** [observe t name labels seconds] records a histogram observation. *)
+val observe : t -> string -> (string * string) list -> float -> unit
+
+(** Collapse high-cardinality paths onto their route pattern
+    ([/v1/jobs/j42] → [/v1/jobs/:id]) before using them as label values. *)
+val path_label : string -> string
+
+(** The full exposition.  [gauges] are sampled by the caller at scrape
+    time (queue depth, running jobs, …); [nfc_uptime_seconds] is added
+    automatically. *)
+val render : t -> gauges:(string * float) list -> string

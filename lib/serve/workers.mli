@@ -1,0 +1,25 @@
+(** The worker scheduler: a persistent {!Nfc_util.Pool} domain group
+    draining the admission queue.
+
+    A raising compute closure fails its job (exception text + worker
+    backtrace stored on the job) but never the worker; cancellation is
+    honoured before the closure starts and probed cooperatively while it
+    runs. *)
+
+type t
+
+val start :
+  jobs:int ->
+  queue:Jobs.job Queue.t ->
+  table:Jobs.table ->
+  telemetry:Telemetry.t ->
+  t
+
+val n_workers : t -> int
+
+(** Jobs currently executing (the [nfc_jobs_running] gauge). *)
+val n_running : t -> int
+
+(** Close the queue and join the domains; jobs already popped finish
+    first. *)
+val stop : t -> unit

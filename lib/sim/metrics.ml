@@ -39,7 +39,7 @@ let latency_percentiles t =
     Some (at 0.5, at 0.95, sorted.(n - 1))
   end
 
-let to_json t =
+let json t =
   let module J = Nfc_util.Json in
   let latency =
     match latency_percentiles t with
@@ -47,9 +47,8 @@ let to_json t =
     | Some (p50, p95, worst) ->
         J.Obj [ ("p50", J.Float p50); ("p95", J.Float p95); ("max", J.Int worst) ]
   in
-  J.to_string
-    (J.Obj
-       [
+  J.Obj
+    [
          ("submitted", J.Int t.submitted);
          ("delivered", J.Int t.delivered);
          ("rounds", J.Int t.rounds);
@@ -77,7 +76,9 @@ let to_json t =
          ("latency_rounds", latency);
          ("dl_violation", J.opt (fun v -> J.String v) t.dl_violation);
          ("pl_violation", J.opt (fun v -> J.String v) t.pl_violation);
-       ])
+       ]
+
+let to_json t = Nfc_util.Json.to_string (json t)
 
 let pp ppf t =
   Format.fprintf ppf

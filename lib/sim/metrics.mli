@@ -37,8 +37,12 @@ val total_headers : t -> int
     delivered. *)
 val latency_percentiles : t -> (float * float * int) option
 
-(** Single-line JSON object (machine-readable twin of {!pp}) — the payload
-    behind [nfc simulate --json] and the campaign/bench tooling. *)
+(** The metrics as a JSON value — the payload behind [nfc simulate
+    --json], the campaign/bench tooling and the [/v1/simulate] service
+    endpoint. *)
+val json : t -> Nfc_util.Json.t
+
+(** [Nfc_util.Json.to_string (json t)] — single-line rendering. *)
 val to_json : t -> string
 
 val pp : Format.formatter -> t -> unit

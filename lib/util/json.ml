@@ -6,6 +6,7 @@ type t =
   | String of string
   | List of t list
   | Obj of (string * t) list
+  | Raw of string
 
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -14,6 +15,8 @@ let escape s =
       match c with
       | '"' -> Buffer.add_string buf "\\\""
       | '\\' -> Buffer.add_string buf "\\\\"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
@@ -27,7 +30,11 @@ let rec emit buf = function
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
+      (* JSON has no nan/infinity literals; [null] is the least-wrong
+         rendering and keeps every emitted document parseable. *)
+      if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+        Buffer.add_string buf "null"
+      else if Float.is_integer f && Float.abs f < 1e15 then
         Buffer.add_string buf (Printf.sprintf "%.1f" f)
       else Buffer.add_string buf (Printf.sprintf "%.17g" f)
   | String s ->
@@ -53,6 +60,7 @@ let rec emit buf = function
           emit buf v)
         fields;
       Buffer.add_char buf '}'
+  | Raw s -> Buffer.add_string buf s
 
 let to_string t =
   let buf = Buffer.create 256 in
@@ -60,3 +68,257 @@ let to_string t =
   Buffer.contents buf
 
 let opt f = function None -> Null | Some v -> f v
+
+(* ---------------------------------------------------------------- parse *)
+
+(* Recursive-descent parser for the documents the service exchanges: job
+   payloads in POST bodies and round-tripped reports.  Arbitrary bytes
+   >= 0x80 pass through verbatim (the emitter does the same), so
+   [of_string (to_string t) = Ok t] for every [Raw]-free, finite-float
+   tree.  A depth cap keeps hostile bodies ("[[[[…") from overflowing the
+   stack — this parser fronts a network service. *)
+
+exception Parse_error of string
+
+let max_depth = 512
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "truncated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'; advance ()
+           | '\\' -> Buffer.add_char buf '\\'; advance ()
+           | '/' -> Buffer.add_char buf '/'; advance ()
+           | 'b' -> Buffer.add_char buf '\b'; advance ()
+           | 'f' -> Buffer.add_char buf '\012'; advance ()
+           | 'n' -> Buffer.add_char buf '\n'; advance ()
+           | 'r' -> Buffer.add_char buf '\r'; advance ()
+           | 't' -> Buffer.add_char buf '\t'; advance ()
+           | 'u' ->
+               advance ();
+               let cp = hex4 () in
+               (* Surrogate pair: a high surrogate must combine with the
+                  immediately following \u-escaped low surrogate. *)
+               if cp >= 0xD800 && cp <= 0xDBFF then begin
+                 if !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                   pos := !pos + 2;
+                   let lo = hex4 () in
+                   if lo >= 0xDC00 && lo <= 0xDFFF then
+                     add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                   else fail "unpaired surrogate"
+                 end
+                 else fail "unpaired surrogate"
+               end
+               else add_utf8 buf cp
+           | _ -> fail "bad escape");
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+      advance ()
+    done;
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        advance ()
+      done
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+          advance ()
+        done
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if text = "" || text = "-" then fail "bad number";
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          (* Integer literal past native range: keep the value, lose the
+             integrality — matches every other 53-bit-limited parser. *)
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail "bad number")
+  in
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value (depth + 1) ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value (depth + 1) :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------ accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_float_opt = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let get_int ?default key j =
+  match Option.bind (member key j) to_int_opt with
+  | Some i -> Ok i
+  | None -> (
+      match (member key j, default) with
+      | None, Some d -> Ok d
+      | _ -> Error (Printf.sprintf "field %S: expected an integer" key))
+
+let get_bool ?default key j =
+  match Option.bind (member key j) to_bool_opt with
+  | Some b -> Ok b
+  | None -> (
+      match (member key j, default) with
+      | None, Some d -> Ok d
+      | _ -> Error (Printf.sprintf "field %S: expected a boolean" key))
+
+let get_string ?default key j =
+  match Option.bind (member key j) to_string_opt with
+  | Some s -> Ok s
+  | None -> (
+      match (member key j, default) with
+      | None, Some d -> Ok d
+      | _ -> Error (Printf.sprintf "field %S: expected a string" key))

@@ -1,6 +1,12 @@
-(** Minimal JSON emitter for machine-readable reports (metrics `--json`,
-    fuzz campaign JSONL).  Emission only — the repo never parses JSON, so
-    there is no reader and no external dependency. *)
+(** Minimal JSON for machine-readable reports and service payloads.
+
+    The emitter backs [--json] everywhere (metrics, fuzz campaigns, lint
+    JSONL, SARIF); the parser fronts the [nfc serve] HTTP API, where job
+    payloads and results travel as JSON POST bodies.  Both sides treat
+    strings as byte sequences: bytes [>= 0x80] pass through verbatim, so
+    UTF-8 text survives and [of_string (to_string t) = Ok t] for every
+    [Raw]-free, finite-float tree (control characters in strings are
+    escaped on the way out and unescaped on the way in). *)
 
 type t =
   | Null
@@ -10,9 +16,48 @@ type t =
   | String of string
   | List of t list
   | Obj of (string * t) list
+  | Raw of string
+      (** Pre-rendered {e trusted} JSON, emitted verbatim — the splice
+          point for already-serialized documents (a stored job result
+          inside a job-status envelope).  Emission only: {!of_string}
+          never produces it, and an ill-formed [Raw] yields an ill-formed
+          document. *)
 
-(** Compact (single-line) rendering with full string escaping. *)
+(** Compact (single-line) rendering.  Strings escape the quote, the
+    backslash and all control characters U+0000–U+001F (short forms
+    [\b \f \n \r \t], [\uXXXX] otherwise); non-finite floats render as
+    [null] (JSON has no nan/infinity literals). *)
 val to_string : t -> string
 
 (** [opt f o] is [Null] for [None] and [f v] for [Some v]. *)
 val opt : ('a -> t) -> 'a option -> t
+
+(** Parse one complete JSON document (trailing whitespace allowed,
+    trailing garbage is an error).  Numbers parse as [Int] when written
+    integrally within native range, [Float] otherwise; [\uXXXX] escapes
+    (including surrogate pairs) decode to UTF-8 bytes.  Nesting beyond
+    512 levels is rejected — the parser fronts a network service and must
+    not stack-overflow on hostile bodies. *)
+val of_string : string -> (t, string) result
+
+(** {1 Accessors} — shallow field access for request decoding. *)
+
+(** [member k j] is the field [k] of object [j], [None] for missing
+    fields and non-objects. *)
+val member : string -> t -> t option
+
+val to_int_opt : t -> int option
+
+(** [Int] widens to float; everything else is [None]. *)
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+
+(** [get_int ?default k j]: the integer field [k]; [default] applies only
+    when the field is {e absent} — a present field of the wrong type is an
+    error naming the field, so clients get a usable 400 message. *)
+val get_int : ?default:int -> string -> t -> (int, string) result
+
+val get_bool : ?default:bool -> string -> t -> (bool, string) result
+val get_string : ?default:string -> string -> t -> (string, string) result

@@ -17,6 +17,10 @@ let clamp_jobs jobs n_items =
   let j = if jobs <= 0 then recommended () else jobs in
   max 1 (min j n_items)
 
+(* A worker exception crosses a domain boundary, where its backtrace
+   would otherwise be lost: the trace belongs to the worker domain and is
+   gone by the time the caller re-raises.  Capture it in the worker,
+   re-raise with [Printexc.raise_with_backtrace] in the caller. *)
 let map ?(jobs = 1) f items =
   match items with
   | [] -> []
@@ -43,7 +47,7 @@ let map ?(jobs = 1) f items =
               (results.(i) <-
                  (match f arr.(i) with
                  | v -> Some (Ok v)
-                 | exception e -> Some (Error e)));
+                 | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
               go ()
         in
         go ()
@@ -55,5 +59,40 @@ let map ?(jobs = 1) f items =
       Array.to_list results
       |> List.map (function
            | Some (Ok v) -> v
-           | Some (Error e) -> raise e
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
            | None -> assert false)
+
+(* ---------------------------------------------------------------- group *)
+
+(* Persistent worker groups for long-running services: [n] domains all
+   running the same loop until it returns.  Unlike [map] there is no work
+   list — the loop body owns its own job source (typically a blocking
+   queue) — but the exception discipline is the same: a raising worker
+   must neither wedge the group nor lose its traceback. *)
+type group = {
+  domains : unit Domain.t list;
+  failures : (exn * Printexc.raw_backtrace) list ref;
+  fail_mutex : Mutex.t;
+}
+
+let spawn_group ~jobs body =
+  let n = if jobs <= 0 then recommended () else jobs in
+  let failures = ref [] in
+  let fail_mutex = Mutex.create () in
+  let worker i () =
+    try body i
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.lock fail_mutex;
+      failures := (e, bt) :: !failures;
+      Mutex.unlock fail_mutex
+  in
+  let domains = List.init n (fun i -> Domain.spawn (worker i)) in
+  { domains; failures; fail_mutex }
+
+let join_group g =
+  List.iter Domain.join g.domains;
+  (* All domains are joined: no further mutation, read without the lock. *)
+  match List.rev !(g.failures) with
+  | [] -> ()
+  | (e, bt) :: _ -> Printexc.raise_with_backtrace e bt

@@ -14,7 +14,26 @@ val recommended : unit -> int
 (** [map ~jobs f items] applies [f] to every item, fanning out across at
     most [jobs] domains ([0] means one per core, [1] means plain
     sequential [List.map] on the calling domain — no domain is spawned).
-    Output order matches input order.  If any job raises, the first
-    exception in input order is re-raised after all workers have
-    drained. *)
+    Output order matches input order.  If any job raises, every worker
+    still drains the remaining items, and the first exception in input
+    order is then re-raised in the caller {e with the raising worker's
+    backtrace} ([Printexc.raise_with_backtrace]) — a raising task never
+    wedges the pool or loses its traceback. *)
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {1 Persistent worker groups}
+
+    Long-running services ({!Nfc_serve.Workers}) need domains that outlive
+    any one work list: [spawn_group ~jobs body] starts [jobs] domains
+    ([0] = one per core), each running [body i] (with [i] the worker
+    index) until it returns — the body owns its own job source, typically
+    a blocking queue it drains until closed. *)
+type group
+
+val spawn_group : jobs:int -> (int -> unit) -> group
+
+(** Wait for every domain in the group.  If any body escaped with an
+    exception, the earliest-captured one is re-raised here with the
+    worker's backtrace — after all domains have been joined, so a raising
+    worker never leaves the group half-running. *)
+val join_group : group -> unit

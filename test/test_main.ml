@@ -17,6 +17,7 @@ let () =
       ("lint", Test_lint.suite);
       ("absint", Test_absint.suite);
       ("boundness-def", Test_boundness_def.suite);
+      ("serve", Test_serve.suite);
       ("matrix", Test_matrix.suite);
       ("edge", Test_edge.suite);
     ]

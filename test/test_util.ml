@@ -303,9 +303,133 @@ let test_fit_means () =
   check Alcotest.(float 1e-9) "mean" 2.0 (Fit.mean [ 1.0; 2.0; 3.0 ]);
   check Alcotest.(float 1e-9) "geometric mean" 2.0 (Fit.geometric_mean [ 1.0; 4.0 ])
 
+(* ----------------------------------------------------------------- Pool *)
+
+let test_pool_map_reraises () =
+  Alcotest.check_raises "original exception surfaces" (Failure "boom") (fun () ->
+      ignore (Pool.map ~jobs:2 (fun x -> if x = 3 then failwith "boom" else x) [ 1; 2; 3; 4 ]))
+
+let test_pool_map_first_in_input_order () =
+  (* Two failing jobs: the caller sees the one that comes first in input
+     order, regardless of which worker hit its failure first. *)
+  Alcotest.check_raises "earliest input-order failure" (Failure "first") (fun () ->
+      ignore
+        (Pool.map ~jobs:2
+           (fun x ->
+             if x = 1 then failwith "first" else if x = 4 then failwith "second" else x)
+           [ 1; 2; 3; 4 ]))
+
+let test_pool_map_keeps_backtrace () =
+  (* The re-raise must carry the worker's backtrace, not an empty one:
+     the raise site inside the job must be visible to the caller. *)
+  Printexc.record_backtrace true;
+  let saw = ref "" in
+  (try ignore (Pool.map ~jobs:2 (fun _ -> failwith "traced") [ 1; 2 ])
+   with Failure _ -> saw := Printexc.get_backtrace ());
+  checkb "backtrace is non-empty" true (String.length !saw > 0)
+
+let test_pool_group_reraises () =
+  Alcotest.check_raises "group failure surfaces at join" (Failure "worker boom")
+    (fun () ->
+      let g =
+        Pool.spawn_group ~jobs:2 (fun i -> if i = 0 then failwith "worker boom")
+      in
+      Pool.join_group g)
+
+let test_pool_group_joins_all () =
+  let hits = Atomic.make 0 in
+  let g = Pool.spawn_group ~jobs:3 (fun _ -> Atomic.incr hits) in
+  Pool.join_group g;
+  checki "every worker body ran" 3 (Atomic.get hits)
+
+(* ----------------------------------------------------------------- Json *)
+
+let checkstr = Alcotest.(check string)
+
+let test_json_escapes_control_chars () =
+  checkstr "short and long escapes"
+    {|"a\nb\tc\u0001\b\f\\\" end"|}
+    (Json.to_string (Json.String "a\nb\tc\x01\b\012\\\" end"))
+
+let test_json_nonfinite_floats_are_null () =
+  checkstr "nan" "null" (Json.to_string (Json.Float Float.nan));
+  checkstr "inf" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_parse_unicode_escapes () =
+  match Json.of_string {|"A😀"|} with
+  | Ok (Json.String s) -> checkstr "BMP + surrogate pair to UTF-8" "A\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_rejects_garbage () =
+  checkb "trailing garbage" true (Result.is_error (Json.of_string "{} x"));
+  checkb "unterminated" true (Result.is_error (Json.of_string {|{"a": 1|}));
+  checkb "deep nesting" true
+    (Result.is_error (Json.of_string (String.make 600 '[')))
+
+let test_json_accessors () =
+  let j = Result.get_ok (Json.of_string {|{"n": 3, "s": "hi", "b": true}|}) in
+  checki "present int" 3 (Result.get_ok (Json.get_int "n" j));
+  checki "absent int takes default" 7 (Result.get_ok (Json.get_int ~default:7 "m" j));
+  checkb "wrong type is an error, default or not" true
+    (Result.is_error (Json.get_int ~default:7 "s" j));
+  checkstr "string" "hi" (Result.get_ok (Json.get_string "s" j));
+  checkb "bool" true (Result.get_ok (Json.get_bool "b" j));
+  checkb "missing without default is an error" true
+    (Result.is_error (Json.get_string "zzz" j))
+
+let test_json_roundtrip_handcrafted () =
+  let t =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("ints", Json.List [ Json.Int 0; Json.Int (-42); Json.Int max_int ]);
+        ("floats", Json.List [ Json.Float 1.0; Json.Float 3.14159; Json.Float (-0.5) ]);
+        ("ctl", Json.String "line\nfeed\x00\x1fbyte\xffhigh");
+        ("nested", Json.Obj [ ("k", Json.List [ Json.Bool false; Json.String "" ]) ]);
+      ]
+  in
+  checkb "of_string (to_string t) = Ok t" true (Json.of_string (Json.to_string t) = Ok t)
+
+(* Arbitrary finite-float, Raw-free trees: the decoder must invert the
+   encoder on all of them. *)
+let json_arb =
+  let open QCheck.Gen in
+  let any_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12) in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) (float_range (-1e9) 1e9);
+        map (fun s -> Json.String s) any_string;
+      ]
+  in
+  let tree =
+    sized
+    @@ fix (fun self n ->
+           if n = 0 then leaf
+           else
+             frequency
+               [
+                 (2, leaf);
+                 (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2))));
+                 ( 1,
+                   map
+                     (fun l -> Json.Obj l)
+                     (list_size (int_bound 4) (pair any_string (self (n / 2)))) );
+               ])
+  in
+  QCheck.make ~print:Json.to_string tree
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"json encode/decode round-trips" json_arb (fun t ->
+      Json.of_string (Json.to_string t) = Ok t)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_ms_cardinal_is_length; prop_ms_roundtrip; prop_ms_union_commutative;
-      prop_ms_diff_union_inverse; prop_deque_mixed_ops ]
+      prop_ms_diff_union_inverse; prop_deque_mixed_ops; prop_json_roundtrip ]
 
 let suite =
   [
@@ -347,5 +471,16 @@ let suite =
     ("fit exponential exact", `Quick, test_fit_exponential_exact);
     ("fit exponential drops nonpositive", `Quick, test_fit_exponential_drops_nonpositive);
     ("fit means", `Quick, test_fit_means);
+    ("pool map re-raises", `Quick, test_pool_map_reraises);
+    ("pool map earliest failure wins", `Quick, test_pool_map_first_in_input_order);
+    ("pool map keeps worker backtrace", `Quick, test_pool_map_keeps_backtrace);
+    ("pool group re-raises at join", `Quick, test_pool_group_reraises);
+    ("pool group joins all workers", `Quick, test_pool_group_joins_all);
+    ("json escapes control chars", `Quick, test_json_escapes_control_chars);
+    ("json non-finite floats null", `Quick, test_json_nonfinite_floats_are_null);
+    ("json unicode escapes decode", `Quick, test_json_parse_unicode_escapes);
+    ("json parser rejects garbage", `Quick, test_json_parse_rejects_garbage);
+    ("json accessors", `Quick, test_json_accessors);
+    ("json round-trip handcrafted", `Quick, test_json_roundtrip_handcrafted);
   ]
   @ qsuite
