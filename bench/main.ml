@@ -452,17 +452,62 @@ let json_mode ~full =
         ("stats", Nfc_serve.Loadgen.json stats);
       ]
   in
+  (* PDL interpreter overhead: the compiled example specs (closure
+     interpreters over a value array) vs the hand-written modules they
+     re-express, priced by the engine exploration that dominates every
+     analysis.  The test suite asserts verdict identity; this prices the
+     indirection. *)
+  let pdl_interp =
+    let spec_file name =
+      let candidates = [ "examples/specs/" ^ name; "../examples/specs/" ^ name ] in
+      match List.find_opt Sys.file_exists candidates with
+      | Some p -> p
+      | None -> failwith ("cannot locate examples/specs/" ^ name)
+    in
+    let explore proto =
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module E = Nfc_mcheck.Explore.Make (P) in
+      let t0 = Unix.gettimeofday () in
+      ignore (E.reachable_set engine_bounds);
+      Unix.gettimeofday () -. t0
+    in
+    List.map
+      (fun (file, hand) ->
+        let compiled =
+          match Nfc_pdl.Pdl.load_file (spec_file file) with
+          | Ok c -> c.Nfc_pdl.Pdl.spec
+          | Error msg -> failwith msg
+        in
+        (* One warm-up run each (allocator, interners), then measure. *)
+        ignore (explore hand);
+        ignore (explore compiled);
+        let hand_s = explore hand in
+        let pdl_s = explore compiled in
+        Json.Obj
+          [
+            ("protocol", Json.String (Nfc_protocol.Spec.name hand));
+            ("max_nodes", Json.Int engine_bounds.Nfc_mcheck.Explore.max_nodes);
+            ("hand_written_seconds", Json.Float hand_s);
+            ("interpreted_seconds", Json.Float pdl_s);
+            ("overhead_ratio", Json.Float (pdl_s /. hand_s));
+          ])
+      [
+        ("stop_and_wait.nfc", Nfc_protocol.Stop_and_wait.make ());
+        ("alternating_bit.nfc", Nfc_protocol.Alternating_bit.make ());
+      ]
+  in
   print_endline
     (Json.to_string
        (Json.Obj
           [
-            ("bench", Json.String "BENCH_5");
+            ("bench", Json.String "BENCH_6");
             ("mode", Json.String (if full then "full" else "quick"));
             ("unit", Json.String "ns/run (bechamel OLS, monotonic clock)");
             ("estimates", Json.List estimates);
             ("engine_ablation", Json.List engine);
             ("lint_registry_wall_clock", Json.List lint);
             ("cover_vs_explore", Json.List cover_vs_explore);
+            ("pdl_interp", Json.List pdl_interp);
             ("service_loadgen", service);
           ]))
 

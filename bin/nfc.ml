@@ -31,6 +31,33 @@ let protocol_conv =
     ( parse_protocol,
       fun ppf p -> Format.pp_print_string ppf (Nfc_protocol.Spec.name p) )
 
+(* --spec FILE: compile a PDL definition and use it as the protocol —
+   sugar for -p file:FILE, available on every protocol-taking command. *)
+let spec_conv =
+  let parse path =
+    match Nfc_pdl.Pdl.load_file path with
+    | Ok c -> Ok c.Nfc_pdl.Pdl.spec
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Nfc_protocol.Spec.name p))
+
+let spec_arg =
+  Arg.(
+    value
+    & opt (some spec_conv) None
+    & info [ "spec" ] ~docv:"FILE"
+        ~doc:
+          "Compile FILE as a protocol definition (.nfc) and verify that instead of a \
+           registry protocol.  Overrides $(b,-p); equivalent to -p file:FILE.")
+
+let with_spec protocol =
+  Term.(const (fun spec p -> Option.value spec ~default:p) $ spec_arg $ protocol)
+
+let with_spec_opt protocol =
+  Term.(
+    const (fun spec p -> match spec with Some _ -> spec | None -> p)
+    $ spec_arg $ protocol)
+
 let channel_doc =
   "Channel: reliable | lossy:P | reorder:DELIVER:DROP | prob:Q | delayed:L[:P] | silent"
 
@@ -145,7 +172,9 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one protocol over one channel and report the metrics")
-    Term.(const run $ protocol $ channel $ n $ pace $ trace $ seed_arg $ max_rounds $ json)
+    Term.(
+      const run $ with_spec protocol $ channel $ n $ pace $ trace $ seed_arg
+      $ max_rounds $ json)
 
 (* --------------------------------------------------------------- mcheck *)
 
@@ -214,7 +243,9 @@ let mcheck_cmd =
   Cmd.v
     (Cmd.info "mcheck"
        ~doc:"Model-check a protocol over an adversarial non-FIFO channel (DL1 search)")
-    Term.(const run $ protocol $ capacity $ submits $ nodes $ no_drop $ save $ wedge)
+    Term.(
+      const run $ with_spec protocol $ capacity $ submits $ nodes $ no_drop $ save
+      $ wedge)
 
 (* ------------------------------------------------------------ boundness *)
 
@@ -246,7 +277,7 @@ let boundness_cmd =
   Cmd.v
     (Cmd.info "boundness"
        ~doc:"Measure a protocol's boundness against Theorem 2.1's k_t*k_r state product")
-    Term.(const run $ protocol $ nodes $ jobs_arg)
+    Term.(const run $ with_spec protocol $ nodes $ jobs_arg)
 
 (* ------------------------------------------------------------- theorems *)
 
@@ -304,7 +335,7 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Re-judge a stored execution against DL1/DL2/PL1 and the Definition-2 counters")
-    Term.(const run $ file $ protocol)
+    Term.(const run $ file $ with_spec_opt protocol)
 
 (* ----------------------------------------------------------------- fuzz *)
 
@@ -423,8 +454,8 @@ let fuzz_cmd =
          "Coverage-guided adversarial schedule fuzzing (DL violation search with \
           trace shrinking)")
     Term.(
-      const run $ protocol $ all $ iterations $ budget $ steps $ submits $ shrink $ save
-      $ json $ seed_arg $ jobs_arg $ batches)
+      const run $ with_spec_opt protocol $ all $ iterations $ budget $ steps $ submits
+      $ shrink $ save $ json $ seed_arg $ jobs_arg $ batches)
 
 (* ----------------------------------------------------------------- lint *)
 
@@ -521,8 +552,8 @@ let lint_cmd =
          ("Statically verify protocol invariants (rules " ^ Nfc_lint.Rules.doc
         ^ "): header budgets, input-enabledness, Theorem 2.1 boundness certificates"))
     Term.(
-      const run $ protocol $ capacity $ submits $ nodes $ strict $ json $ complete
-      $ cover_nodes $ sarif $ jobs_arg)
+      const run $ with_spec_opt protocol $ capacity $ submits $ nodes $ strict $ json
+      $ complete $ cover_nodes $ sarif $ jobs_arg)
 
 (* ---------------------------------------------------------------- cover *)
 
@@ -565,7 +596,7 @@ let cover_cmd =
        ~doc:
          "Compute the Karp-Miller cover set of a protocol over the ω-abstracted non-FIFO \
           channel (budget-free coverability; exit 1 when the fixpoint diverges)")
-    Term.(const run $ protocol $ positional $ submits $ nodes)
+    Term.(const run $ with_spec protocol $ positional $ submits $ nodes)
 
 (* ----------------------------------------------------------- experiment *)
 
@@ -737,9 +768,80 @@ let loadgen_cmd =
           throughput and latency percentiles (exit 2 if any request was dropped)")
     Term.(const run $ host $ port $ requests $ concurrency $ endpoint $ body $ json)
 
+(* ------------------------------------------------------------------ pdl *)
+
+let pdl_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Protocol definition files (.nfc) to compile and check")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per file (JSONL)")
+  in
+  let run files json =
+    let any_diag = ref false in
+    List.iter
+      (fun file ->
+        let report ~ok ~name ~digest diags =
+          if diags <> [] then any_diag := true;
+          if json then
+            print_endline
+              (Nfc_util.Json.to_string
+                 (Nfc_util.Json.Obj
+                    ([ ("file", Nfc_util.Json.String file); ("ok", Nfc_util.Json.Bool ok) ]
+                    @ (match name with
+                      | Some n -> [ ("protocol", Nfc_util.Json.String n) ]
+                      | None -> [])
+                    @ (match digest with
+                      | Some d -> [ ("digest", Nfc_util.Json.String d) ]
+                      | None -> [])
+                    @ [ ("diagnostics", Nfc_pdl.Pdl.diags_to_json diags) ])))
+          else begin
+            List.iter
+              (fun d -> print_endline (Nfc_pdl.Diag.to_string ~file d))
+              diags;
+            if ok && diags = [] then
+              Format.printf "%s: ok (%s)@." file
+                (match name with Some n -> n | None -> "?")
+          end
+        in
+        match Nfc_pdl.Pdl.compile_file file with
+        | Ok c ->
+            report
+              ~ok:true
+              ~name:(Some (Nfc_protocol.Spec.name c.Nfc_pdl.Pdl.spec))
+              ~digest:(Some c.Nfc_pdl.Pdl.digest) c.Nfc_pdl.Pdl.warnings
+        | Error (`Diags ds) -> report ~ok:false ~name:None ~digest:None ds
+        | Error (`File msg) ->
+            any_diag := true;
+            if json then
+              print_endline
+                (Nfc_util.Json.to_string
+                   (Nfc_util.Json.Obj
+                      [
+                        ("file", Nfc_util.Json.String file);
+                        ("ok", Nfc_util.Json.Bool false);
+                        ("error", Nfc_util.Json.String msg);
+                      ]))
+            else Format.eprintf "%s: %s@." file msg)
+      files;
+    (* Any diagnostic — warnings included — fails the check, so CI keeps
+       the example specs pristine. *)
+    if !any_diag then exit 1
+  in
+  Cmd.v
+    (Cmd.info "pdl"
+       ~doc:
+         "Compile and statically check protocol definition files; exit 1 on any \
+          diagnostic (warnings included)")
+    Term.(const run $ files $ json)
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
+  Nfc_pdl.Pdl.install_loader ();
   let doc = "Lower bounds for bounded data link protocols over non-FIFO channels (PODC'89), executable" in
   let info = Cmd.info "nfc" ~version:"1.0.0" ~doc in
   exit
@@ -753,6 +855,7 @@ let () =
             fuzz_cmd;
             lint_cmd;
             cover_cmd;
+            pdl_cmd;
             boundness_cmd;
             theorems_cmd;
             replay_cmd;

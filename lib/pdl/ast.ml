@@ -1,0 +1,293 @@
+(* Located abstract syntax for the protocol definition language.
+
+   The grammar (see the README's "Protocol definition language" section)
+   describes one protocol as a pair of guarded-command automata over a
+   typed packet alphabet:
+
+     protocol "name" {
+       describe "one line"
+       const ident = expr
+       packets { family [ (binder : lo .. hi) ] ... }
+       sender   { decls... clauses... }
+       receiver { decls... clauses... }
+     }
+
+   Declarations are range-typed variables, saturating counters, and
+   packet queues; clauses are [on] input handlers (first match wins,
+   unmatched inputs are absorbed — input-enabledness by construction) and
+   [poll] locally-controlled actions.
+
+   [print] is the canonical pretty-printer: a deterministic rendering
+   such that parse . print . parse = parse . print (the QCheck fixpoint
+   property), used to normalise specs for display and tests. *)
+
+type span = Diag.span
+
+type unop = Neg | Not
+
+type binop = Add | Sub | Mul | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+
+type expr =
+  | Int of int * span
+  | Bool of bool * span
+  | Ident of string * span  (* const, variable, counter, binder, or budget *)
+  | Unop of unop * expr * span
+  | Binop of binop * expr * expr * span
+
+type ty = Tbool of span | Trange of expr * expr * span
+
+type decl =
+  | Dvar of { name : string; ty : ty; init : expr; span : span }
+  | Dcounter of { name : string; init : expr; saturate : expr option; span : span }
+  | Dqueue of { name : string; saturate : expr option; span : span }
+
+type trigger =
+  | Tsubmit of span
+  | Tpacket of { family : string; binder : string option; span : span }
+
+type emit =
+  | Esend of { family : string; arg : expr option; span : span }
+  | Esend_from of { queue : string; span : span }
+  | Edeliver of span
+
+type action =
+  | Aset of { target : string; op : [ `Assign | `Add | `Sub ]; value : expr; span : span }
+  | Apush of { queue : string; family : string; arg : expr option; span : span }
+
+type clause =
+  | Con of { trigger : trigger; guard : expr option; actions : action list; span : span }
+  | Cpoll of { guard : expr option; emit : emit option; actions : action list; span : span }
+
+type station = { decls : decl list; clauses : clause list; sspan : span }
+
+type family = { fname : string; param : (string * expr * expr) option; fspan : span }
+
+type spec = {
+  name : string;
+  describe : string option;
+  consts : (string * expr * span) list;
+  families : family list;
+  sender : station;
+  receiver : station;
+  span : span;
+}
+
+let expr_span = function
+  | Int (_, s) | Bool (_, s) | Ident (_, s) | Unop (_, _, s) | Binop (_, _, _, s) -> s
+
+let decl_span = function
+  | Dvar { span; _ } | Dcounter { span; _ } | Dqueue { span; _ } -> span
+
+let decl_name = function
+  | Dvar { name; _ } | Dcounter { name; _ } | Dqueue { name; _ } -> name
+
+let clause_span = function Con { span; _ } | Cpoll { span; _ } -> span
+
+(* --------------------------------------------------- canonical printing *)
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+(* Binding strength, loosest first; matches the parser's levels. *)
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul -> 5
+
+let rec print_expr buf ~level e =
+  match e with
+  | Int (n, _) ->
+      if n < 0 then begin
+        (* A negative literal re-lexes as unary minus; parenthesise when a
+           tighter context would otherwise capture it. *)
+        if level > 5 then Buffer.add_char buf '(';
+        Buffer.add_string buf (string_of_int n);
+        if level > 5 then Buffer.add_char buf ')'
+      end
+      else Buffer.add_string buf (string_of_int n)
+  | Bool (b, _) -> Buffer.add_string buf (if b then "true" else "false")
+  | Ident (x, _) -> Buffer.add_string buf x
+  | Unop (op, a, _) ->
+      if level > 6 then Buffer.add_char buf '(';
+      Buffer.add_string buf (match op with Neg -> "-" | Not -> "!");
+      print_expr buf ~level:6 a;
+      if level > 6 then Buffer.add_char buf ')'
+  | Binop (op, a, b, _) ->
+      let p = prec op in
+      if level > p then Buffer.add_char buf '(';
+      (* Left-associative operators let the left child sit at the
+         operator's own level; comparisons are non-chaining in the
+         grammar, so a comparison child must be parenthesised on either
+         side.  The right child always binds strictly tighter. *)
+      let left_level =
+        match op with Eq | Ne | Lt | Le | Gt | Ge -> p + 1 | _ -> p
+      in
+      print_expr buf ~level:left_level a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (binop_name op);
+      Buffer.add_char buf ' ';
+      print_expr buf ~level:(p + 1) b;
+      if level > p then Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 32 in
+  print_expr buf ~level:0 e;
+  Buffer.contents buf
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_ty buf = function
+  | Tbool _ -> Buffer.add_string buf "bool"
+  | Trange (lo, hi, _) ->
+      print_expr buf ~level:0 lo;
+      Buffer.add_string buf " .. ";
+      print_expr buf ~level:0 hi
+
+let print_decl buf ind d =
+  Buffer.add_string buf ind;
+  (match d with
+  | Dvar { name; ty; init; _ } ->
+      Buffer.add_string buf ("var " ^ name ^ " : ");
+      print_ty buf ty;
+      Buffer.add_string buf " = ";
+      print_expr buf ~level:0 init
+  | Dcounter { name; init; saturate; _ } ->
+      Buffer.add_string buf ("counter " ^ name ^ " = ");
+      print_expr buf ~level:0 init;
+      (match saturate with
+      | None -> ()
+      | Some e ->
+          Buffer.add_string buf " saturate ";
+          print_expr buf ~level:0 e)
+  | Dqueue { name; saturate; _ } -> (
+      Buffer.add_string buf ("queue " ^ name);
+      match saturate with
+      | None -> ()
+      | Some e ->
+          Buffer.add_string buf " saturate ";
+          print_expr buf ~level:0 e));
+  Buffer.add_char buf '\n'
+
+let print_actions buf actions =
+  Buffer.add_string buf " { ";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_string buf "; ";
+      match a with
+      | Aset { target; op; value; _ } ->
+          Buffer.add_string buf target;
+          Buffer.add_string buf
+            (match op with `Assign -> " = " | `Add -> " += " | `Sub -> " -= ");
+          print_expr buf ~level:0 value
+      | Apush { queue; family; arg; _ } -> (
+          Buffer.add_string buf ("push " ^ queue ^ " " ^ family);
+          match arg with
+          | None -> ()
+          | Some e ->
+              Buffer.add_char buf '(';
+              print_expr buf ~level:0 e;
+              Buffer.add_char buf ')'))
+    actions;
+  Buffer.add_string buf " }"
+
+let print_guard buf = function
+  | None -> ()
+  | Some g ->
+      Buffer.add_string buf " when ";
+      print_expr buf ~level:0 g
+
+let print_clause buf ind c =
+  Buffer.add_string buf ind;
+  (match c with
+  | Con { trigger; guard; actions; _ } ->
+      Buffer.add_string buf "on ";
+      (match trigger with
+      | Tsubmit _ -> Buffer.add_string buf "submit"
+      | Tpacket { family; binder; _ } -> (
+          Buffer.add_string buf family;
+          match binder with
+          | None -> ()
+          | Some b -> Buffer.add_string buf ("(" ^ b ^ ")")));
+      print_guard buf guard;
+      if actions <> [] then print_actions buf actions
+  | Cpoll { guard; emit; actions; _ } ->
+      Buffer.add_string buf "poll";
+      print_guard buf guard;
+      (match emit with
+      | None -> ()
+      | Some (Esend { family; arg; _ }) -> (
+          Buffer.add_string buf (" -> send " ^ family);
+          match arg with
+          | None -> ()
+          | Some e ->
+              Buffer.add_char buf '(';
+              print_expr buf ~level:0 e;
+              Buffer.add_char buf ')')
+      | Some (Esend_from { queue; _ }) -> Buffer.add_string buf (" -> send from " ^ queue)
+      | Some (Edeliver _) -> Buffer.add_string buf " -> deliver");
+      if actions <> [] then print_actions buf actions);
+  Buffer.add_char buf '\n'
+
+let print_station buf keyword st =
+  Buffer.add_string buf ("  " ^ keyword ^ " {\n");
+  List.iter (print_decl buf "    ") st.decls;
+  List.iter (print_clause buf "    ") st.clauses;
+  Buffer.add_string buf "  }\n"
+
+(* The canonical form: describe, consts, packets, sender, receiver —
+   declaration order preserved inside each section. *)
+let print spec =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("protocol \"" ^ escape_string spec.name ^ "\" {\n");
+  (match spec.describe with
+  | None -> ()
+  | Some d -> Buffer.add_string buf ("  describe \"" ^ escape_string d ^ "\"\n"));
+  List.iter
+    (fun (name, e, _) ->
+      Buffer.add_string buf ("  const " ^ name ^ " = ");
+      print_expr buf ~level:0 e;
+      Buffer.add_char buf '\n')
+    spec.consts;
+  if spec.families <> [] then begin
+    Buffer.add_string buf "  packets {";
+    List.iter
+      (fun f ->
+        Buffer.add_string buf (" " ^ f.fname);
+        match f.param with
+        | None -> ()
+        | Some (b, lo, hi) ->
+            Buffer.add_string buf ("(" ^ b ^ " : ");
+            print_expr buf ~level:0 lo;
+            Buffer.add_string buf " .. ";
+            print_expr buf ~level:0 hi;
+            Buffer.add_char buf ')')
+      spec.families;
+    Buffer.add_string buf " }\n"
+  end;
+  print_station buf "sender" spec.sender;
+  print_station buf "receiver" spec.receiver;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

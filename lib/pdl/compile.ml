@@ -1,0 +1,410 @@
+(* Compilation of a checked spec to a {!Nfc_protocol.Spec.S} first-class
+   module.
+
+   Both stations are interpreted over a flat [value array] environment —
+   one cell per declared variable/counter/queue — with every expression
+   closure-converted once at compile time into an [env -> binder -> int]
+   function (booleans as 0/1), so the per-transition cost is closure
+   application, not AST traversal.
+
+   The derived state hooks exist by construction:
+
+   - [compare_*]/[hash_*] both go through the same normal form (queues
+     flattened to lists), so S1 coherence — equal states hash equally —
+     holds for every compilable spec.
+   - [cover_norm_*] is assembled from the declared [saturate] clauses via
+     {!Spec.saturate_counter}/{!Spec.saturate_deque}; a station with no
+     saturating declaration gets [None] and is simply exact-checked.
+   - [*_space_bits] charges [bits_for_int] per range/counter cell, one
+     bit per bool, and two bits per queued packet — exactly the
+     accounting the hand-written protocol modules use, which is what lets
+     an interpreted spec reproduce their lint reports byte for byte. *)
+
+open Nfc_protocol
+module Deque = Nfc_util.Deque
+
+type value = Vbool of bool | Vint of int | Vqueue of int Deque.t
+
+type env = value array
+
+let get_int (env : env) i =
+  match env.(i) with
+  | Vint n -> n
+  | Vbool b -> if b then 1 else 0
+  | Vqueue _ -> assert false (* checker bars queues from expressions *)
+
+let get_queue (env : env) i =
+  match env.(i) with Vqueue q -> q | _ -> assert false
+
+(* expr -> (env -> binder -> int), booleans encoded as 0/1. *)
+let rec comp (e : Check.cexpr) : env -> int -> int =
+  match e with
+  | Check.Cint n -> fun _ _ -> n
+  | Check.Cbool b ->
+      let v = if b then 1 else 0 in
+      fun _ _ -> v
+  | Check.Cslot i -> fun env _ -> get_int env i
+  | Check.Cbinder -> fun _ b -> b
+  | Check.Cbudget -> fun _ _ -> 0 (* never reached: budget only in saturate exprs *)
+  | Check.Cun (Ast.Neg, x) ->
+      let fx = comp x in
+      fun env b -> -fx env b
+  | Check.Cun (Ast.Not, x) ->
+      let fx = comp x in
+      fun env b -> 1 - fx env b
+  | Check.Cbin (op, x, y) -> (
+      let fx = comp x and fy = comp y in
+      match op with
+      | Ast.Add -> fun env b -> fx env b + fy env b
+      | Ast.Sub -> fun env b -> fx env b - fy env b
+      | Ast.Mul -> fun env b -> fx env b * fy env b
+      | Ast.Eq -> fun env b -> if fx env b = fy env b then 1 else 0
+      | Ast.Ne -> fun env b -> if fx env b <> fy env b then 1 else 0
+      | Ast.Lt -> fun env b -> if fx env b < fy env b then 1 else 0
+      | Ast.Le -> fun env b -> if fx env b <= fy env b then 1 else 0
+      | Ast.Gt -> fun env b -> if fx env b > fy env b then 1 else 0
+      | Ast.Ge -> fun env b -> if fx env b >= fy env b then 1 else 0
+      | Ast.And -> fun env b -> if fx env b <> 0 && fy env b <> 0 then 1 else 0
+      | Ast.Or -> fun env b -> if fx env b <> 0 || fy env b <> 0 then 1 else 0)
+
+(* Saturate expressions close over the budget instead of a binder. *)
+let rec comp_sat (e : Check.cexpr) : int -> int =
+  match e with
+  | Check.Cint n -> fun _ -> n
+  | Check.Cbool b -> fun _ -> if b then 1 else 0
+  | Check.Cbudget -> fun budget -> budget
+  | Check.Cslot _ | Check.Cbinder -> fun _ -> 0 (* checker rejects these *)
+  | Check.Cun (Ast.Neg, x) ->
+      let fx = comp_sat x in
+      fun bg -> -fx bg
+  | Check.Cun (Ast.Not, x) ->
+      let fx = comp_sat x in
+      fun bg -> 1 - fx bg
+  | Check.Cbin (op, x, y) -> (
+      let fx = comp_sat x and fy = comp_sat y in
+      match op with
+      | Ast.Add -> fun bg -> fx bg + fy bg
+      | Ast.Sub -> fun bg -> fx bg - fy bg
+      | Ast.Mul -> fun bg -> fx bg * fy bg
+      | _ -> fun _ -> 0 (* checker types saturate exprs as integers *))
+
+let pkt_value (fam : Check.cfamily) (arg : (env -> int -> int) option) env binder =
+  match arg with
+  | None -> fam.Check.base
+  | Some f -> fam.Check.base + (f env binder - fam.Check.plo)
+
+type caction_c =
+  | Set of int * (env -> int -> int)  (* int/counter cell *)
+  | Set_bool of int * (env -> int -> int)
+  | Add of int * (env -> int -> int)
+  | Sub of int * (env -> int -> int)
+  | Push of int * Check.cfamily * (env -> int -> int) option
+
+let comp_action (slots : Check.slot array) (a : Check.caction) : caction_c =
+  match a with
+  | Check.CAset (i, op, e) -> (
+      let f = comp e in
+      match (op, slots.(i).Check.kind) with
+      | `Assign, Check.Kbool _ -> Set_bool (i, f)
+      | `Assign, _ -> Set (i, f)
+      | `Add, _ -> Add (i, f)
+      | `Sub, _ -> Sub (i, f))
+  | Check.CApush (q, fam, arg) -> Push (q, fam, Option.map comp arg)
+
+(* Actions run sequentially on a scratch copy of the environment; each
+   action reads the effects of the previous ones. *)
+let run_actions (acts : caction_c list) (env : env) (binder : int) : env =
+  match acts with
+  | [] -> env
+  | _ ->
+      let scratch = Array.copy env in
+      List.iter
+        (fun a ->
+          match a with
+          | Set (i, f) -> scratch.(i) <- Vint (f scratch binder)
+          | Set_bool (i, f) -> scratch.(i) <- Vbool (f scratch binder <> 0)
+          | Add (i, f) -> scratch.(i) <- Vint (get_int scratch i + f scratch binder)
+          | Sub (i, f) -> scratch.(i) <- Vint (get_int scratch i - f scratch binder)
+          | Push (q, fam, arg) ->
+              scratch.(q) <- Vqueue (Deque.push_back (pkt_value fam arg scratch binder) (get_queue scratch q)))
+        acts;
+      scratch
+
+type con_c = {
+  ctrig : Check.ctrigger;
+  cguard : (env -> int -> int) option;
+  cacts : caction_c list;
+}
+
+type poll_c = {
+  pguard : (env -> int -> int) option;
+  pemit : Check.cemit option;
+  pemit_send : (env -> int -> int) option;  (* compiled CEsend payload *)
+  pacts : caction_c list;
+}
+
+type istation = {
+  slots : Check.slot array;
+  init : env;
+  on_submit_c : con_c list;  (* sender-only *)
+  on_packet_c : con_c list;
+  poll_c : poll_c list;
+  sat : (budget:int -> env -> env) option;
+  bits : env -> int;
+  pp : Format.formatter -> env -> unit;
+}
+
+let init_env (slots : Check.slot array) : env =
+  Array.map
+    (fun (s : Check.slot) ->
+      match s.Check.kind with
+      | Check.Kbool b -> Vbool b
+      | Check.Krange (_, _, init) -> Vint init
+      | Check.Kcounter (init, _) -> Vint init
+      | Check.Kqueue _ -> Vqueue Deque.empty)
+    slots
+
+(* Normal form for compare/hash: queues flattened to lists so structural
+   comparison and [Spec.structural_hash] agree on equal states (S1). *)
+let normal_form (env : env) =
+  Array.to_list
+    (Array.map
+       (fun v ->
+         match v with
+         | Vbool b -> `B b
+         | Vint n -> `I n
+         | Vqueue q -> `Q (Deque.to_list q))
+       env)
+
+let compile_station (cs : Check.cstation) : istation =
+  let slots = cs.Check.slots in
+  let comp_con (c : Check.cclause) =
+    match c.Check.trig with
+    | None -> assert false
+    | Some t ->
+        {
+          ctrig = t;
+          cguard = Option.map comp c.Check.guard;
+          cacts = List.map (comp_action slots) c.Check.acts;
+        }
+  in
+  let on_submit_c, on_packet_c =
+    List.partition
+      (fun c -> c.ctrig = Check.CTsubmit)
+      (List.map comp_con cs.Check.on_clauses)
+  in
+  let poll_c =
+    List.map
+      (fun (c : Check.cclause) ->
+        {
+          pguard = Option.map comp c.Check.guard;
+          pemit = c.Check.emit;
+          pemit_send =
+            (match c.Check.emit with
+            | Some (Check.CEsend (_, Some e)) -> Some (comp e)
+            | _ -> None);
+          pacts = List.map (comp_action slots) c.Check.acts;
+        })
+      cs.Check.poll_clauses
+  in
+  (* Saturation: one pass over the saturating cells; [None] if the
+     station declared none. *)
+  let sat_cells =
+    Array.to_list slots
+    |> List.mapi (fun i (s : Check.slot) ->
+           match s.Check.kind with
+           | Check.Kcounter (_, Some e) -> Some (i, `Counter (comp_sat e))
+           | Check.Kqueue (Some e) -> Some (i, `Queue (comp_sat e))
+           | _ -> None)
+    |> List.filter_map Fun.id
+  in
+  let sat =
+    if sat_cells = [] then None
+    else
+      Some
+        (fun ~budget (env : env) ->
+          let out = Array.copy env in
+          let changed = ref false in
+          List.iter
+            (fun (i, kind) ->
+              match kind with
+              | `Counter f ->
+                  let cap = f budget in
+                  let v = get_int out i in
+                  let v' = Spec.saturate_counter ~cap v in
+                  if v' <> v then begin
+                    out.(i) <- Vint v';
+                    changed := true
+                  end
+              | `Queue f ->
+                  let max_len = f budget in
+                  let q = get_queue out i in
+                  let q' = Spec.saturate_deque ~max_len q in
+                  if q' != q then begin
+                    out.(i) <- Vqueue q';
+                    changed := true
+                  end)
+            sat_cells;
+          if !changed then out else env)
+  in
+  let bits env =
+    Array.fold_left
+      (fun acc v ->
+        acc
+        +
+        match v with
+        | Vbool _ -> 1
+        | Vint n -> Spec.bits_for_int (abs n)
+        | Vqueue q -> 2 * Deque.length q)
+      0 env
+  in
+  let pp ppf env =
+    Format.fprintf ppf "{";
+    Array.iteri
+      (fun i v ->
+        if i > 0 then Format.fprintf ppf "; ";
+        Format.fprintf ppf "%s=" slots.(i).Check.sname;
+        match v with
+        | Vbool b -> Format.fprintf ppf "%b" b
+        | Vint n -> Format.fprintf ppf "%d" n
+        | Vqueue q -> Format.fprintf ppf "%d" (Deque.length q))
+      env;
+    Format.fprintf ppf "}"
+  in
+  {
+    slots;
+    init = init_env slots;
+    on_submit_c;
+    on_packet_c;
+    poll_c;
+    sat;
+    bits;
+    pp;
+  }
+
+let guard_ok g env binder = match g with None -> true | Some f -> f env binder <> 0
+
+(* First matching [on] clause for a received packet; identity when none
+   matches (input-enabled absorption, so fault-model packets outside the
+   declared alphabet perturb nothing). *)
+let dispatch_packet (clauses : con_c list) (env : env) (p : int) : env =
+  let rec go = function
+    | [] -> env
+    | c :: rest -> (
+        match c.ctrig with
+        | Check.CTsubmit -> go rest
+        | Check.CTpacket fam ->
+            let size = fam.Check.phi - fam.Check.plo + 1 in
+            if p >= fam.Check.base && p < fam.Check.base + size then
+              let binder = fam.Check.plo + (p - fam.Check.base) in
+              if guard_ok c.cguard env binder then run_actions c.cacts env binder
+              else go rest
+            else go rest)
+  in
+  go clauses
+
+let dispatch_submit (clauses : con_c list) (env : env) : env =
+  let rec go = function
+    | [] -> env
+    | c :: rest ->
+        if guard_ok c.cguard env 0 then run_actions c.cacts env 0 else go rest
+  in
+  go clauses
+
+(* First poll clause whose guard (plus the implicit queue-non-empty test
+   of [send from]) holds; the emitted value is computed on the PRE-state,
+   actions then produce the post-state. *)
+type poll_result = Pnone | Pquiet of env | Psend of int * env | Pdeliver of env
+
+let dispatch_poll (clauses : poll_c list) (env : env) : poll_result =
+  let rec go = function
+    | [] -> Pnone
+    | c :: rest -> (
+        let implicit_ok =
+          match c.pemit with
+          | Some (Check.CEsend_from q) -> not (Deque.is_empty (get_queue env q))
+          | _ -> true
+        in
+        if not (implicit_ok && guard_ok c.pguard env 0) then go rest
+        else
+          match c.pemit with
+          | None -> Pquiet (run_actions c.pacts env 0)
+          | Some Check.CEdeliver -> Pdeliver (run_actions c.pacts env 0)
+          | Some (Check.CEsend (fam, _)) ->
+              let v = pkt_value fam c.pemit_send env 0 in
+              Psend (v, run_actions c.pacts env 0)
+          | Some (Check.CEsend_from q) ->
+              let queue = get_queue env q in
+              let v, rest_q =
+                match Deque.pop_front queue with
+                | Some (v, r) -> (v, r)
+                | None -> assert false (* implicit_ok checked non-empty *)
+              in
+              let env = Array.copy env in
+              env.(q) <- Vqueue rest_q;
+              let env' = run_actions c.pacts env 0 in
+              Psend (v, env'))
+  in
+  go clauses
+
+let to_spec (ck : Check.checked) : Spec.t =
+  let s = compile_station ck.Check.csender in
+  let r = compile_station ck.Check.creceiver in
+  let module M = struct
+    let name = ck.Check.cname
+
+    let describe = ck.Check.cdescribe
+
+    let header_bound = Some ck.Check.total_headers
+
+    type sender = env
+
+    type receiver = env
+
+    let sender_init = s.init
+
+    let receiver_init = r.init
+
+    let on_submit st = dispatch_submit s.on_submit_c st
+
+    let on_ack st p = dispatch_packet s.on_packet_c st p
+
+    let sender_poll st =
+      match dispatch_poll s.poll_c st with
+      | Pnone -> (None, st)
+      | Pquiet st' -> (None, st')
+      | Psend (p, st') -> (Some p, st')
+      | Pdeliver _ -> assert false (* checker bars deliver in the sender *)
+
+    let on_data st p = dispatch_packet r.on_packet_c st p
+
+    let receiver_poll st =
+      match dispatch_poll r.poll_c st with
+      | Pnone -> (None, st)
+      | Pquiet st' -> (None, st')
+      | Psend (p, st') -> (Some (Spec.Rsend p), st')
+      | Pdeliver st' -> (Some Spec.Rdeliver, st')
+
+    let compare_sender a b = compare (normal_form a) (normal_form b)
+
+    let compare_receiver a b = compare (normal_form a) (normal_form b)
+
+    let hash_sender = Some (fun st -> Spec.structural_hash (normal_form st))
+
+    let hash_receiver = Some (fun st -> Spec.structural_hash (normal_form st))
+
+    let cover_norm_sender =
+      Option.map (fun f -> fun ~budget st -> f ~budget st) s.sat
+
+    let cover_norm_receiver =
+      Option.map (fun f -> fun ~budget st -> f ~budget st) r.sat
+
+    let pp_sender = s.pp
+
+    let pp_receiver = r.pp
+
+    let sender_space_bits st = s.bits st
+
+    let receiver_space_bits st = r.bits st
+  end in
+  (module M : Spec.S)

@@ -1,0 +1,52 @@
+(* Located diagnostics for the protocol definition language.
+
+   Every error or warning the lexer, parser, and checker can produce
+   carries a source span (1-based line/column, inclusive start, exclusive
+   end column), so CLI output, the service's JSON error documents, and
+   the QCheck robustness suite can all assert that no failure is ever
+   position-less. *)
+
+type pos = { line : int; col : int }
+
+type span = { first : pos; last : pos }
+
+type severity = Error | Warning
+
+type t = { severity : severity; span : span; message : string }
+
+let pos ~line ~col = { line; col }
+
+let span first last = { first; last }
+
+let point p = { first = p; last = p }
+
+let error span message = { severity = Error; span; message }
+
+let warning span message = { severity = Warning; span; message }
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let pp ppf d =
+  Format.fprintf ppf "%d:%d: %s: %s" d.span.first.line d.span.first.col
+    (severity_name d.severity) d.message
+
+(* "file:line:col: severity: message" — the compiler-style rendering the
+   CLI prints, clickable in editors. *)
+let to_string ?file d =
+  let prefix = match file with None -> "" | Some f -> f ^ ":" in
+  Format.asprintf "%s%a" prefix pp d
+
+let to_json d =
+  Nfc_util.Json.Obj
+    [
+      ("severity", Nfc_util.Json.String (severity_name d.severity));
+      ("line", Nfc_util.Json.Int d.span.first.line);
+      ("col", Nfc_util.Json.Int d.span.first.col);
+      ("end_line", Nfc_util.Json.Int d.span.last.line);
+      ("end_col", Nfc_util.Json.Int d.span.last.col);
+      ("message", Nfc_util.Json.String d.message);
+    ]
+
+let list_to_json ds = Nfc_util.Json.List (List.map to_json ds)
+
+let has_errors = List.exists (fun d -> d.severity = Error)

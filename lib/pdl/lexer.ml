@@ -1,0 +1,132 @@
+(* Hand-rolled lexer: tokens with 1-based line/column spans, [//]
+   comments, double-quoted strings with escapes.  Never raises — the one
+   failure mode is a located [Diag.t]. *)
+
+type tok =
+  | Tint of int
+  | Tident of string  (* identifiers and keywords alike *)
+  | Tstring of string
+  | Tsym of string
+  | Teof
+
+type token = { tok : tok; span : Diag.span }
+
+let keywords =
+  [
+    "protocol"; "describe"; "const"; "packets"; "sender"; "receiver"; "var";
+    "counter"; "queue"; "saturate"; "bool"; "on"; "poll"; "when"; "submit";
+    "send"; "from"; "deliver"; "push"; "true"; "false"; "budget";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Two-character symbols first so ".." beats "." (which is not a token at
+   all) and "<=" beats "<". *)
+let sym2 = [ ".."; "->"; "&&"; "||"; "=="; "!="; "<="; ">="; "+="; "-=" ]
+
+let sym1 = [ "{"; "}"; "("; ")"; ":"; ";"; "="; "<"; ">"; "+"; "-"; "*"; "!" ]
+
+let tokenize (src : string) : (token list, Diag.t) result =
+  let n = String.length src in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let col = ref 1 in
+  let here () = Diag.pos ~line:!line ~col:!col in
+  let advance () =
+    (if !pos < n then
+       match src.[!pos] with
+       | '\n' ->
+           incr line;
+           col := 1
+       | _ -> incr col);
+    incr pos
+  in
+  let acc = ref [] in
+  let err = ref None in
+  let fail first msg = err := Some (Diag.error (Diag.span first (here ())) msg) in
+  let push first tok = acc := { tok; span = Diag.span first (here ()) } :: !acc in
+  while !err = None && !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if is_ident_start c then begin
+      let first = here () in
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      push first (Tident (String.sub src start (!pos - start)))
+    end
+    else if is_digit c then begin
+      let first = here () in
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        advance ()
+      done;
+      let text = String.sub src start (!pos - start) in
+      match int_of_string_opt text with
+      | Some v -> push first (Tint v)
+      | None -> fail first (Printf.sprintf "integer literal %s is out of range" text)
+    end
+    else if c = '"' then begin
+      let first = here () in
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !err = None && !pos < n do
+        match src.[!pos] with
+        | '"' ->
+            advance ();
+            closed := true
+        | '\n' -> fail first "unterminated string literal"
+        | '\\' ->
+            advance ();
+            if !pos >= n then fail first "unterminated string literal"
+            else begin
+              (match src.[!pos] with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | c -> fail first (Printf.sprintf "unknown escape \\%c in string" c));
+              if !err = None then advance ()
+            end
+        | c ->
+            Buffer.add_char buf c;
+            advance ()
+      done;
+      if !err = None then
+        if !closed then push first (Tstring (Buffer.contents buf))
+        else fail first "unterminated string literal"
+    end
+    else begin
+      let first = here () in
+      let two = if !pos + 2 <= n then String.sub src !pos 2 else "" in
+      if List.mem two sym2 then begin
+        advance ();
+        advance ();
+        push first (Tsym two)
+      end
+      else
+        let one = String.make 1 c in
+        if List.mem one sym1 then begin
+          advance ();
+          push first (Tsym one)
+        end
+        else fail first (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  match !err with
+  | Some d -> Error d
+  | None ->
+      let eof = { tok = Teof; span = Diag.point (here ()) } in
+      Ok (List.rev (eof :: !acc))

@@ -1,0 +1,469 @@
+(* Recursive-descent parser over the lexer's token stream.
+
+   One grammar rule per function; the first syntax error aborts the parse
+   with a located diagnostic (no recovery — a spec is a short document and
+   the first error is almost always the real one).  Never raises past its
+   entry point. *)
+
+exception Fail of Diag.t
+
+type state = { toks : Lexer.token array; mutable ix : int }
+
+let peek st = st.toks.(st.ix)
+
+let next st =
+  let t = st.toks.(st.ix) in
+  if st.ix < Array.length st.toks - 1 then st.ix <- st.ix + 1;
+  t
+
+let fail_at (t : Lexer.token) msg = raise (Fail (Diag.error t.Lexer.span msg))
+
+let tok_name = function
+  | Lexer.Tint n -> string_of_int n
+  | Lexer.Tident s -> s
+  | Lexer.Tstring _ -> "string literal"
+  | Lexer.Tsym s -> Printf.sprintf "%S" s
+  | Lexer.Teof -> "end of input"
+
+let expect_sym st s =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tsym x when x = s -> t
+  | _ -> fail_at t (Printf.sprintf "expected %S, found %s" s (tok_name t.Lexer.tok))
+
+let expect_ident st what =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tident x when not (Lexer.is_keyword x) -> (x, t.Lexer.span)
+  | Lexer.Tident x -> fail_at t (Printf.sprintf "%S is a keyword; expected %s" x what)
+  | tok -> fail_at t (Printf.sprintf "expected %s, found %s" what (tok_name tok))
+
+let expect_keyword st kw =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tident x when x = kw -> t
+  | tok -> fail_at t (Printf.sprintf "expected %S, found %s" kw (tok_name tok))
+
+let expect_string st what =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tstring s -> (s, t.Lexer.span)
+  | tok -> fail_at t (Printf.sprintf "expected %s (a string literal), found %s" what (tok_name tok))
+
+let at_sym st s =
+  match (peek st).Lexer.tok with Lexer.Tsym x -> x = s | _ -> false
+
+let at_keyword st kw =
+  match (peek st).Lexer.tok with Lexer.Tident x -> x = kw | _ -> false
+
+let eat_sym st s = if at_sym st s then ignore (next st)
+
+let join (a : Diag.span) (b : Diag.span) = Diag.span a.Diag.first b.Diag.last
+
+(* ------------------------------------------------------------ expressions *)
+
+(* or < and < comparison < additive < multiplicative < unary < atom *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if at_sym st "||" then begin
+    ignore (next st);
+    let rhs = parse_or_rest st lhs in
+    rhs
+  end
+  else lhs
+
+and parse_or_rest st lhs =
+  let rhs = parse_and st in
+  let e = Ast.Binop (Ast.Or, lhs, rhs, join (Ast.expr_span lhs) (Ast.expr_span rhs)) in
+  if at_sym st "||" then begin
+    ignore (next st);
+    parse_or_rest st e
+  end
+  else e
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if at_sym st "&&" then begin
+    ignore (next st);
+    parse_and_rest st lhs
+  end
+  else lhs
+
+and parse_and_rest st lhs =
+  let rhs = parse_cmp st in
+  let e = Ast.Binop (Ast.And, lhs, rhs, join (Ast.expr_span lhs) (Ast.expr_span rhs)) in
+  if at_sym st "&&" then begin
+    ignore (next st);
+    parse_and_rest st e
+  end
+  else e
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match (peek st).Lexer.tok with
+    | Lexer.Tsym "==" -> Some Ast.Eq
+    | Lexer.Tsym "!=" -> Some Ast.Ne
+    | Lexer.Tsym "<" -> Some Ast.Lt
+    | Lexer.Tsym "<=" -> Some Ast.Le
+    | Lexer.Tsym ">" -> Some Ast.Gt
+    | Lexer.Tsym ">=" -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      ignore (next st);
+      let rhs = parse_add st in
+      Ast.Binop (op, lhs, rhs, join (Ast.expr_span lhs) (Ast.expr_span rhs))
+
+and parse_add st =
+  let rec go lhs =
+    match (peek st).Lexer.tok with
+    | Lexer.Tsym "+" ->
+        ignore (next st);
+        let rhs = parse_mul st in
+        go (Ast.Binop (Ast.Add, lhs, rhs, join (Ast.expr_span lhs) (Ast.expr_span rhs)))
+    | Lexer.Tsym "-" ->
+        ignore (next st);
+        let rhs = parse_mul st in
+        go (Ast.Binop (Ast.Sub, lhs, rhs, join (Ast.expr_span lhs) (Ast.expr_span rhs)))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match (peek st).Lexer.tok with
+    | Lexer.Tsym "*" ->
+        ignore (next st);
+        let rhs = parse_unary st in
+        go (Ast.Binop (Ast.Mul, lhs, rhs, join (Ast.expr_span lhs) (Ast.expr_span rhs)))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match (peek st).Lexer.tok with
+  | Lexer.Tsym "-" ->
+      let t = next st in
+      let e = parse_unary st in
+      Ast.Unop (Ast.Neg, e, join t.Lexer.span (Ast.expr_span e))
+  | Lexer.Tsym "!" ->
+      let t = next st in
+      let e = parse_unary st in
+      Ast.Unop (Ast.Not, e, join t.Lexer.span (Ast.expr_span e))
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tint n -> Ast.Int (n, t.Lexer.span)
+  | Lexer.Tident "true" -> Ast.Bool (true, t.Lexer.span)
+  | Lexer.Tident "false" -> Ast.Bool (false, t.Lexer.span)
+  | Lexer.Tident "budget" -> Ast.Ident ("budget", t.Lexer.span)
+  | Lexer.Tident x when not (Lexer.is_keyword x) -> Ast.Ident (x, t.Lexer.span)
+  | Lexer.Tsym "(" ->
+      let e = parse_or st in
+      ignore (expect_sym st ")");
+      e
+  | tok -> fail_at t (Printf.sprintf "expected an expression, found %s" (tok_name tok))
+
+let parse_expr = parse_or
+
+(* --------------------------------------------------------------- clauses *)
+
+let parse_actions st : Ast.action list =
+  ignore (expect_sym st "{");
+  let actions = ref [] in
+  let parse_action () =
+    if at_keyword st "push" then begin
+      let t = next st in
+      let queue, _ = expect_ident st "a queue name" in
+      let family, fspan = expect_ident st "a packet family" in
+      let arg =
+        if at_sym st "(" then begin
+          ignore (next st);
+          let e = parse_expr st in
+          ignore (expect_sym st ")");
+          Some e
+        end
+        else None
+      in
+      actions :=
+        Ast.Apush { queue; family; arg; span = join t.Lexer.span fspan } :: !actions
+    end
+    else begin
+      let target, tspan = expect_ident st "a variable name" in
+      let t = next st in
+      let op =
+        match t.Lexer.tok with
+        | Lexer.Tsym "=" -> `Assign
+        | Lexer.Tsym "+=" -> `Add
+        | Lexer.Tsym "-=" -> `Sub
+        | tok ->
+            fail_at t
+              (Printf.sprintf "expected \"=\", \"+=\" or \"-=\", found %s" (tok_name tok))
+      in
+      let value = parse_expr st in
+      actions :=
+        Ast.Aset { target; op; value; span = join tspan (Ast.expr_span value) } :: !actions
+    end
+  in
+  if not (at_sym st "}") then begin
+    parse_action ();
+    while at_sym st ";" do
+      ignore (next st);
+      if not (at_sym st "}") then parse_action ()
+    done
+  end;
+  ignore (expect_sym st "}");
+  List.rev !actions
+
+let parse_guard st = if at_keyword st "when" then (ignore (next st); Some (parse_expr st)) else None
+
+let parse_emit st : Ast.emit =
+  if at_keyword st "deliver" then
+    let t = next st in
+    Ast.Edeliver t.Lexer.span
+  else if at_keyword st "send" then begin
+    let t = next st in
+    if at_keyword st "from" then begin
+      ignore (next st);
+      let queue, qspan = expect_ident st "a queue name" in
+      Ast.Esend_from { queue; span = join t.Lexer.span qspan }
+    end
+    else
+      let family, fspan = expect_ident st "a packet family" in
+      let arg =
+        if at_sym st "(" then begin
+          ignore (next st);
+          let e = parse_expr st in
+          ignore (expect_sym st ")");
+          Some e
+        end
+        else None
+      in
+      Ast.Esend { family; arg; span = join t.Lexer.span fspan }
+  end
+  else
+    let t = peek st in
+    fail_at t
+      (Printf.sprintf "expected \"send\", \"send from\" or \"deliver\" after \"->\", found %s"
+         (tok_name t.Lexer.tok))
+
+let parse_clause st : Ast.clause =
+  if at_keyword st "on" then begin
+    let t0 = next st in
+    let trigger =
+      if at_keyword st "submit" then
+        let t = next st in
+        Ast.Tsubmit t.Lexer.span
+      else
+        let family, fspan = expect_ident st "a packet family or \"submit\"" in
+        let binder =
+          if at_sym st "(" then begin
+            ignore (next st);
+            let b, _ = expect_ident st "a binder name" in
+            ignore (expect_sym st ")");
+            Some b
+          end
+          else None
+        in
+        Ast.Tpacket { family; binder; span = fspan }
+    in
+    let guard = parse_guard st in
+    let actions = if at_sym st "{" then parse_actions st else [] in
+    let last =
+      match actions with
+      | [] -> (
+          match guard with
+          | Some g -> Ast.expr_span g
+          | None -> ( match trigger with Ast.Tsubmit s -> s | Ast.Tpacket { span; _ } -> span))
+      | _ -> st.toks.(max 0 (st.ix - 1)).Lexer.span
+    in
+    Ast.Con { trigger; guard; actions; span = join t0.Lexer.span last }
+  end
+  else begin
+    let t0 = expect_keyword st "poll" in
+    let guard = parse_guard st in
+    let emit =
+      if at_sym st "->" then begin
+        ignore (next st);
+        Some (parse_emit st)
+      end
+      else None
+    in
+    let actions = if at_sym st "{" then parse_actions st else [] in
+    Ast.Cpoll
+      { guard; emit; actions; span = join t0.Lexer.span st.toks.(max 0 (st.ix - 1)).Lexer.span }
+  end
+
+(* ---------------------------------------------------------- declarations *)
+
+let parse_saturate st = if at_keyword st "saturate" then (ignore (next st); Some (parse_expr st)) else None
+
+let parse_decl st : Ast.decl =
+  if at_keyword st "var" then begin
+    let t0 = next st in
+    let name, _ = expect_ident st "a variable name" in
+    ignore (expect_sym st ":");
+    let ty =
+      if at_keyword st "bool" then
+        let t = next st in
+        Ast.Tbool t.Lexer.span
+      else begin
+        let lo = parse_expr st in
+        ignore (expect_sym st "..");
+        let hi = parse_expr st in
+        Ast.Trange (lo, hi, join (Ast.expr_span lo) (Ast.expr_span hi))
+      end
+    in
+    ignore (expect_sym st "=");
+    let init = parse_expr st in
+    Ast.Dvar { name; ty; init; span = join t0.Lexer.span (Ast.expr_span init) }
+  end
+  else if at_keyword st "counter" then begin
+    let t0 = next st in
+    let name, _ = expect_ident st "a counter name" in
+    ignore (expect_sym st "=");
+    let init = parse_expr st in
+    let saturate = parse_saturate st in
+    let last =
+      match saturate with Some e -> Ast.expr_span e | None -> Ast.expr_span init
+    in
+    Ast.Dcounter { name; init; saturate; span = join t0.Lexer.span last }
+  end
+  else begin
+    let t0 = expect_keyword st "queue" in
+    let name, nspan = expect_ident st "a queue name" in
+    let saturate = parse_saturate st in
+    let last = match saturate with Some e -> Ast.expr_span e | None -> nspan in
+    Ast.Dqueue { name; saturate; span = join t0.Lexer.span last }
+  end
+
+let parse_station st : Ast.station =
+  let t0 = expect_sym st "{" in
+  let decls = ref [] in
+  let clauses = ref [] in
+  let rec go () =
+    if at_sym st "}" then ()
+    else if at_keyword st "var" || at_keyword st "counter" || at_keyword st "queue" then begin
+      decls := parse_decl st :: !decls;
+      go ()
+    end
+    else if at_keyword st "on" || at_keyword st "poll" then begin
+      clauses := parse_clause st :: !clauses;
+      go ()
+    end
+    else
+      let t = peek st in
+      fail_at t
+        (Printf.sprintf
+           "expected a declaration (var/counter/queue), a clause (on/poll) or \"}\", found %s"
+           (tok_name t.Lexer.tok))
+  in
+  go ();
+  let t1 = expect_sym st "}" in
+  { Ast.decls = List.rev !decls; clauses = List.rev !clauses; sspan = join t0.Lexer.span t1.Lexer.span }
+
+let parse_families st : Ast.family list =
+  ignore (expect_sym st "{");
+  let fams = ref [] in
+  while not (at_sym st "}") do
+    let fname, fspan = expect_ident st "a packet family name" in
+    let param =
+      if at_sym st "(" then begin
+        ignore (next st);
+        let b, _ = expect_ident st "a parameter name" in
+        ignore (expect_sym st ":");
+        let lo = parse_expr st in
+        ignore (expect_sym st "..");
+        let hi = parse_expr st in
+        ignore (expect_sym st ")");
+        Some (b, lo, hi)
+      end
+      else None
+    in
+    fams := { Ast.fname; param; fspan } :: !fams
+  done;
+  ignore (expect_sym st "}");
+  List.rev !fams
+
+(* ------------------------------------------------------------------ spec *)
+
+let parse_spec st : Ast.spec =
+  let t0 = expect_keyword st "protocol" in
+  let name, _ = expect_string st "the protocol name" in
+  ignore (expect_sym st "{");
+  let describe = ref None in
+  let consts = ref [] in
+  let families = ref None in
+  let sender = ref None in
+  let receiver = ref None in
+  let dup t what = fail_at t (Printf.sprintf "duplicate %s section" what) in
+  let rec go () =
+    if at_sym st "}" then ()
+    else begin
+      (if at_keyword st "describe" then begin
+         let t = next st in
+         if !describe <> None then dup t "describe";
+         let s, _ = expect_string st "the description" in
+         describe := Some s
+       end
+       else if at_keyword st "const" then begin
+         ignore (next st);
+         let name, nspan = expect_ident st "a constant name" in
+         ignore (expect_sym st "=");
+         let e = parse_expr st in
+         consts := (name, e, nspan) :: !consts
+       end
+       else if at_keyword st "packets" then begin
+         let t = next st in
+         if !families <> None then dup t "packets";
+         families := Some (parse_families st)
+       end
+       else if at_keyword st "sender" then begin
+         let t = next st in
+         if !sender <> None then dup t "sender";
+         sender := Some (parse_station st)
+       end
+       else if at_keyword st "receiver" then begin
+         let t = next st in
+         if !receiver <> None then dup t "receiver";
+         receiver := Some (parse_station st)
+       end
+       else
+         let t = peek st in
+         fail_at t
+           (Printf.sprintf
+              "expected describe, const, packets, sender, receiver or \"}\", found %s"
+              (tok_name t.Lexer.tok)));
+      go ()
+    end
+  in
+  go ();
+  let t1 = expect_sym st "}" in
+  (match (peek st).Lexer.tok with
+  | Lexer.Teof -> ()
+  | tok -> fail_at (peek st) (Printf.sprintf "trailing input after the protocol: %s" (tok_name tok)));
+  let missing what (t : Lexer.token) = fail_at t (Printf.sprintf "missing %s section" what) in
+  let sender = match !sender with Some s -> s | None -> missing "sender" t1 in
+  let receiver = match !receiver with Some r -> r | None -> missing "receiver" t1 in
+  {
+    Ast.name;
+    describe = !describe;
+    consts = List.rev !consts;
+    families = Option.value !families ~default:[];
+    sender;
+    receiver;
+    span = join t0.Lexer.span t1.Lexer.span;
+  }
+
+let parse (src : string) : (Ast.spec, Diag.t) result =
+  match Lexer.tokenize src with
+  | Error d -> Error d
+  | Ok toks -> (
+      let st = { toks = Array.of_list toks; ix = 0 } in
+      match parse_spec st with s -> Ok s | exception Fail d -> Error d)

@@ -1,0 +1,59 @@
+(* Facade for the protocol definition language: one call from source text
+   (or a file) to a compiled {!Nfc_protocol.Spec.t}, plus the registry
+   hook that makes [file:PATH] protocol names work everywhere a builtin
+   name does. *)
+
+type compiled = {
+  spec : Nfc_protocol.Spec.t;
+  digest : string;  (* MD5 hex of the source text; the service handle is "pdl:" ^ digest *)
+  warnings : Diag.t list;
+}
+
+let digest_of_source src = Digest.to_hex (Digest.string src)
+
+let parse_string (src : string) : (Ast.spec, Diag.t) result = Parser.parse src
+
+(* Full pipeline: lex/parse (first error aborts), check (all errors
+   reported), compile (total on checked specs). *)
+let compile_string (src : string) : (compiled, Diag.t list) result =
+  match Parser.parse src with
+  | Error d -> Error [ d ]
+  | Ok ast -> (
+      match Check.run ast with
+      | Error ds -> Error ds
+      | Ok (checked, warnings) ->
+          Ok { spec = Compile.to_spec checked; digest = digest_of_source src; warnings })
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+
+let compile_file (path : string) : (compiled, [ `File of string | `Diags of Diag.t list ]) result
+    =
+  match read_file path with
+  | Error msg -> Error (`File msg)
+  | Ok src -> (
+      match compile_string src with Ok c -> Ok c | Error ds -> Error (`Diags ds))
+
+(* Errors rendered compiler-style ("path:line:col: error: ...") for CLI
+   surfaces; warnings are dropped here — callers that want them use
+   [compile_file] directly. *)
+let load_file (path : string) : (compiled, string) result =
+  match compile_file path with
+  | Ok c -> Ok c
+  | Error (`File msg) -> Error msg
+  | Error (`Diags ds) ->
+      Error (String.concat "\n" (List.map (Diag.to_string ~file:path) ds))
+
+let diags_to_json = Diag.list_to_json
+
+(* Route [file:PATH] protocol names through the compiler.  Installed once
+   at binary start-up; the indirection keeps nfc_protocol free of any
+   dependency on this library. *)
+let install_loader () =
+  Nfc_protocol.Registry.set_loader (fun path ->
+      match load_file path with Ok c -> Ok c.spec | Error msg -> Error msg)

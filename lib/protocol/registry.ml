@@ -119,13 +119,58 @@ let all =
 let find name =
   List.find_opt (fun e -> e.key = name || List.mem name e.aliases) all
 
+(* [file:PATH] protocol sources are compiled by the PDL library, which
+   depends on this one; the hook breaks the cycle.  The CLI binary
+   installs the real loader at start-up. *)
+let loader : (string -> (Spec.t, string) result) ref =
+  ref (fun _ -> Error "file: protocol specs require the PDL loader (not installed)")
+
+let set_loader f = loader := f
+
+(* Damerau-free Levenshtein distance, small inputs only — enough to turn
+   "unknown protocol" into a useful suggestion. *)
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest name =
+  let candidates = List.concat_map (fun e -> e.key :: e.aliases) all in
+  let scored =
+    List.filter_map
+      (fun c ->
+        let d = levenshtein (String.lowercase_ascii name) c in
+        if d <= 3 then Some (d, c) else None)
+      candidates
+  in
+  match List.sort compare scored with (_, best) :: _ -> Some best | [] -> None
+
+let unknown name =
+  match suggest name with
+  | Some s -> Error (Printf.sprintf "unknown protocol %S (did you mean %S?)" name s)
+  | None -> Error (Printf.sprintf "unknown protocol %S" name)
+
 let parse s =
   match String.split_on_char ':' s with
   | [] -> Error "empty protocol name"
+  | "file" :: rest ->
+      let path = String.concat ":" rest in
+      if path = "" then Error "file: needs a path, e.g. file:examples/specs/foo.nfc"
+      else !loader path
   | key :: params -> (
       match find key with
       | Some e -> e.parse params
-      | None -> Error (Printf.sprintf "unknown protocol %S" key))
+      | None -> unknown key)
 
 let defaults () = List.map (fun e -> e.default ()) all
-let doc = String.concat " | " (List.map (fun e -> e.spec_doc) all)
+
+let doc = String.concat " | " (List.map (fun e -> e.spec_doc) all) ^ " | file:PATH"

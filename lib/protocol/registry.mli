@@ -20,7 +20,19 @@ val all : entry list
 (** [find name] resolves a key or alias. *)
 val find : string -> entry option
 
-(** [parse "flood:2:1.5"] — full CLI-style parse: key[:params]. *)
+(** Install the compiler behind [file:PATH] protocol names.  The PDL
+    library (which depends on this one) registers itself here at binary
+    start-up; until then [parse "file:..."] returns a loader-not-installed
+    error. *)
+val set_loader : (string -> (Spec.t, string) result) -> unit
+
+(** [suggest name] proposes the catalogue key or alias closest to a
+    misspelt [name] (edit distance at most 3), if any. *)
+val suggest : string -> string option
+
+(** [parse "flood:2:1.5"] — full CLI-style parse: key[:params].  Also
+    accepts [file:PATH] (compiled via the installed loader).  Unknown
+    names come back with a "did you mean" suggestion when one is close. *)
 val parse : string -> (Spec.t, string) result
 
 (** The default instance of every protocol. *)

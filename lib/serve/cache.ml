@@ -46,11 +46,18 @@ type entry = {
 type t = {
   mutex : Mutex.t;
   entries : (string, entry) Hashtbl.t;
+  specs : (string, Nfc_protocol.Spec.t) Hashtbl.t;
+      (* user-submitted PDL protocols, keyed by their "pdl:<digest>" handle *)
   on_lookup : hit:bool -> unit;
 }
 
 let create ?(on_lookup = fun ~hit:_ -> ()) () =
-  { mutex = Mutex.create (); entries = Hashtbl.create 16; on_lookup }
+  {
+    mutex = Mutex.create ();
+    entries = Hashtbl.create 16;
+    specs = Hashtbl.create 16;
+    on_lookup;
+  }
 
 let make_entry proto =
   let module P = (val proto : Nfc_protocol.Spec.S) in
@@ -78,9 +85,12 @@ let make_entry proto =
 
 (* Contexts are keyed by the protocol's canonical name, so aliases
    ("altbit", "alternating-bit") and equal-parameter constructions share
-   one resident engine. *)
-let entry t proto =
-  let name = Nfc_protocol.Spec.name proto in
+   one resident engine.  User-submitted PDL protocols pass [?key] — their
+   content-digest handle — instead: a submitted spec that happens to be
+   *named* "stop-and-wait" must not poison the builtin's resident context
+   (nor be poisoned by it). *)
+let entry ?key t proto =
+  let name = match key with Some k -> k | None -> Nfc_protocol.Spec.name proto in
   Mutex.lock t.mutex;
   let e =
     match Hashtbl.find_opt t.entries name with
@@ -92,6 +102,38 @@ let entry t proto =
   in
   Mutex.unlock t.mutex;
   e
+
+(* ------------------------------------------- user-submitted protocols *)
+
+let register_spec t ~handle spec =
+  Mutex.lock t.mutex;
+  let outcome =
+    if Hashtbl.mem t.specs handle then `Cached
+    else begin
+      Hashtbl.add t.specs handle spec;
+      `New
+    end
+  in
+  Mutex.unlock t.mutex;
+  outcome
+
+let find_spec t handle =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.specs handle in
+  Mutex.unlock t.mutex;
+  r
+
+let spec_handles t =
+  Mutex.lock t.mutex;
+  let hs = Hashtbl.fold (fun k _ acc -> k :: acc) t.specs [] in
+  Mutex.unlock t.mutex;
+  List.sort compare hs
+
+let spec_count t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.specs in
+  Mutex.unlock t.mutex;
+  n
 
 let protocols t =
   Mutex.lock t.mutex;
@@ -124,16 +166,16 @@ let lint_key (cfg : Nfc_lint.Checks.config) =
     (String.concat "," (List.map string_of_int cfg.fault_packets))
     cfg.max_probe_states cfg.max_witnesses cfg.complete cfg.cover_max_nodes
 
-let lint t proto cfg =
-  let e = entry t proto in
+let lint ?key t proto cfg =
+  let e = entry ?key t proto in
   memoized t e
     (fun () -> e.lint_memo)
     (fun m -> e.lint_memo <- m)
     (lint_key cfg)
     (fun () -> Nfc_lint.Engine.run cfg proto)
 
-let boundness t proto ~explore ~probe =
-  let e = entry t proto in
+let boundness ?key t proto ~explore ~probe =
+  let e = entry ?key t proto in
   let key =
     Printf.sprintf "%s/p%d:%d" (Explore.bounds_key explore) probe.Boundness.max_nodes
       probe.Boundness.max_cost
@@ -144,8 +186,8 @@ let boundness t proto ~explore ~probe =
     key
     (fun () -> e.bound_run explore probe)
 
-let cover t proto ~submit_budget ~max_nodes =
-  let e = entry t proto in
+let cover ?key t proto ~submit_budget ~max_nodes =
+  let e = entry ?key t proto in
   let key = Printf.sprintf "s%d/n%d" submit_budget max_nodes in
   memoized t e
     (fun () -> e.cover_memo)

@@ -25,11 +25,29 @@ val create : ?on_lookup:(hit:bool -> unit) -> unit -> t
 (** Canonical names of the protocols with resident contexts so far. *)
 val protocols : t -> string list
 
+(** Store a user-submitted compiled protocol under its content-digest
+    handle ("pdl:<md5hex>").  [`Cached] means the handle was already
+    registered (idempotent resubmission). *)
+val register_spec : t -> handle:string -> Nfc_protocol.Spec.t -> [ `New | `Cached ]
+
+(** Resolve a previously registered handle. *)
+val find_spec : t -> string -> Nfc_protocol.Spec.t option
+
+(** All registered handles, sorted. *)
+val spec_handles : t -> string list
+
+(** Number of registered user protocols (the resident-protocols gauge). *)
+val spec_count : t -> int
+
 (** The full lint analysis — the value behind one line of
-    [nfc lint --json]. *)
-val lint : t -> Nfc_protocol.Spec.t -> Nfc_lint.Checks.config -> Nfc_lint.Engine.result
+    [nfc lint --json].  [?key] overrides the resident-context key (used
+    for user-submitted protocols, keyed by handle rather than by their
+    self-declared name). *)
+val lint :
+  ?key:string -> t -> Nfc_protocol.Spec.t -> Nfc_lint.Checks.config -> Nfc_lint.Engine.result
 
 val boundness :
+  ?key:string ->
   t ->
   Nfc_protocol.Spec.t ->
   explore:Nfc_mcheck.Explore.bounds ->
@@ -37,4 +55,9 @@ val boundness :
   Nfc_mcheck.Boundness.report
 
 val cover :
-  t -> Nfc_protocol.Spec.t -> submit_budget:int -> max_nodes:int -> Nfc_absint.Cover.stats
+  ?key:string ->
+  t ->
+  Nfc_protocol.Spec.t ->
+  submit_budget:int ->
+  max_nodes:int ->
+  Nfc_absint.Cover.stats

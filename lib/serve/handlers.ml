@@ -33,9 +33,30 @@ let parse_body (req : Http.request) =
     | Ok j -> Ok j
     | Error msg -> Error ("invalid JSON body: " ^ msg)
 
-let protocol_of body =
+(* Protocol resolution for job submissions.  Three name spaces:
+
+   - registry names ("altbit", "gbn:4", ...) resolve as on the CLI;
+   - "pdl:<digest>" handles resolve to protocols previously submitted
+     via POST /v1/protocols — returned with their handle so the analysis
+     caches key by content digest, never by the spec's self-declared
+     name (which could collide with a builtin's resident context);
+   - "file:PATH" is refused: the CLI loader reads the server's
+     filesystem, which a network client must not be able to do. *)
+let protocol_of ctx body =
   let* name = J.get_string "protocol" body in
-  Nfc_protocol.Registry.parse name
+  if String.length name >= 4 && String.sub name 0 4 = "pdl:" then
+    match Cache.find_spec ctx.cache name with
+    | Some proto -> Ok (proto, Some name)
+    | None ->
+        Error
+          (Printf.sprintf
+             "unknown protocol handle %S (submit the spec via POST /v1/protocols first)"
+             name)
+  else if String.length name >= 5 && String.sub name 0 5 = "file:" then
+    Error "file: protocol sources are not served; POST the spec to /v1/protocols instead"
+  else
+    let* proto = Nfc_protocol.Registry.parse name in
+    Ok (proto, None)
 
 (* Clamp instead of reject: a client asking for a bigger budget than the
    service grants still gets a well-defined (smaller) analysis, and the
@@ -85,7 +106,7 @@ let lint ctx : Router.handler =
  fun ~params:_ req ->
   or_400
     (let* body = parse_body req in
-     let* proto = protocol_of body in
+     let* proto, key = protocol_of ctx body in
      let* capacity = get_clamped ~lo:1 ~hi:8 ~default:2 "capacity" body in
      let* submits = get_clamped ~lo:0 ~hi:16 ~default:3 "submits" body in
      let* nodes = get_clamped ~lo:1 ~hi:2_000_000 ~default:100_000 "nodes" body in
@@ -113,13 +134,13 @@ let lint ctx : Router.handler =
           ~compute:(fun ~cancelled ->
             check_cancelled cancelled;
             (* One line of [nfc lint --json], sans the newline. *)
-            chomp (Nfc_lint.Report.jsonl [ Cache.lint ctx.cache proto cfg ]))))
+            chomp (Nfc_lint.Report.jsonl [ Cache.lint ?key ctx.cache proto cfg ]))))
 
 let simulate ctx : Router.handler =
  fun ~params:_ req ->
   or_400
     (let* body = parse_body req in
-     let* proto = protocol_of body in
+     let* proto, _key = protocol_of ctx body in
      let* spec = J.get_string ~default:"reorder:0.8:0.05" "channel" body in
      let* factory = Nfc_channel.Policy.parse_factory spec in
      let* n = get_clamped ~lo:1 ~hi:10_000 ~default:10 "messages" body in
@@ -152,7 +173,7 @@ let fuzz ctx : Router.handler =
  fun ~params:_ req ->
   or_400
     (let* body = parse_body req in
-     let* proto = protocol_of body in
+     let* proto, _key = protocol_of ctx body in
      let* iterations =
        get_clamped ~lo:1 ~hi:1_000_000 ~default:50_000 "iterations" body
      in
@@ -181,7 +202,7 @@ let boundness ctx : Router.handler =
  fun ~params:_ req ->
   or_400
     (let* body = parse_body req in
-     let* proto = protocol_of body in
+     let* proto, key = protocol_of ctx body in
      let* nodes = get_clamped ~lo:1 ~hi:2_000_000 ~default:30_000 "nodes" body in
      let* capacity = get_clamped ~lo:1 ~hi:8 ~default:2 "capacity" body in
      let* submits = get_clamped ~lo:0 ~hi:16 ~default:2 "submits" body in
@@ -199,7 +220,7 @@ let boundness ctx : Router.handler =
           ~compute:(fun ~cancelled ->
             check_cancelled cancelled;
             let report =
-              Cache.boundness ctx.cache proto ~explore
+              Cache.boundness ?key ctx.cache proto ~explore
                 ~probe:Nfc_mcheck.Boundness.default_probe_bounds
             in
             J.to_string (Nfc_mcheck.Boundness.to_json report))))
@@ -208,7 +229,7 @@ let cover ctx : Router.handler =
  fun ~params:_ req ->
   or_400
     (let* body = parse_body req in
-     let* proto = protocol_of body in
+     let* proto, key = protocol_of ctx body in
      let* submits = get_clamped ~lo:0 ~hi:16 ~default:3 "submits" body in
      let* nodes =
        get_clamped ~lo:1 ~hi:2_000_000 ~default:200_000 "nodes" body
@@ -218,9 +239,86 @@ let cover ctx : Router.handler =
           ~compute:(fun ~cancelled ->
             check_cancelled cancelled;
             let stats =
-              Cache.cover ctx.cache proto ~submit_budget:submits ~max_nodes:nodes
+              Cache.cover ?key ctx.cache proto ~submit_budget:submits ~max_nodes:nodes
             in
             J.to_string (Nfc_absint.Cover.stats_to_json stats))))
+
+(* ------------------------------------------------- submitted protocols *)
+
+(* Big enough for any protocol in the paper's class, small enough that a
+   hostile client cannot park megabytes in the spec store. *)
+let max_spec_bytes = 64 * 1024
+
+(* POST /v1/protocols — validate, compile and register a PDL definition.
+   The body is either the raw .nfc text or a JSON envelope
+   [{"spec": "..."}] (detected by a leading '{': PDL source always starts
+   with a keyword or a comment).  The handle is derived from the source
+   digest, so submission is idempotent: the same text always maps to the
+   same handle, answered 201 on first registration and 200 after. *)
+let protocol_submit ctx : Router.handler =
+ fun ~params:_ req ->
+  let body = req.Http.body in
+  if String.length body > max_spec_bytes then begin
+    Telemetry.inc ctx.telemetry "nfc_protocol_submissions_total"
+      [ ("outcome", "too_large") ];
+    Router.json_error 413
+      (Printf.sprintf "spec too large (%d bytes; limit %d)" (String.length body)
+         max_spec_bytes)
+  end
+  else
+    let source =
+      let t = String.trim body in
+      if String.length t > 0 && t.[0] = '{' then
+        match J.of_string body with
+        | Ok j -> J.get_string "spec" j
+        | Error msg -> Error ("invalid JSON body: " ^ msg)
+      else Ok body
+    in
+    match source with
+    | Error msg -> Router.json_error 400 msg
+    | Ok src -> (
+        match Nfc_pdl.Pdl.compile_string src with
+        | Error diags ->
+            Telemetry.inc ctx.telemetry "nfc_protocol_submissions_total"
+              [ ("outcome", "compile_error") ];
+            json_response 400
+              (J.Obj
+                 [
+                   ("error", J.String "spec does not compile");
+                   ("diagnostics", Nfc_pdl.Pdl.diags_to_json diags);
+                 ])
+        | Ok c ->
+            let handle = "pdl:" ^ c.Nfc_pdl.Pdl.digest in
+            let status, outcome =
+              match Cache.register_spec ctx.cache ~handle c.Nfc_pdl.Pdl.spec with
+              | `New -> (201, "created")
+              | `Cached -> (200, "cached")
+            in
+            Telemetry.inc ctx.telemetry "nfc_protocol_submissions_total"
+              [ ("outcome", outcome) ];
+            json_response status
+              (J.Obj
+                 [
+                   ("handle", J.String handle);
+                   ("protocol", J.String (Nfc_protocol.Spec.name c.Nfc_pdl.Pdl.spec));
+                   ("digest", J.String c.Nfc_pdl.Pdl.digest);
+                   ("warnings", Nfc_pdl.Pdl.diags_to_json c.Nfc_pdl.Pdl.warnings);
+                 ]))
+
+let protocol_list ctx : Router.handler =
+ fun ~params:_ _req ->
+  json_response 200
+    (J.Obj
+       [
+         ( "builtin",
+           J.List
+             (List.map
+                (fun (e : Nfc_protocol.Registry.entry) ->
+                  J.String e.Nfc_protocol.Registry.key)
+                Nfc_protocol.Registry.all) );
+         ( "submitted",
+           J.List (List.map (fun h -> J.String h) (Cache.spec_handles ctx.cache)) );
+       ])
 
 (* ----------------------------------------------------------- job status *)
 
@@ -306,6 +404,7 @@ let metrics ctx : Router.handler =
       ("nfc_queue_capacity", float_of_int (Queue.capacity ctx.queue));
       ("nfc_jobs_running", float_of_int (ctx.n_running ()));
       ("nfc_workers", float_of_int ctx.n_workers);
+      ("nfc_protocols_resident", float_of_int (Cache.spec_count ctx.cache));
     ]
   in
   Http.response ~content_type:"text/plain; version=0.0.4" ~status:200
@@ -318,6 +417,8 @@ let routes ctx =
     Router.route "POST" "/v1/fuzz" (fuzz ctx);
     Router.route "POST" "/v1/boundness" (boundness ctx);
     Router.route "POST" "/v1/cover" (cover ctx);
+    Router.route "POST" "/v1/protocols" (protocol_submit ctx);
+    Router.route "GET" "/v1/protocols" (protocol_list ctx);
     Router.route "GET" "/v1/jobs/:id" (job_get ctx);
     Router.route "GET" "/v1/jobs/:id/result" (job_result ctx);
     Router.route "DELETE" "/v1/jobs/:id" (job_cancel ctx);

@@ -42,6 +42,10 @@ let catalogue =
     ("nfc_job_queue_wait_seconds", `Histogram, "Seconds a job waited in the queue before a worker picked it up");
     ("nfc_job_run_seconds", `Histogram, "Seconds a worker spent computing a job, by kind");
     ("nfc_cache_requests_total", `Counter, "Analysis-cache lookups, by outcome (hit|miss)");
+    ( "nfc_protocol_submissions_total",
+      `Counter,
+      "POST /v1/protocols submissions, by outcome (created|cached|compile_error|too_large)" );
+    ("nfc_protocols_resident", `Gauge, "User-submitted protocols currently registered");
     ("nfc_queue_depth", `Gauge, "Jobs currently waiting in the admission queue");
     ("nfc_queue_capacity", `Gauge, "Admission queue capacity");
     ("nfc_jobs_running", `Gauge, "Jobs currently executing on worker domains");

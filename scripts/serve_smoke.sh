@@ -66,6 +66,39 @@ if ! cmp -s "$out/served.json" "$out/cli.json"; then
   exit 1
 fi
 
+# User-submitted protocol: POST the PDL spec source, lint through the
+# returned content-digest handle, and compare byte-for-byte with the CLI
+# compiling the same file via --spec.
+handle=$(curl -fsS -X POST "$base/v1/protocols" \
+  --data-binary @examples/specs/stop_and_wait.nfc |
+  sed -n 's/.*"handle":"\([^"]*\)".*/\1/p')
+if [ -z "$handle" ]; then
+  echo "serve-smoke: protocol submission returned no handle"
+  exit 1
+fi
+pid_id=$(curl -fsS -X POST "$base/v1/lint" \
+  -d "{\"protocol\":\"$handle\",\"nodes\":20000}" |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+state=""
+i=0
+while [ $i -lt 300 ]; do
+  state=$(curl -fsS "$base/v1/jobs/$pid_id" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  case "$state" in done | failed | cancelled) break ;; esac
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ "$state" != done ]; then
+  echo "serve-smoke: pdl lint job ended '$state'"
+  exit 1
+fi
+curl -fsS "$base/v1/jobs/$pid_id/result" >"$out/served-pdl.json"
+"$NFC" lint --spec examples/specs/stop_and_wait.nfc --nodes 20000 --json >"$out/cli-pdl.json" || true
+if ! cmp -s "$out/served-pdl.json" "$out/cli-pdl.json"; then
+  echo "serve-smoke: served pdl lint verdict differs from CLI --spec output"
+  diff "$out/served-pdl.json" "$out/cli-pdl.json" || true
+  exit 1
+fi
+
 # Backpressure: flood the depth-2 queue with slow fuzz jobs; expect at
 # least one 429 and nothing but 202/429 at admission.
 i=1
@@ -89,7 +122,8 @@ fi
 # histogram.
 curl -fsS "$base/metrics" >"$out/metrics"
 for series in nfc_queue_depth nfc_queue_capacity nfc_jobs_rejected_total \
-  nfc_http_request_seconds_bucket nfc_job_run_seconds; do
+  nfc_http_request_seconds_bucket nfc_job_run_seconds \
+  nfc_protocol_submissions_total nfc_protocols_resident; do
   if ! grep -q "$series" "$out/metrics"; then
     echo "serve-smoke: /metrics missing $series"
     exit 1
@@ -105,4 +139,4 @@ cat "$out/loadgen.txt"
 kill "$pid"
 wait "$pid" 2>/dev/null || true
 pid=""
-echo "serve-smoke: ok (byte-identical verdict, 429 path, metrics, loadgen clean)"
+echo "serve-smoke: ok (byte-identical verdicts incl. submitted PDL spec, 429 path, metrics, loadgen clean)"

@@ -18,6 +18,7 @@ let () =
       ("absint", Test_absint.suite);
       ("boundness-def", Test_boundness_def.suite);
       ("serve", Test_serve.suite);
+      ("pdl", Test_pdl.suite);
       ("matrix", Test_matrix.suite);
       ("edge", Test_edge.suite);
     ]

@@ -389,6 +389,154 @@ let test_e2e_cancel_queued_job () =
       checkstr "victim ends cancelled" "cancelled" (poll_terminal ~port victim);
       ignore (poll_terminal ~port slow))
 
+(* --------------------------------------------- user-submitted protocols *)
+
+(* Deliberately *named* like a builtin: the cache keys submitted specs by
+   content digest, so this one-packet impostor must neither poison nor
+   reuse the builtin "stop-and-wait" resident context. *)
+let impostor_spec =
+  {|protocol "stop-and-wait" {
+  describe "single self-acking packet (not the builtin)"
+  packets { ping }
+  sender {
+    counter pending = 0
+    on submit { pending += 1 }
+    poll when pending > 0 -> send ping { pending -= 1 }
+  }
+  receiver {
+    counter due = 0 saturate budget + 2
+    on ping { due += 1 }
+    poll when due > 0 -> deliver { due -= 1 }
+  }
+}
+|}
+
+let str_contains hay sub =
+  let n = String.length hay and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub hay i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let get_str key body =
+  match J.of_string body with
+  | Ok j -> (
+      match J.member key j with
+      | Some (J.String s) -> s
+      | _ -> Alcotest.failf "no %S in %s" key body)
+  | Error e -> Alcotest.fail e
+
+let lint_cfg_20k =
+  {
+    Nfc_lint.Checks.default_config with
+    Nfc_lint.Checks.bounds =
+      {
+        Nfc_mcheck.Explore.capacity_tr = 2;
+        capacity_rt = 2;
+        submit_budget = 3;
+        max_nodes = 20000;
+        allow_drop = true;
+      };
+  }
+
+let test_e2e_protocol_submission () =
+  with_server (fun port ->
+      (* Raw .nfc source -> 201 created, digest handle. *)
+      let status, _, body =
+        request ~port ~meth:"POST" ~target:"/v1/protocols" ~body:impostor_spec ()
+      in
+      checki "created" 201 status;
+      let handle = get_str "handle" body in
+      checkb "digest handle" true
+        (String.length handle = 4 + 32 && String.sub handle 0 4 = "pdl:");
+      checkstr "declared name" "stop-and-wait" (get_str "protocol" body);
+      (* Idempotent resubmission -> 200 cached, same handle. *)
+      let status2, _, body2 =
+        request ~port ~meth:"POST" ~target:"/v1/protocols" ~body:impostor_spec ()
+      in
+      checki "cached" 200 status2;
+      checkstr "same handle" handle (get_str "handle" body2);
+      (* The JSON envelope lands on the same source digest. *)
+      let envelope = J.to_string (J.Obj [ ("spec", J.String impostor_spec) ]) in
+      let status3, _, body3 =
+        request ~port ~meth:"POST" ~target:"/v1/protocols" ~body:envelope ()
+      in
+      checki "envelope cached" 200 status3;
+      checkstr "envelope handle" handle (get_str "handle" body3);
+      (* GET lists builtins and the submitted handle. *)
+      let lstatus, _, listing = request ~port ~meth:"GET" ~target:"/v1/protocols" () in
+      checki "listing" 200 lstatus;
+      checkb "lists the handle" true (str_contains listing handle);
+      checkb "lists builtins" true (str_contains listing "stenning");
+      (* Lint through the handle = Engine.run on the compiled spec, byte
+         for byte — and distinct from the builtin's verdict even though
+         the submitted spec names itself "stop-and-wait". *)
+      let lint_body proto = Printf.sprintf {|{"protocol":%S,"nodes":20000}|} proto in
+      let id = submit_ok ~port "lint" (lint_body handle) in
+      checkstr "terminal state" "done" (poll_terminal ~port id);
+      let _, _, served =
+        request ~port ~meth:"GET" ~target:("/v1/jobs/" ^ id ^ "/result") ()
+      in
+      let compiled =
+        match Nfc_pdl.Pdl.compile_string impostor_spec with
+        | Ok c -> c.Nfc_pdl.Pdl.spec
+        | Error _ -> Alcotest.fail "the impostor spec must compile"
+      in
+      let expected = Nfc_lint.Report.jsonl [ Nfc_lint.Engine.run lint_cfg_20k compiled ] in
+      checkstr "byte-identical to the compiled spec's verdict" expected served;
+      let id2 = submit_ok ~port "lint" (lint_body "stop-and-wait") in
+      checkstr "terminal state" "done" (poll_terminal ~port id2);
+      let _, _, builtin =
+        request ~port ~meth:"GET" ~target:("/v1/jobs/" ^ id2 ^ "/result") ()
+      in
+      checkb "does not shadow the builtin" true (builtin <> served);
+      (* Submission telemetry. *)
+      let _, _, metrics = request ~port ~meth:"GET" ~target:"/metrics" () in
+      checkb "created counter" true
+        (str_contains metrics {|nfc_protocol_submissions_total{outcome="created"} 1|});
+      checkb "cached counter" true
+        (str_contains metrics {|nfc_protocol_submissions_total{outcome="cached"} 2|});
+      checkb "resident gauge" true (str_contains metrics "nfc_protocols_resident 1"))
+
+let test_e2e_protocol_submission_errors () =
+  with_server (fun port ->
+      (* Uncompilable spec -> 400 with located diagnostics. *)
+      let status, _, body =
+        request ~port ~meth:"POST" ~target:"/v1/protocols" ~body:"protocol \"x\" {" ()
+      in
+      checki "compile error" 400 status;
+      (match J.of_string body with
+      | Ok j -> (
+          match J.member "diagnostics" j with
+          | Some (J.List (d :: _)) ->
+              checkb "line present" true (J.member "line" d <> None);
+              checkb "col present" true (J.member "col" d <> None)
+          | _ -> Alcotest.fail "expected a non-empty diagnostics array")
+      | Error e -> Alcotest.fail e);
+      (* Oversized source -> 413, counted as too_large. *)
+      let status, _, _ =
+        request ~port ~meth:"POST" ~target:"/v1/protocols"
+          ~body:(String.make (70 * 1024) 'x') ()
+      in
+      checki "too large" 413 status;
+      (* Unknown handle in a job submission -> 400 with a pointer at the
+         submission endpoint. *)
+      let status, _, body =
+        request ~port ~meth:"POST" ~target:"/v1/lint"
+          ~body:{|{"protocol":"pdl:deadbeefdeadbeefdeadbeefdeadbeef"}|} ()
+      in
+      checki "unknown handle" 400 status;
+      checkb "explains the handle" true
+        (str_contains body "submit the spec via POST /v1/protocols");
+      (* file: sources are a CLI affordance, not a service one. *)
+      let status, _, body =
+        request ~port ~meth:"POST" ~target:"/v1/boundness"
+          ~body:{|{"protocol":"file:/etc/passwd"}|} ()
+      in
+      checki "file refused" 400 status;
+      checkb "explains the refusal" true (str_contains body "not served");
+      let _, _, metrics = request ~port ~meth:"GET" ~target:"/metrics" () in
+      checkb "too_large counter" true
+        (str_contains metrics {|nfc_protocol_submissions_total{outcome="too_large"} 1|}))
+
 let suite =
   [
     ("queue bounded fifo", `Quick, test_queue_bounded_fifo);
@@ -407,4 +555,6 @@ let suite =
     ("e2e backpressure 429", `Quick, test_e2e_backpressure_429);
     ("e2e storm 500 concurrent", `Slow, test_e2e_storm_500_concurrent);
     ("e2e cancel queued job", `Quick, test_e2e_cancel_queued_job);
+    ("e2e protocol submission", `Quick, test_e2e_protocol_submission);
+    ("e2e protocol submission errors", `Quick, test_e2e_protocol_submission_errors);
   ]
