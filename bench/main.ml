@@ -496,11 +496,80 @@ let json_mode ~full =
         ("alternating_bit.nfc", Nfc_protocol.Alternating_bit.make ());
       ]
   in
+  (* Static tier cost: the spec-level abstract fixpoint vs the bounded
+     exploration and the cover convergence it lets a caller skip.  The
+     interesting ratio is orders of magnitude — the fixpoint runs in
+     microseconds because it never leaves the AST — along with how much
+     of the rule catalogue each example promotes to Static strength. *)
+  let specint =
+    let spec_file name =
+      let candidates = [ "examples/specs/" ^ name; "../examples/specs/" ^ name ] in
+      match List.find_opt Sys.file_exists candidates with
+      | Some p -> p
+      | None -> failwith ("cannot locate examples/specs/" ^ name)
+    in
+    List.map
+      (fun file ->
+        let c =
+          match Nfc_pdl.Pdl.load_file (spec_file file) with
+          | Ok c -> c
+          | Error msg -> failwith msg
+        in
+        (* Warm-up, then average the microsecond-scale fixpoint over many
+           runs (a single clock read would be mostly noise). *)
+        ignore (Nfc_specint.Specint.analyze c.Nfc_pdl.Pdl.checked);
+        let runs = 200 in
+        let t0 = Unix.gettimeofday () in
+        let rep = ref (Nfc_specint.Specint.analyze c.Nfc_pdl.Pdl.checked) in
+        for _ = 2 to runs do
+          rep := Nfc_specint.Specint.analyze c.Nfc_pdl.Pdl.checked
+        done;
+        let static_s = (Unix.gettimeofday () -. t0) /. float_of_int runs in
+        let t0 = Unix.gettimeofday () in
+        let lint_result =
+          Nfc_lint.Engine.run Nfc_lint.Checks.default_config c.Nfc_pdl.Pdl.spec
+        in
+        let bounded_s = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        let complete_result =
+          Nfc_lint.Engine.run
+            { Nfc_lint.Checks.default_config with Nfc_lint.Checks.complete = true }
+            c.Nfc_pdl.Pdl.spec
+        in
+        let cover_s = Unix.gettimeofday () -. t0 in
+        ignore complete_result;
+        let upgraded = Nfc_specint.Specint.apply_to_lint !rep lint_result in
+        let strengths =
+          upgraded.Nfc_lint.Engine.certificate.Nfc_lint.Certificate.rule_strengths
+        in
+        let promoted =
+          List.filter (fun (_, s) -> s = Nfc_lint.Certificate.Static) strengths
+        in
+        Json.Obj
+          [
+            ("spec", Json.String file);
+            ("protocol", Json.String (Nfc_protocol.Spec.name c.Nfc_pdl.Pdl.spec));
+            ("static_seconds", Json.Float static_s);
+            ("bounded_lint_seconds", Json.Float bounded_s);
+            ("complete_lint_seconds", Json.Float cover_s);
+            ( "speedup_vs_bounded",
+              Json.Float (if static_s > 0. then bounded_s /. static_s else 0.) );
+            ("iterations", Json.Int !rep.Nfc_specint.Specint.iterations);
+            ("converged", Json.Bool !rep.Nfc_specint.Specint.converged);
+            ( "rules_promoted",
+              Json.List (List.map (fun (r, _) -> Json.String r) promoted) );
+            ( "promoted_fraction",
+              Json.Float
+                (float_of_int (List.length promoted)
+                /. float_of_int (List.length strengths)) );
+          ])
+      [ "stop_and_wait.nfc"; "alternating_bit.nfc"; "bounded_counter.nfc" ]
+  in
   print_endline
     (Json.to_string
        (Json.Obj
           [
-            ("bench", Json.String "BENCH_6");
+            ("bench", Json.String "BENCH_7");
             ("mode", Json.String (if full then "full" else "quick"));
             ("unit", Json.String "ns/run (bechamel OLS, monotonic clock)");
             ("estimates", Json.List estimates);
@@ -508,6 +577,7 @@ let json_mode ~full =
             ("lint_registry_wall_clock", Json.List lint);
             ("cover_vs_explore", Json.List cover_vs_explore);
             ("pdl_interp", Json.List pdl_interp);
+            ("specint", Json.List specint);
             ("service_loadgen", service);
           ]))
 

@@ -510,7 +510,53 @@ let lint_cmd =
       & info [ "sarif" ] ~docv:"FILE"
           ~doc:"Also write the diagnostics to FILE as SARIF 2.1.0 (JSONL is unchanged)")
   in
-  let run protocol capacity submits nodes strict json complete cover_nodes sarif jobs =
+  (* lint keeps its own --spec instead of the shared [with_spec_opt]
+     sugar: --static needs the checked PDL automaton, which the generic
+     combinator discards when it converts down to a [Spec.t]. *)
+  let spec_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Compile FILE as a protocol definition (.nfc) and verify that instead of a \
+             registry protocol.  Overrides $(b,-p); equivalent to -p file:FILE.")
+  in
+  let static =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Also run the spec-level abstract interpreter over the PDL automaton \
+             (requires $(b,--spec)): verdicts it discharges symbolically (H1/B1/E1) and \
+             that agree with the exploration are upgraded to 'static' strength — valid \
+             for every node budget, channel capacity and submission budget, with zero \
+             exploration.  A static/bounded contradiction blocks the upgrade and is \
+             reported under rule A1.")
+  in
+  let run spec_path protocol capacity submits nodes strict json complete cover_nodes
+      sarif static jobs =
+    let compiled =
+      match spec_path with
+      | None -> None
+      | Some path -> (
+          match Nfc_pdl.Pdl.load_file path with
+          | Ok c -> Some c
+          | Error msg ->
+              Format.eprintf "lint: %s@." msg;
+              exit 2)
+    in
+    let protocol =
+      match compiled with
+      | Some c -> Some c.Nfc_pdl.Pdl.spec
+      | None -> protocol
+    in
+    (match (static, compiled) with
+    | true, None ->
+        Format.eprintf
+          "lint: --static needs the PDL automaton; pass the spec with --spec FILE@.";
+        exit 2
+    | _ -> ());
     let cfg =
       {
         Checks.default_config with
@@ -532,6 +578,13 @@ let lint_cmd =
       | None -> Engine.run_registry ~jobs cfg
     with
     | results ->
+        let results =
+          match (static, compiled) with
+          | true, Some c ->
+              let rep = Nfc_specint.Specint.analyze c.Nfc_pdl.Pdl.checked in
+              List.map (Nfc_specint.Specint.apply_to_lint rep) results
+          | _ -> results
+        in
         if json then print_string (Report.jsonl results) else Report.print results;
         (match sarif with
         | Some file ->
@@ -552,8 +605,8 @@ let lint_cmd =
          ("Statically verify protocol invariants (rules " ^ Nfc_lint.Rules.doc
         ^ "): header budgets, input-enabledness, Theorem 2.1 boundness certificates"))
     Term.(
-      const run $ with_spec_opt protocol $ capacity $ submits $ nodes $ strict $ json
-      $ complete $ cover_nodes $ sarif $ jobs_arg)
+      const run $ spec_path $ protocol $ capacity $ submits $ nodes $ strict $ json
+      $ complete $ cover_nodes $ sarif $ static $ jobs_arg)
 
 (* ---------------------------------------------------------------- cover *)
 
@@ -771,21 +824,49 @@ let loadgen_cmd =
 (* ------------------------------------------------------------------ pdl *)
 
 let pdl_cmd =
+  (* [pos_all string], not [pos_all file]: a missing file must become a
+     per-file error in the report (after the other files were still
+     checked), not a cmdliner usage abort before any file is looked at. *)
   let files =
     Arg.(
       non_empty
-      & pos_all file []
+      & pos_all string []
       & info [] ~docv:"FILE" ~doc:"Protocol definition files (.nfc) to compile and check")
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per file (JSONL)")
   in
-  let run files json =
-    let any_diag = ref false in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "Also run the spec-level abstract interpreter on each compiling file and \
+             report its symbolic verdicts (reachable packet alphabet, Theorem 2.1 state \
+             product, dead clauses with source spans) — no exploration, no budgets")
+  in
+  let sarif =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:
+            "Also write the checker diagnostics (rule P1) and, under $(b,--analyze), the \
+             static findings to FILE as SARIF 2.1.0 with source-file locations")
+  in
+  let run files json analyze sarif =
+    let worst = ref 0 in
+    let count sev = worst := max !worst (match sev with Nfc_pdl.Diag.Error -> 2 | Nfc_pdl.Diag.Warning -> 1) in
+    let entries = ref [] in
     List.iter
       (fun file ->
-        let report ~ok ~name ~digest diags =
-          if diags <> [] then any_diag := true;
+        let static_report ck =
+          if analyze then Some (Nfc_specint.Specint.analyze ck) else None
+        in
+        let report ~ok ~name ~digest ~static diags =
+          List.iter (fun (d : Nfc_pdl.Diag.t) -> count d.Nfc_pdl.Diag.severity) diags;
+          entries :=
+            { Nfc_specint.Sarif.path = file; diags; static_report = static } :: !entries;
           if json then
             print_endline
               (Nfc_util.Json.to_string
@@ -797,46 +878,59 @@ let pdl_cmd =
                     @ (match digest with
                       | Some d -> [ ("digest", Nfc_util.Json.String d) ]
                       | None -> [])
-                    @ [ ("diagnostics", Nfc_pdl.Pdl.diags_to_json diags) ])))
+                    @ [ ("diagnostics", Nfc_pdl.Pdl.diags_to_json diags) ]
+                    @
+                    match static with
+                    | Some rep -> [ ("static", Nfc_specint.Specint.to_json rep) ]
+                    | None -> [])))
           else begin
             List.iter
               (fun d -> print_endline (Nfc_pdl.Diag.to_string ~file d))
               diags;
             if ok && diags = [] then
               Format.printf "%s: ok (%s)@." file
-                (match name with Some n -> n | None -> "?")
+                (match name with Some n -> n | None -> "?");
+            match static with
+            | Some rep -> Format.printf "%a" (Nfc_specint.Specint.pp ~file) rep
+            | None -> ()
           end
         in
         match Nfc_pdl.Pdl.compile_file file with
         | Ok c ->
-            report
-              ~ok:true
+            report ~ok:true
               ~name:(Some (Nfc_protocol.Spec.name c.Nfc_pdl.Pdl.spec))
-              ~digest:(Some c.Nfc_pdl.Pdl.digest) c.Nfc_pdl.Pdl.warnings
-        | Error (`Diags ds) -> report ~ok:false ~name:None ~digest:None ds
+              ~digest:(Some c.Nfc_pdl.Pdl.digest)
+              ~static:(static_report c.Nfc_pdl.Pdl.checked)
+              c.Nfc_pdl.Pdl.warnings
+        | Error (`Diags ds) -> report ~ok:false ~name:None ~digest:None ~static:None ds
         | Error (`File msg) ->
-            any_diag := true;
-            if json then
-              print_endline
-                (Nfc_util.Json.to_string
-                   (Nfc_util.Json.Obj
-                      [
-                        ("file", Nfc_util.Json.String file);
-                        ("ok", Nfc_util.Json.Bool false);
-                        ("error", Nfc_util.Json.String msg);
-                      ]))
-            else Format.eprintf "%s: %s@." file msg)
+            (* Unreadable file: a synthetic whole-file error so the JSON,
+               SARIF and exit-code paths treat it like any other error. *)
+            let pos = { Nfc_pdl.Diag.line = 1; col = 1 } in
+            let d =
+              Nfc_pdl.Diag.error { Nfc_pdl.Diag.first = pos; last = pos } msg
+            in
+            report ~ok:false ~name:None ~digest:None ~static:None [ d ])
       files;
-    (* Any diagnostic — warnings included — fails the check, so CI keeps
-       the example specs pristine. *)
-    if !any_diag then exit 1
+    (match sarif with
+    | Some out ->
+        let oc = open_out out in
+        output_string oc (Nfc_specint.Sarif.to_string (List.rev !entries));
+        output_char oc '\n';
+        close_out oc;
+        if not json then Format.printf "SARIF report written to %s@." out
+    | None -> ());
+    (* Exit with the worst severity seen across ALL files: 0 clean,
+       1 warnings only, 2 errors — CI keeps the example specs pristine
+       and scripts can distinguish broken from merely suspicious. *)
+    exit !worst
   in
   Cmd.v
     (Cmd.info "pdl"
        ~doc:
-         "Compile and statically check protocol definition files; exit 1 on any \
-          diagnostic (warnings included)")
-    Term.(const run $ files $ json)
+         "Compile and statically check protocol definition files; every file is checked, \
+          and the exit code is the maximum severity (0 clean, 1 warnings, 2 errors)")
+    Term.(const run $ files $ json $ analyze $ sarif)
 
 (* ----------------------------------------------------------------- main *)
 

@@ -5,6 +5,18 @@
 
 let omega = max_int
 
+(* ω-saturating arithmetic on counts, shared with the spec-level abstract
+   interpreter (Nfc_specint) so its interval widening provably lands in
+   the same ω-order this module's [le]/[join] use.  Arguments must be
+   non-negative or ω. *)
+let sat_add a b = if a = omega || b = omega then omega else a + b
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a = omega || b = omega then omega
+  else if a > omega / b then omega  (* overflow saturates, like ω *)
+  else a * b
+
 type t = { counts : int array }
 
 let trim a =

@@ -22,6 +22,15 @@ type t
     (it is [max_int], far above any reachable multiplicity). *)
 val omega : int
 
+(** ω-saturating sum on non-negative counts: [sat_add a ω = ω].  Shared
+    with {!Nfc_specint}'s counter-abstraction intervals so spec-level
+    widening uses exactly this module's ω encoding. *)
+val sat_add : int -> int -> int
+
+(** ω-saturating product; finite overflow also saturates to ω (an upper
+    bound may only ever round up). *)
+val sat_mul : int -> int -> int
+
 val empty : t
 
 (** Inject a concrete channel vector (all counts finite). *)

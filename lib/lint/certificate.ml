@@ -1,6 +1,6 @@
 module Json = Nfc_util.Json
 
-type strength = Bounded of int | Complete
+type strength = Bounded of int | Complete | Static
 
 type cover_summary = {
   cover_converged : bool;
@@ -29,11 +29,16 @@ type t = {
 }
 
 let strength_to_string = function
+  | Static -> "static"
   | Complete -> "complete"
   | Bounded n -> Printf.sprintf "bounded(%d)" n
 
+(* Static sits above Complete: a spec-level proof holds for every node
+   budget, channel capacity AND submit budget, where Complete is still
+   relative to the certificate's submission budget. *)
 let weakest a b =
   match (a, b) with
+  | Static, s | s, Static -> s
   | Complete, s | s, Complete -> s
   | Bounded m, Bounded n -> Bounded (min m n)
 
@@ -89,19 +94,27 @@ let to_json c =
       ("probes_exhausted", Json.Int c.probes_exhausted);
       ("configs_explored", Json.Int c.configs_explored);
       ("truncated", Json.Bool c.truncated);
-      (* Every record carries its strength: "complete" (cover fixpoint
-         corroborated) or "bounded" with the node budget the verdicts are
-         relative to. *)
+      (* Every record carries its strength: "static" (spec-level proof,
+         zero exploration), "complete" (cover fixpoint corroborated) or
+         "bounded" with the node budget the verdicts are relative to. *)
       ( "strength",
-        Json.String (match c.strength with Complete -> "complete" | Bounded _ -> "bounded") );
-      ("budget", (match c.strength with Complete -> Json.Null | Bounded n -> Json.Int n));
+        Json.String
+          (match c.strength with
+          | Static -> "static"
+          | Complete -> "complete"
+          | Bounded _ -> "bounded") );
+      ( "budget",
+        match c.strength with Static | Complete -> Json.Null | Bounded n -> Json.Int n );
       ( "rule_strengths",
         Json.Obj
           (List.map
              (fun (rule, s) ->
                ( rule,
                  Json.String
-                   (match s with Complete -> "complete" | Bounded _ -> "bounded") ))
+                   (match s with
+                   | Static -> "static"
+                   | Complete -> "complete"
+                   | Bounded _ -> "bounded") ))
              c.rule_strengths) );
       ("cover", Json.opt cover_to_json c.cover);
     ]

@@ -16,8 +16,12 @@
 
 (** [Bounded n]: verdicts relative to an [n]-node exploration.
     [Complete]: budget-free — corroborated by a converged coverability
-    fixpoint over the ω-abstracted channel. *)
-type strength = Bounded of int | Complete
+    fixpoint over the ω-abstracted channel (still relative to the
+    certificate's submission budget).
+    [Static]: proved at the spec level by the abstract interpreter
+    ({!Nfc_specint}) with zero exploration — valid for every node
+    budget, channel capacity and submission budget. *)
+type strength = Bounded of int | Complete | Static
 
 (** What the cover fixpoint did, for audit: convergence, retained
     maximal elements, iterations, ω-acceleration lemma instances (with up
@@ -53,11 +57,11 @@ type t = {
   cover : cover_summary option;  (** present when the cover tier ran *)
 }
 
-(** ["complete"] or ["bounded(N)"]. *)
+(** ["static"], ["complete"] or ["bounded(N)"]. *)
 val strength_to_string : strength -> string
 
-(** The weaker of two strengths ([Bounded] below [Complete], smaller
-    budgets below larger ones) — for summary footers. *)
+(** The weaker of two strengths ([Bounded] below [Complete] below
+    [Static], smaller budgets below larger ones) — for summary footers. *)
 val weakest : strength -> strength -> strength
 
 (** Total distinct packets, both directions combined (Section 2.3's |P|). *)

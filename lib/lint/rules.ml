@@ -51,6 +51,20 @@ let all =
       summary =
         "whether the budget-free cover fixpoint converged and corroborated H1/T1/Q1";
     };
+    {
+      id = "A1";
+      title = "static certification tier";
+      anchor = "spec-level abstract interpretation (DESIGN 5.12)";
+      summary =
+        "whether the spec-level fixpoint discharged H1/B1/E1 symbolically, with zero exploration";
+    };
+    {
+      id = "P1";
+      title = "PDL checker diagnostic";
+      anchor = "protocol definition language static checks (DESIGN 5.11)";
+      summary =
+        "a located parse/type/range/exhaustiveness finding in a .nfc spec file";
+    };
   ]
 
 let find id = List.find_opt (fun m -> m.id = id) all

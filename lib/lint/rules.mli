@@ -7,7 +7,7 @@
     both derived from it. *)
 
 type meta = {
-  id : string;  (** stable identifier: H1, E1, B1, T1, Q1, S1, C1 *)
+  id : string;  (** stable identifier: H1, E1, B1, T1, Q1, S1, C1, A1, P1 *)
   title : string;
   anchor : string;  (** the paper result the rule certifies *)
   summary : string;  (** one-line meaning *)

@@ -50,7 +50,9 @@ let result_to_json (protocol : string) (d : Diagnostic.t) =
           ] );
     ]
 
-let of_results (results : Engine.result list) =
+let rules_to_json () = Json.List (List.map rule_to_json Rules.all)
+
+let envelope ~name results =
   Json.Obj
     [
       ("version", Json.String "2.1.0");
@@ -66,22 +68,24 @@ let of_results (results : Engine.result list) =
                       ( "driver",
                         Json.Obj
                           [
-                            ("name", Json.String "nfc lint");
+                            ("name", Json.String name);
                             ("version", Json.String "1.0.0");
                             ( "informationUri",
                               Json.String
                                 "https://dl.acm.org/doi/10.1145/72981.72986" );
-                            ("rules", Json.List (List.map rule_to_json Rules.all));
+                            ("rules", rules_to_json ());
                           ] );
                     ] );
-                ( "results",
-                  Json.List
-                    (List.concat_map
-                       (fun (r : Engine.result) ->
-                         List.map (result_to_json r.Engine.protocol) r.Engine.diagnostics)
-                       results) );
+                ("results", Json.List results);
               ];
           ] );
     ]
+
+let of_results (results : Engine.result list) =
+  envelope ~name:"nfc lint"
+    (List.concat_map
+       (fun (r : Engine.result) ->
+         List.map (result_to_json r.Engine.protocol) r.Engine.diagnostics)
+       results)
 
 let to_string results = Json.to_string (of_results results)

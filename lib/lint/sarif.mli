@@ -9,5 +9,15 @@
 
 val of_results : Engine.result list -> Nfc_util.Json.t
 
+(** The driver's rule catalogue rendered as SARIF
+    [reportingDescriptor]s — exported so sibling emitters (the PDL
+    checker / spec-level analyzer SARIF in {!Nfc_specint}) reuse one
+    catalogue instead of forking it. *)
+val rules_to_json : unit -> Nfc_util.Json.t
+
+(** Wrap a [results] array in the standard one-run SARIF envelope with
+    the given driver [name] and this repo's rule catalogue. *)
+val envelope : name:string -> Nfc_util.Json.t list -> Nfc_util.Json.t
+
 (** [Json.to_string] of {!of_results} — the exact file contents. *)
 val to_string : Engine.result list -> string

@@ -61,6 +61,7 @@ type cclause = {
   guard : cexpr option;
   emit : cemit option;
   acts : caction list;
+  cspan : Diag.span;  (* the source clause, for located spec-level findings *)
 }
 
 type cstation = { slots : slot array; on_clauses : cclause list; poll_clauses : cclause list }
@@ -72,6 +73,7 @@ type checked = {
   total_headers : int;
   csender : cstation;
   creceiver : cstation;
+  cprotospan : Diag.span;  (* the protocol declaration, anchoring spec-level findings *)
 }
 
 (* Hard caps that keep a hostile spec from allocating absurd alphabets or
@@ -646,7 +648,10 @@ let check_station ~station ~(ns_base : string -> bool) consts families (st : Ast
           let a1 = match cguard with Some g -> refine a0 g | None -> a0 in
           let ctx = { ns; station } in
           check_actions ctx a1 cacts;
-          let c = { trig = Some trig; guard = cguard; emit = None; acts = List.map fst cacts } in
+          let c =
+            { trig = Some trig; guard = cguard; emit = None; acts = List.map fst cacts;
+              cspan = span }
+          in
           on_clauses := c :: !on_clauses;
           all_with_spans := (c, span) :: !all_with_spans
       | Ast.Cpoll { guard; emit; actions; span } ->
@@ -704,7 +709,10 @@ let check_station ~station ~(ns_base : string -> bool) consts families (st : Ast
           in
           let ctx = { ns; station } in
           check_actions ctx a1 cacts;
-          let c = { trig = None; guard = cguard; emit = cemit; acts = List.map fst cacts } in
+          let c =
+            { trig = None; guard = cguard; emit = cemit; acts = List.map fst cacts;
+              cspan = span }
+          in
           poll_clauses := c :: !poll_clauses;
           all_with_spans := (c, span) :: !all_with_spans)
     st.Ast.clauses;
@@ -764,6 +772,7 @@ let run (spec : Ast.spec) : (checked * Diag.t list, Diag.t list) result =
         total_headers = total;
         csender;
         creceiver;
+        cprotospan = spec.Ast.span;
       },
       w1 @ w2 )
   with

@@ -5,6 +5,9 @@
 
 type compiled = {
   spec : Nfc_protocol.Spec.t;
+  checked : Check.checked;
+      (* the elaborated automaton the spec compiled from — the input of
+         the spec-level abstract interpreter (Nfc_specint) *)
   digest : string;  (* MD5 hex of the source text; the service handle is "pdl:" ^ digest *)
   warnings : Diag.t list;
 }
@@ -22,7 +25,9 @@ let compile_string (src : string) : (compiled, Diag.t list) result =
       match Check.run ast with
       | Error ds -> Error ds
       | Ok (checked, warnings) ->
-          Ok { spec = Compile.to_spec checked; digest = digest_of_source src; warnings })
+          Ok
+            { spec = Compile.to_spec checked; checked; digest = digest_of_source src;
+              warnings })
 
 let read_file path =
   match open_in_bin path with

@@ -144,7 +144,9 @@ let levenshtein a b =
   prev.(lb)
 
 let suggest name =
-  let candidates = List.concat_map (fun e -> e.key :: e.aliases) all in
+  (* "file" is a pseudo-scheme, not an entry, but "fiel:spec.nfc" is as
+     real a typo as any alias slip — keep it in the candidate pool. *)
+  let candidates = "file" :: List.concat_map (fun e -> e.key :: e.aliases) all in
   let scored =
     List.filter_map
       (fun c ->

@@ -288,22 +288,62 @@ let protocol_submit ctx : Router.handler =
                    ("diagnostics", Nfc_pdl.Pdl.diags_to_json diags);
                  ])
         | Ok c ->
-            let handle = "pdl:" ^ c.Nfc_pdl.Pdl.digest in
-            let status, outcome =
-              match Cache.register_spec ctx.cache ~handle c.Nfc_pdl.Pdl.spec with
-              | `New -> (201, "created")
-              | `Cached -> (200, "cached")
+            (* Compile-time static gate: the spec-level abstract
+               interpreter runs in microseconds, so every submission is
+               symbolically certified before registration.  A Fail
+               finding (the symbolic packet alphabet escapes the declared
+               families) refuses the spec outright — a client would
+               otherwise store a protocol whose certificates can never be
+               upgraded; Pass/Unknown findings ride along in the 201
+               response as the "static" report. *)
+            let rep = Nfc_specint.Specint.analyze c.Nfc_pdl.Pdl.checked in
+            let failed =
+              List.filter
+                (fun (f : Nfc_specint.Specint.finding) ->
+                  f.Nfc_specint.Specint.verdict = Nfc_specint.Specint.Fail)
+                rep.Nfc_specint.Specint.findings
             in
-            Telemetry.inc ctx.telemetry "nfc_protocol_submissions_total"
-              [ ("outcome", outcome) ];
-            json_response status
-              (J.Obj
-                 [
-                   ("handle", J.String handle);
-                   ("protocol", J.String (Nfc_protocol.Spec.name c.Nfc_pdl.Pdl.spec));
-                   ("digest", J.String c.Nfc_pdl.Pdl.digest);
-                   ("warnings", Nfc_pdl.Pdl.diags_to_json c.Nfc_pdl.Pdl.warnings);
-                 ]))
+            if failed <> [] then begin
+              Telemetry.inc ctx.telemetry "nfc_protocol_submissions_total"
+                [ ("outcome", "static_refused") ];
+              json_response 422
+                (J.Obj
+                   [
+                     ( "error",
+                       J.String
+                         "spec refused by the static certification gate" );
+                     ( "findings",
+                       J.List
+                         (List.map
+                            (fun (f : Nfc_specint.Specint.finding) ->
+                              J.Obj
+                                [
+                                  ("rule", J.String f.Nfc_specint.Specint.rule);
+                                  ( "message",
+                                    J.String f.Nfc_specint.Specint.message );
+                                ])
+                            failed) );
+                     ("static", Nfc_specint.Specint.to_json rep);
+                   ])
+            end
+            else
+              let handle = "pdl:" ^ c.Nfc_pdl.Pdl.digest in
+              let status, outcome =
+                match Cache.register_spec ctx.cache ~handle c.Nfc_pdl.Pdl.spec with
+                | `New -> (201, "created")
+                | `Cached -> (200, "cached")
+              in
+              Telemetry.inc ctx.telemetry "nfc_protocol_submissions_total"
+                [ ("outcome", outcome) ];
+              json_response status
+                (J.Obj
+                   [
+                     ("handle", J.String handle);
+                     ("protocol", J.String (Nfc_protocol.Spec.name c.Nfc_pdl.Pdl.spec));
+                     ("digest", J.String c.Nfc_pdl.Pdl.digest);
+                     ("warnings", Nfc_pdl.Pdl.diags_to_json c.Nfc_pdl.Pdl.warnings);
+                     ("static", Nfc_specint.Specint.to_json rep);
+                   ]))
 
 let protocol_list ctx : Router.handler =
  fun ~params:_ _req ->

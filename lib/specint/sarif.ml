@@ -1,0 +1,83 @@
+(* SARIF 2.1.0 export for the PDL checker and the spec-level analyzer
+   ([nfc pdl --sarif FILE]).  Unlike the lint export, these findings have
+   real source files behind them, so every result carries a
+   [physicalLocation] with the 1-based line/column span of the offending
+   construct.  The rule catalogue and the envelope are shared with
+   [Nfc_lint.Sarif] — one driver catalogue, two emitters. *)
+
+module Diag = Nfc_pdl.Diag
+module Json = Nfc_util.Json
+
+(* One analyzed file: its checker diagnostics, and (under [--analyze])
+   the static report whose located findings ride along. *)
+type entry = {
+  path : string;
+  diags : Diag.t list;
+  static_report : Specint.report option;
+}
+
+let location ~path (sp : Diag.span) =
+  Json.Obj
+    [
+      ( "physicalLocation",
+        Json.Obj
+          [
+            ("artifactLocation", Json.Obj [ ("uri", Json.String path) ]);
+            ( "region",
+              Json.Obj
+                [
+                  ("startLine", Json.Int sp.Diag.first.Diag.line);
+                  ("startColumn", Json.Int sp.Diag.first.Diag.col);
+                  ("endLine", Json.Int sp.Diag.last.Diag.line);
+                  ("endColumn", Json.Int sp.Diag.last.Diag.col);
+                ] );
+          ] );
+    ]
+
+let diag_result ~path (d : Diag.t) =
+  Json.Obj
+    [
+      ("ruleId", Json.String "P1");
+      ( "level",
+        Json.String
+          (match d.Diag.severity with
+          | Diag.Error -> "error"
+          | Diag.Warning -> "warning") );
+      ("message", Json.Obj [ ("text", Json.String d.Diag.message) ]);
+      ("locations", Json.List [ location ~path d.Diag.span ]);
+    ]
+
+let finding_result ~path (f : Specint.finding) =
+  let level =
+    match f.Specint.verdict with
+    | Specint.Fail -> "error"
+    | Specint.Pass | Specint.Unknown -> "note"
+  in
+  let locations =
+    match f.Specint.span with
+    | Some sp -> [ location ~path sp ]
+    | None -> []
+  in
+  Json.Obj
+    ([
+       ("ruleId", Json.String f.Specint.rule);
+       ("level", Json.String level);
+       ("message", Json.Obj [ ("text", Json.String f.Specint.message) ]);
+     ]
+    @ match locations with [] -> [] | _ -> [ ("locations", Json.List locations) ])
+
+let of_entries (entries : entry list) : Json.t =
+  let results =
+    List.concat_map
+      (fun e ->
+        List.map (diag_result ~path:e.path) e.diags
+        @
+        match e.static_report with
+        | None -> []
+        | Some rep ->
+            List.map (finding_result ~path:e.path) rep.Specint.findings)
+      entries
+  in
+  Nfc_lint.Sarif.envelope ~name:"nfc pdl" results
+
+let to_string entries = Json.to_string (of_entries entries)

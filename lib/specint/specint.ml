@@ -1,0 +1,452 @@
+(* Spec-level abstract interpretation: budget-free certificates straight
+   from the PDL automaton.
+
+   [analyze] runs the coupled fixpoint ({!Flow}) over a checked spec and
+   renders its symbolic facts as lint-rule verdicts; [apply_to_lint]
+   cross-validates them against an exploration-backed lint result and
+   promotes the agreeing rules to the [Static] certificate strength —
+   valid for EVERY node budget, channel capacity and submission budget,
+   with zero exploration.  A static verdict may be Unknown; it must never
+   contradict the bounded tier, and a contradiction blocks the upgrade
+   and surfaces as an A1 warning instead. *)
+
+module Check = Nfc_pdl.Check
+module Diag = Nfc_pdl.Diag
+module Json = Nfc_util.Json
+module Iset = Flow.Iset
+
+type verdict = Pass | Fail | Unknown
+
+let verdict_name = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Unknown -> "unknown"
+
+type finding = {
+  rule : string;
+  verdict : verdict;
+  message : string;
+  span : Diag.span option;
+}
+
+type station_report = {
+  station : string;  (* "sender" | "receiver" *)
+  state_bound : int;  (* ω = Dom.omega when unbounded *)
+  omega_slots : string list;
+  dead_clauses : Diag.span list;
+}
+
+type report = {
+  protocol : string;
+  declared_headers : int;
+  alphabet_tr : int list;
+  alphabet_rt : int list;
+  sender : station_report;
+  receiver : station_report;
+  product : int;  (* sat k_t * k_r *)
+  findings : finding list;
+  iterations : int;
+  converged : bool;
+}
+
+let pp_count ppf n =
+  if n = Dom.omega then Fmt.string ppf "ω" else Fmt.int ppf n
+
+let count_str n = Fmt.str "%a" pp_count n
+
+(* ---- verdicts ------------------------------------------------------- *)
+
+let station_report name (sr : Flow.station_result) : station_report =
+  {
+    station = name;
+    state_bound = sr.Flow.state_bound;
+    omega_slots = sr.Flow.omega_slots;
+    dead_clauses =
+      List.map (fun ((c : Check.cclause), _) -> c.Check.cspan) sr.Flow.dead;
+  }
+
+let analyze (ck : Check.checked) : report =
+  let f = Flow.run ck in
+  let proto_span = Some ck.Check.cprotospan in
+  let alpha = Iset.union f.Flow.alphabet_tr f.Flow.alphabet_rt in
+  let n_alpha = Iset.cardinal alpha in
+  let declared = ck.Check.total_headers in
+  let sender = station_report "sender" f.Flow.sender
+  and receiver = station_report "receiver" f.Flow.receiver in
+  let product =
+    Nfc_absint.Opvec.sat_mul sender.state_bound receiver.state_bound
+  in
+  let dead =
+    List.map (fun sp -> ("sender", sp)) sender.dead_clauses
+    @ List.map (fun sp -> ("receiver", sp)) receiver.dead_clauses
+  in
+  let findings =
+    if not f.Flow.converged then
+      [
+        {
+          rule = "H1";
+          verdict = Unknown;
+          message = "abstract fixpoint did not converge";
+          span = proto_span;
+        };
+        {
+          rule = "E1";
+          verdict = Pass;
+          message =
+            "input-enabled by construction: first-match dispatch absorbs \
+             unmatched packets and every clause body is total";
+          span = proto_span;
+        };
+        {
+          rule = "B1";
+          verdict = Unknown;
+          message = "abstract fixpoint did not converge";
+          span = proto_span;
+        };
+      ]
+    else
+      [
+        (if n_alpha <= declared then
+           {
+             rule = "H1";
+             verdict = Pass;
+             message =
+               Fmt.str
+                 "symbolic header budget: at most %d distinct reachable \
+                  packets within the declared %d, for every budget"
+                 n_alpha declared;
+             span = proto_span;
+           }
+         else
+           {
+             rule = "H1";
+             verdict = Fail;
+             message =
+               Fmt.str
+                 "symbolic header budget exceeds the declared families: %d \
+                  reachable packets > %d declared"
+                 n_alpha declared;
+             span = proto_span;
+           });
+        {
+          rule = "E1";
+          verdict = Pass;
+          message =
+            "input-enabled by construction: first-match dispatch absorbs \
+             unmatched packets and every clause body is total";
+          span = proto_span;
+        };
+        {
+          rule = "B1";
+          verdict = Pass;
+          message =
+            (if product <> Dom.omega then
+               Fmt.str
+                 "Theorem 2.1 symbolically: boundness <= k_t*k_r <= %d*%d = \
+                  %d for every budget"
+                 sender.state_bound receiver.state_bound product
+             else
+               Fmt.str
+                 "Theorem 2.1 symbolically: boundness <= k_t*k_r with k_t <= \
+                  %s, k_r <= %s (unbounded slots: %s); the inequality holds \
+                  for every exploration of the compiled automaton"
+                 (count_str sender.state_bound)
+                 (count_str receiver.state_bound)
+                 (String.concat ", "
+                    (List.map (fun s -> "sender." ^ s) sender.omega_slots
+                    @ List.map (fun s -> "receiver." ^ s) receiver.omega_slots)));
+          span = proto_span;
+        };
+      ]
+  in
+  let findings =
+    findings
+    @ [
+        {
+          rule = "T1";
+          verdict = Unknown;
+          message =
+            "impossibility consistency relates headers to the submission \
+             budget; not decidable at the spec level";
+          span = None;
+        };
+      ]
+    @ (match dead with
+      | [] ->
+          [
+            {
+              rule = "Q1";
+              verdict = Unknown;
+              message =
+                "no statically dead clauses; quiescence itself needs \
+                 exploration";
+              span = None;
+            };
+          ]
+      | _ ->
+          {
+            rule = "Q1";
+            verdict = Unknown;
+            message =
+              Fmt.str
+                "%d clause(s) are unreachable under every budget (guard \
+                 infeasible on the abstract reachable set); quiescence \
+                 itself needs exploration"
+                (List.length dead);
+            span = None;
+          }
+          :: List.map
+               (fun (st, sp) ->
+                 {
+                   rule = "Q1";
+                   verdict = Unknown;
+                   message = Fmt.str "dead %s clause: never enabled" st;
+                   span = Some sp;
+                 })
+               dead)
+  in
+  {
+    protocol = ck.Check.cname;
+    declared_headers = declared;
+    alphabet_tr = Iset.elements f.Flow.alphabet_tr;
+    alphabet_rt = Iset.elements f.Flow.alphabet_rt;
+    sender;
+    receiver;
+    product;
+    findings;
+    iterations = f.Flow.iterations;
+    converged = f.Flow.converged;
+  }
+
+let find_rule (r : report) rule =
+  List.find_opt (fun f -> f.rule = rule) r.findings
+
+(* ---- rendering ------------------------------------------------------ *)
+
+let span_json (sp : Diag.span) =
+  Json.Obj
+    [
+      ("line", Json.Int sp.Diag.first.Diag.line);
+      ("col", Json.Int sp.Diag.first.Diag.col);
+      ("end_line", Json.Int sp.Diag.last.Diag.line);
+      ("end_col", Json.Int sp.Diag.last.Diag.col);
+    ]
+
+let count_json n = if n = Dom.omega then Json.String "omega" else Json.Int n
+
+let station_json (s : station_report) =
+  Json.Obj
+    [
+      ("station", Json.String s.station);
+      ("state_bound", count_json s.state_bound);
+      ( "omega_slots",
+        Json.List (List.map (fun x -> Json.String x) s.omega_slots) );
+      ("dead_clauses", Json.List (List.map span_json s.dead_clauses));
+    ]
+
+let finding_json (f : finding) =
+  Json.Obj
+    ([
+       ("rule", Json.String f.rule);
+       ("verdict", Json.String (verdict_name f.verdict));
+       ("message", Json.String f.message);
+     ]
+    @ match f.span with None -> [] | Some sp -> [ ("span", span_json sp) ])
+
+let to_json (r : report) =
+  Json.Obj
+    [
+      ("protocol", Json.String r.protocol);
+      ("declared_headers", Json.Int r.declared_headers);
+      ("alphabet_tr", Json.List (List.map (fun p -> Json.Int p) r.alphabet_tr));
+      ("alphabet_rt", Json.List (List.map (fun p -> Json.Int p) r.alphabet_rt));
+      ("sender", station_json r.sender);
+      ("receiver", station_json r.receiver);
+      ("state_product", count_json r.product);
+      ("findings", Json.List (List.map finding_json r.findings));
+      ("iterations", Json.Int r.iterations);
+      ("converged", Json.Bool r.converged);
+    ]
+
+let pp ?file ppf (r : report) =
+  let pp_loc ppf sp =
+    match (file, sp) with
+    | Some f, Some (s : Diag.span) ->
+        Fmt.pf ppf " (%s:%d:%d)" f s.Diag.first.Diag.line s.Diag.first.Diag.col
+    | None, Some (s : Diag.span) ->
+        Fmt.pf ppf " (line %d, col %d)" s.Diag.first.Diag.line
+          s.Diag.first.Diag.col
+    | _, None -> ()
+  in
+  Fmt.pf ppf "static analysis: %s@." r.protocol;
+  Fmt.pf ppf "  alphabet: %d packet(s) of %d declared (t->r {%s}, r->t {%s})@."
+    (List.length r.alphabet_tr + List.length r.alphabet_rt)
+    r.declared_headers
+    (String.concat "," (List.map string_of_int r.alphabet_tr))
+    (String.concat "," (List.map string_of_int r.alphabet_rt));
+  Fmt.pf ppf "  states: k_t <= %a, k_r <= %a, product %a@." pp_count
+    r.sender.state_bound pp_count r.receiver.state_bound pp_count r.product;
+  (match r.sender.omega_slots @ r.receiver.omega_slots with
+  | [] -> ()
+  | _ ->
+      Fmt.pf ppf "  unbounded slots: %s@."
+        (String.concat ", "
+           (List.map (fun s -> "sender." ^ s) r.sender.omega_slots
+           @ List.map (fun s -> "receiver." ^ s) r.receiver.omega_slots)));
+  Fmt.pf ppf "  fixpoint: %d iteration(s), %s@." r.iterations
+    (if r.converged then "converged" else "NOT converged");
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "  %-3s %-7s %s%a@." f.rule
+        (verdict_name f.verdict)
+        f.message pp_loc f.span)
+    r.findings
+
+(* ---- cross-validation and the Static upgrade ------------------------ *)
+
+module Lint = Nfc_lint
+
+let static_rules = [ "H1"; "B1"; "E1" ]
+
+type agreement = Agree | Contradict of string | Inapplicable
+
+(* A static verdict must never contradict the exploration-backed result:
+   the bounded run is a concrete witness generator, so any reachable
+   fact it found must fit inside the abstract over-approximation. *)
+let check_rule (rep : report) (r : Lint.Engine.result) rule : agreement =
+  let c = r.Lint.Engine.certificate in
+  let bounded_error =
+    List.exists
+      (fun (d : Lint.Diagnostic.t) ->
+        d.Lint.Diagnostic.rule = rule
+        && d.Lint.Diagnostic.severity = Lint.Diagnostic.Error)
+      r.Lint.Engine.diagnostics
+  in
+  match find_rule rep rule with
+  | None -> Inapplicable
+  | Some f -> (
+      match f.verdict with
+      | Unknown -> Inapplicable
+      | Fail ->
+          if bounded_error then Agree (* both reject; nothing to upgrade *)
+          else Contradict "static tier rejects, bounded tier accepts"
+      | Pass ->
+          if bounded_error then
+            Contradict "bounded tier found a concrete violation"
+          else (
+            match rule with
+            | "H1" ->
+                let static_alpha =
+                  Iset.union
+                    (Iset.of_list rep.alphabet_tr)
+                    (Iset.of_list rep.alphabet_rt)
+                in
+                let observed =
+                  Iset.union
+                    (Iset.of_list c.Lint.Certificate.alphabet_tr)
+                    (Iset.of_list c.Lint.Certificate.alphabet_rt)
+                in
+                if Iset.subset observed static_alpha then Agree
+                else
+                  Contradict
+                    (Fmt.str
+                       "explored packets {%s} escape the symbolic alphabet \
+                        {%s}"
+                       (String.concat ","
+                          (List.map string_of_int (Iset.elements observed)))
+                       (String.concat ","
+                          (List.map string_of_int (Iset.elements static_alpha))))
+            | "B1" ->
+                if
+                  rep.product = Dom.omega
+                  || Nfc_absint.Opvec.sat_mul c.Lint.Certificate.k_t
+                       c.Lint.Certificate.k_r
+                     <= rep.product
+                then Agree
+                else
+                  Contradict
+                    (Fmt.str
+                       "explored state product %d*%d exceeds the symbolic \
+                        bound %s"
+                       c.Lint.Certificate.k_t c.Lint.Certificate.k_r
+                       (count_str rep.product))
+            | _ -> Agree))
+
+(* Promote the agreeing rules of [rep] in [r] to the Static strength and
+   append the A1 audit diagnostics.  Disagreements leave the strengths
+   untouched and warn; a Fail static verdict that the bounded tier missed
+   becomes an A1 error (the symbolic tier is sound, so the spec really
+   does exceed its declaration somewhere past the explored frontier). *)
+let apply_to_lint (rep : report) (r : Lint.Engine.result) : Lint.Engine.result
+    =
+  let upgrades = ref [] and diags = ref [] in
+  List.iter
+    (fun rule ->
+      match check_rule rep r rule with
+      | Inapplicable -> ()
+      | Agree -> (
+          match find_rule rep rule with
+          | Some { verdict = Pass; _ } -> upgrades := rule :: !upgrades
+          | Some { verdict = Fail; message; _ } ->
+              diags :=
+                Lint.Diagnostic.make ~rule:"A1"
+                  ~severity:Lint.Diagnostic.Info ~protocol:r.Lint.Engine.protocol
+                  (Fmt.str
+                     "static tier corroborates the bounded %s rejection: %s"
+                     rule message)
+                :: !diags
+          | _ -> ())
+      | Contradict why ->
+          diags :=
+            Lint.Diagnostic.make ~rule:"A1" ~severity:Lint.Diagnostic.Warning
+              ~protocol:r.Lint.Engine.protocol
+              (Fmt.str
+                 "static tier contradicts the bounded %s verdict (%s); one \
+                  analysis is unsound, strength not upgraded"
+                 rule why)
+            :: !diags)
+    static_rules;
+  let upgrades = List.rev !upgrades in
+  let c = r.Lint.Engine.certificate in
+  let rule_strengths =
+    (* Upgrade in place, then append the promoted rules the bounded
+       certificate does not track (B1/E1), keeping a stable order. *)
+    List.map
+      (fun (rule, s) ->
+        if List.mem rule upgrades then (rule, Lint.Certificate.Static)
+        else (rule, s))
+      c.Lint.Certificate.rule_strengths
+    @ List.filter_map
+        (fun rule ->
+          if
+            List.mem rule upgrades
+            && not
+                 (List.mem_assoc rule c.Lint.Certificate.rule_strengths)
+          then Some (rule, Lint.Certificate.Static)
+          else None)
+        static_rules
+  in
+  let diags =
+    if upgrades <> [] then
+      Lint.Diagnostic.make ~rule:"A1" ~severity:Lint.Diagnostic.Info
+        ~protocol:r.Lint.Engine.protocol
+        (Fmt.str
+           "static certification: %s discharged at the spec level (alphabet \
+            <= %d of %d declared, k_t*k_r <= %s, 0 exploration nodes)"
+           (String.concat "/" upgrades)
+           (List.length rep.alphabet_tr + List.length rep.alphabet_rt)
+           rep.declared_headers (count_str rep.product))
+      :: !diags
+    else !diags
+  in
+  let strength =
+    List.fold_left
+      (fun acc (_, s) -> Lint.Certificate.weakest acc s)
+      Lint.Certificate.Static rule_strengths
+  in
+  {
+    r with
+    Lint.Engine.diagnostics = r.Lint.Engine.diagnostics @ List.rev diags;
+    certificate =
+      { c with Lint.Certificate.rule_strengths; strength };
+  }

@@ -204,8 +204,9 @@ let test_bounded_strength_without_complete () =
       | Certificate.Bounded n ->
           checki (r.Engine.protocol ^ ": budget is the node bound")
             Checks.default_config.Checks.bounds.Nfc_mcheck.Explore.max_nodes n
-      | Certificate.Complete ->
-          Alcotest.fail (r.Engine.protocol ^ ": complete strength without the cover tier"))
+      | Certificate.Complete | Certificate.Static ->
+          Alcotest.fail
+            (r.Engine.protocol ^ ": upgraded strength without the cover/static tier"))
     (Lazy.force registry_results);
   let contains hay needle =
     let nh = String.length hay and nn = String.length needle in

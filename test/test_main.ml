@@ -19,6 +19,7 @@ let () =
       ("boundness-def", Test_boundness_def.suite);
       ("serve", Test_serve.suite);
       ("pdl", Test_pdl.suite);
+      ("specint", Test_specint.suite);
       ("matrix", Test_matrix.suite);
       ("edge", Test_edge.suite);
     ]

@@ -448,6 +448,10 @@ let test_e2e_protocol_submission () =
       checkb "digest handle" true
         (String.length handle = 4 + 32 && String.sub handle 0 4 = "pdl:");
       checkstr "declared name" "stop-and-wait" (get_str "protocol" body);
+      (* The compile-time static gate attaches its symbolic report. *)
+      checkb "static report attached" true (str_contains body {|"static":|});
+      checkb "static verdicts present" true
+        (str_contains body {|"rule":"H1","verdict":"pass"|});
       (* Idempotent resubmission -> 200 cached, same handle. *)
       let status2, _, body2 =
         request ~port ~meth:"POST" ~target:"/v1/protocols" ~body:impostor_spec ()
@@ -537,6 +541,26 @@ let test_e2e_protocol_submission_errors () =
       checkb "too_large counter" true
         (str_contains metrics {|nfc_protocol_submissions_total{outcome="too_large"} 1|}))
 
+let test_e2e_did_you_mean_400 () =
+  with_server (fun port ->
+      (* A near-miss builtin name comes back as a 400 whose body carries
+         the registry's Levenshtein suggestion. *)
+      let status, _, body =
+        request ~port ~meth:"POST" ~target:"/v1/lint"
+          ~body:{|{"protocol":"stop-and-wiat"}|} ()
+      in
+      checki "near-miss name is 400" 400 status;
+      checkb "body suggests a correction" true (str_contains body "did you mean");
+      checkb "body names the builtin" true (str_contains body "stop-and-wait");
+      (* So does a typo'd file: scheme — "file" sits in the suggestion
+         pool even though the service refuses real file: sources. *)
+      let status, _, body =
+        request ~port ~meth:"POST" ~target:"/v1/lint"
+          ~body:{|{"protocol":"fiel:spec.nfc"}|} ()
+      in
+      checki "scheme typo is 400" 400 status;
+      checkb "body suggests file" true (str_contains body {|did you mean \"file\"|}))
+
 let suite =
   [
     ("queue bounded fifo", `Quick, test_queue_bounded_fifo);
@@ -557,4 +581,5 @@ let suite =
     ("e2e cancel queued job", `Quick, test_e2e_cancel_queued_job);
     ("e2e protocol submission", `Quick, test_e2e_protocol_submission);
     ("e2e protocol submission errors", `Quick, test_e2e_protocol_submission_errors);
+    ("e2e did-you-mean 400", `Quick, test_e2e_did_you_mean_400);
   ]
