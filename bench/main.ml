@@ -180,6 +180,7 @@ let bench_t21_boundness =
                   submit_budget = 2;
                   max_nodes = 5_000;
                   allow_drop = true;
+                  por = false;
                 }
               ~probe:Nfc_mcheck.Boundness.default_probe_bounds)))
 
@@ -195,6 +196,7 @@ let bench_t31_mcheck =
                 submit_budget = 3;
                 max_nodes = 100_000;
                 allow_drop = true;
+                por = false;
               })))
 
 let bench_t31_adversary =
@@ -237,6 +239,7 @@ let engine_bounds =
     submit_budget = 3;
     max_nodes = 15_000;
     allow_drop = true;
+    por = false;
   }
 
 let bench_engine_hashed proto =
@@ -565,15 +568,115 @@ let json_mode ~full =
           ])
       [ "stop_and_wait.nfc"; "alternating_bit.nfc"; "bounded_counter.nfc" ]
   in
+  (* Intra-search ablation: one full exploration per (protocol, domain
+     count), fresh engine each run — what the work-stealing parallel BFS
+     buys on THIS machine.  On a single-core container the curve is
+     honestly flat (the level barriers and striped insertion cost a
+     little with nothing to win back); the determinism suite is what
+     certifies the parallel path, this prices it. *)
+  let intra_search =
+    let nodes = if full then 100_000 else 30_000 in
+    let ibounds = { engine_bounds with Nfc_mcheck.Explore.max_nodes = nodes } in
+    let time proto domains =
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module E = Nfc_mcheck.Explore.Make (P) in
+      let t0 = Unix.gettimeofday () in
+      ignore (E.reachable_set ~domains ibounds);
+      Unix.gettimeofday () -. t0
+    in
+    List.map
+      (fun proto ->
+        let module P = (val proto : Nfc_protocol.Spec.S) in
+        let d1 = time proto 1 in
+        let d2 = time proto 2 in
+        let d4 = time proto 4 in
+        Json.Obj
+          [
+            ("protocol", Json.String P.name);
+            ("max_nodes", Json.Int nodes);
+            ("domains1_seconds", Json.Float d1);
+            ("domains2_seconds", Json.Float d2);
+            ("domains4_seconds", Json.Float d4);
+            ("speedup_d2", Json.Float (d1 /. d2));
+            ("speedup_d4", Json.Float (d1 /. d4));
+          ])
+      (Nfc_protocol.Registry.defaults ())
+  in
+  (* POR reduction, measured at capacity 4 where the sub-capacity drop
+     closure is thickest.  Honest accounting: over a MULTISET channel most
+     drop interleavings already collapse into one configuration, so the
+     visited-set reduction is small (it counts configurations reachable
+     only through a sub-capacity drop); what lazy-drop buys is pruned drop
+     EDGES — less successor generation per state, hence wall-clock at the
+     same node budget and a deeper frontier within it.  [comparable] marks
+     pairs where neither run truncated — there the station-state
+     projections and phantom existence must not move (the engine suite
+     asserts this; the bench records the margin). *)
+  let por_reduction =
+    let pbounds =
+      {
+        engine_bounds with
+        Nfc_mcheck.Explore.capacity_tr = 4;
+        capacity_rt = 4;
+        max_nodes = (if full then 60_000 else 20_000);
+      }
+    in
+    List.map
+      (fun proto ->
+        let module P = (val proto : Nfc_protocol.Spec.S) in
+        let run por =
+          let module E = Nfc_mcheck.Explore.Make (P) in
+          let t0 = Unix.gettimeofday () in
+          let r = E.reachable_set { pbounds with Nfc_mcheck.Explore.por } in
+          ( Unix.gettimeofday () -. t0,
+            r.E.reach_stats,
+            r.E.truncated,
+            r.E.first_phantom = None )
+        in
+        let full_s, full_st, full_tr, full_nophantom = run false in
+        let por_s, por_st, por_tr, por_nophantom = run true in
+        let comparable = not (full_tr || por_tr) in
+        Json.Obj
+          [
+            ("protocol", Json.String P.name);
+            ("capacity", Json.Int pbounds.Nfc_mcheck.Explore.capacity_tr);
+            ("max_nodes", Json.Int pbounds.Nfc_mcheck.Explore.max_nodes);
+            ("full_states", Json.Int full_st.Nfc_mcheck.Explore.nodes);
+            ("por_states", Json.Int por_st.Nfc_mcheck.Explore.nodes);
+            ("full_seconds", Json.Float full_s);
+            ("por_seconds", Json.Float por_s);
+            ("speedup", Json.Float (full_s /. por_s));
+            ("full_max_depth", Json.Int full_st.Nfc_mcheck.Explore.max_depth);
+            ("por_max_depth", Json.Int por_st.Nfc_mcheck.Explore.max_depth);
+            ( "state_reduction",
+              Json.Float
+                (1.
+                -. float_of_int por_st.Nfc_mcheck.Explore.nodes
+                   /. float_of_int (max 1 full_st.Nfc_mcheck.Explore.nodes)) );
+            ("comparable", Json.Bool comparable);
+            ( "verdicts_unchanged",
+              if comparable then
+                Json.Bool
+                  (full_nophantom = por_nophantom
+                  && full_st.Nfc_mcheck.Explore.sender_states
+                     = por_st.Nfc_mcheck.Explore.sender_states
+                  && full_st.Nfc_mcheck.Explore.receiver_states
+                     = por_st.Nfc_mcheck.Explore.receiver_states)
+              else Json.Null );
+          ])
+      (Nfc_protocol.Registry.defaults ())
+  in
   print_endline
     (Json.to_string
        (Json.Obj
           [
-            ("bench", Json.String "BENCH_7");
+            ("bench", Json.String "BENCH_8");
             ("mode", Json.String (if full then "full" else "quick"));
             ("unit", Json.String "ns/run (bechamel OLS, monotonic clock)");
             ("estimates", Json.List estimates);
             ("engine_ablation", Json.List engine);
+            ("intra_search", Json.List intra_search);
+            ("por_reduction", Json.List por_reduction);
             ("lint_registry_wall_clock", Json.List lint);
             ("cover_vs_explore", Json.List cover_vs_explore);
             ("pdl_interp", Json.List pdl_interp);

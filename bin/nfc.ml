@@ -83,6 +83,32 @@ let jobs_arg =
           "Worker domains for independent sub-tasks (0 = one per core). The default 1 \
            runs fully sequentially; any value produces identical output — parallelism \
            only changes wall-clock time.")
+(* --jobs fans out independent sub-tasks (per-protocol lint runs, boundness
+   probes); --engine-domains parallelises INSIDE one state-space search.
+   They compose: lint --jobs 4 --engine-domains 2 runs four protocols at a
+   time, each explored by two domains. *)
+let engine_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "engine-domains" ] ~docv:"D"
+        ~doc:
+          "Intra-search worker domains for a single exploration (0 = one per core). \
+           Distinct from $(b,--jobs), which fans out independent sub-tasks: this \
+           parallelises inside one state-space search with a work-stealing \
+           level-synchronous BFS. Results are byte-identical at any value.")
+
+let por_arg =
+  Arg.(
+    value & flag
+    & info [ "por" ]
+        ~doc:
+          "Commutativity-based partial-order reduction: defer packet drops until the \
+           channel is at capacity (drops commute with every other move over a \
+           multiset channel). Preserves phantom reachability, packet alphabets and \
+           boundness verdicts while exploring fewer configurations.")
+
+let resolve_domains d = if d = 0 then Nfc_util.Pool.recommended () else max 1 d
+
 let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller, faster experiment variants")
 
 (* ------------------------------------------------------------ protocols *)
@@ -207,7 +233,7 @@ let mcheck_cmd =
       & info [ "wedge" ]
           ~doc:"Search for a liveness wedge (no continuation delivers) instead of a phantom")
   in
-  let run protocol capacity submits nodes no_drop save wedge =
+  let run protocol capacity submits nodes no_drop save wedge engine_domains por =
     let bounds =
       {
         Nfc_mcheck.Explore.capacity_tr = capacity;
@@ -215,8 +241,10 @@ let mcheck_cmd =
         submit_budget = submits;
         max_nodes = nodes;
         allow_drop = not no_drop;
+        por;
       }
     in
+    let domains = resolve_domains engine_domains in
     if wedge then begin
       let o = Nfc_mcheck.Explore.find_wedge protocol bounds in
       Format.printf "%a@." Nfc_mcheck.Explore.pp_wedge_outcome o;
@@ -228,7 +256,7 @@ let mcheck_cmd =
       | Nfc_mcheck.Explore.Wedged _, None -> exit 2
       | Nfc_mcheck.Explore.No_wedge _, _ -> exit 0
     end;
-    let outcome = Nfc_mcheck.Explore.find_phantom protocol bounds in
+    let outcome = Nfc_mcheck.Explore.find_phantom ~domains protocol bounds in
     Format.printf "%a@." Nfc_mcheck.Explore.pp_outcome outcome;
     match outcome with
     | Nfc_mcheck.Explore.Violation trace ->
@@ -245,7 +273,7 @@ let mcheck_cmd =
        ~doc:"Model-check a protocol over an adversarial non-FIFO channel (DL1 search)")
     Term.(
       const run $ with_spec protocol $ capacity $ submits $ nodes $ no_drop $ save
-      $ wedge)
+      $ wedge $ engine_domains_arg $ por_arg)
 
 (* ------------------------------------------------------------ boundness *)
 
@@ -259,9 +287,13 @@ let boundness_cmd =
   let nodes =
     Arg.(value & opt int 30_000 & info [ "nodes" ] ~docv:"N" ~doc:"Configuration budget")
   in
-  let run protocol nodes jobs =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as a single JSON object")
+  in
+  let run protocol nodes jobs engine_domains por json =
     let report =
-      Nfc_mcheck.Boundness.measure ~jobs protocol
+      Nfc_mcheck.Boundness.measure ~jobs ~domains:(resolve_domains engine_domains)
+        protocol
         ~explore:
           {
             Nfc_mcheck.Explore.capacity_tr = 2;
@@ -269,15 +301,20 @@ let boundness_cmd =
             submit_budget = 2;
             max_nodes = nodes;
             allow_drop = true;
+            por;
           }
         ~probe:Nfc_mcheck.Boundness.default_probe_bounds
     in
-    Format.printf "%a@." Nfc_mcheck.Boundness.pp_report report
+    if json then
+      print_endline (Nfc_util.Json.to_string (Nfc_mcheck.Boundness.to_json report))
+    else Format.printf "%a@." Nfc_mcheck.Boundness.pp_report report
   in
   Cmd.v
     (Cmd.info "boundness"
        ~doc:"Measure a protocol's boundness against Theorem 2.1's k_t*k_r state product")
-    Term.(const run $ with_spec protocol $ nodes $ jobs_arg)
+    Term.(
+      const run $ with_spec protocol $ nodes $ jobs_arg $ engine_domains_arg $ por_arg
+      $ json)
 
 (* ------------------------------------------------------------- theorems *)
 
@@ -535,7 +572,7 @@ let lint_cmd =
              reported under rule A1.")
   in
   let run spec_path protocol capacity submits nodes strict json complete cover_nodes
-      sarif static jobs =
+      sarif static jobs engine_domains por =
     let compiled =
       match spec_path with
       | None -> None
@@ -567,9 +604,11 @@ let lint_cmd =
             submit_budget = submits;
             max_nodes = nodes;
             allow_drop = true;
+            por;
           };
         complete;
         cover_max_nodes = cover_nodes;
+        engine_domains = resolve_domains engine_domains;
       }
     in
     match
@@ -606,7 +645,8 @@ let lint_cmd =
         ^ "): header budgets, input-enabledness, Theorem 2.1 boundness certificates"))
     Term.(
       const run $ spec_path $ protocol $ capacity $ submits $ nodes $ strict $ json
-      $ complete $ cover_nodes $ sarif $ static $ jobs_arg)
+      $ complete $ cover_nodes $ sarif $ static $ jobs_arg $ engine_domains_arg
+      $ por_arg)
 
 (* ---------------------------------------------------------------- cover *)
 

@@ -45,6 +45,7 @@ let () =
       submit_budget = 3;
       max_nodes = 200_000;
       allow_drop = false (* reordering alone is enough *);
+      por = false;
     }
   in
   match Nfc_mcheck.Explore.find_phantom protocol bounds with

@@ -18,10 +18,10 @@ let t21 ?(quick = false) () =
   let explore =
     if quick then
       { Nfc_mcheck.Explore.capacity_tr = 2; capacity_rt = 2; submit_budget = 2;
-        max_nodes = 10_000; allow_drop = true }
+        max_nodes = 10_000; allow_drop = true; por = false }
     else
       { Nfc_mcheck.Explore.capacity_tr = 2; capacity_rt = 2; submit_budget = 3;
-        max_nodes = 60_000; allow_drop = true }
+        max_nodes = 60_000; allow_drop = true; por = false }
   in
   let probe = Nfc_mcheck.Boundness.default_probe_bounds in
   let protocols =

@@ -26,6 +26,8 @@ type t = {
   strength : strength;
   rule_strengths : (string * strength) list;
   cover : cover_summary option;
+  engine_domains : int;
+  por : bool;
 }
 
 let strength_to_string = function
@@ -117,4 +119,9 @@ let to_json c =
                    | Bounded _ -> "bounded") ))
              c.rule_strengths) );
       ("cover", Json.opt cover_to_json c.cover);
+      (* Engine provenance: results are domain-count-invariant and POR
+         preserves the certified verdicts, but records say how they were
+         produced so differential gates can assert the invariance. *)
+      ("engine_domains", Json.Int c.engine_domains);
+      ("por", Json.Bool c.por);
     ]

@@ -12,6 +12,8 @@ type config = {
   max_witnesses : int;
   complete : bool;
   cover_max_nodes : int;
+  engine_domains : int;
+  checkpoint : unit -> unit;
 }
 
 let default_config =
@@ -23,6 +25,7 @@ let default_config =
         submit_budget = 3;
         max_nodes = 15_000;
         allow_drop = true;
+        por = false;
       };
     (* Tighter than {!Boundness.default_probe_bounds}: flooding protocols
        make each exhausted probe pay its full node budget, and the linter
@@ -42,6 +45,8 @@ let default_config =
        budget: converging protocols finish orders of magnitude below it,
        and only the hook-less flooding protocols ever hit it. *)
     cover_max_nodes = 200_000;
+    engine_domains = 1;
+    checkpoint = (fun () -> ());
   }
 
 let take n l =
@@ -123,7 +128,9 @@ module Make (P : Spec.S) = struct
     end in
     let module B = Boundness.Make (G) in
     let module E = B.E in
-    let reach = E.reachable_set cfg.bounds in
+    let reach =
+      E.reachable_set ~domains:cfg.engine_domains ~checkpoint:cfg.checkpoint cfg.bounds
+    in
     (* --------------------------- alphabet census and state collection *)
     let atr = ref Iset.empty in
     let art = ref Iset.empty in
@@ -232,8 +239,8 @@ module Make (P : Spec.S) = struct
        registry protocols) — the gated pass then provably visits the same
        set, so boundness costs probes, not a second exploration. *)
     let breport =
-      B.measure ~max_probes:cfg.max_probes ~reach ~explore:cfg.bounds
-        ~probe_bounds:cfg.probe ()
+      B.measure ~max_probes:cfg.max_probes ~domains:cfg.engine_domains
+        ~checkpoint:cfg.checkpoint ~reach ~explore:cfg.bounds ~probe_bounds:cfg.probe ()
     in
     (match breport.Boundness.boundness with
     | Some b when b > product ->
@@ -436,6 +443,8 @@ module Make (P : Spec.S) = struct
         strength = (if cfg.complete then strength else bounded);
         rule_strengths = !rule_strengths;
         cover = !cover_summary;
+        engine_domains = max 1 cfg.engine_domains;
+        por = cfg.bounds.Explore.por;
       }
     in
     (List.rev !diags, certificate)

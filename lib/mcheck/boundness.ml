@@ -15,6 +15,8 @@ type report = {
   boundness : int option;
   probes_exhausted : int;
   probes_skipped : int;
+  engine_domains : int;
+  por : bool;
 }
 
 let pp_report ppf r =
@@ -39,6 +41,8 @@ let to_json r =
       ("boundness", J.opt (fun b -> J.Int b) r.boundness);
       ("probes_exhausted", J.Int r.probes_exhausted);
       ("probes_skipped", J.Int r.probes_skipped);
+      ("engine_domains", J.Int r.engine_domains);
+      ("por", J.Bool r.por);
     ]
 
 module Make (P : Spec.S) = struct
@@ -191,7 +195,9 @@ module Make (P : Spec.S) = struct
     let dq : (int * pstate) Nfc_util.Deque.t ref = ref Nfc_util.Deque.empty in
     let push_front x = dq := Nfc_util.Deque.push_front x !dq in
     let push_back x = dq := Nfc_util.Deque.push_back x !dq in
-    let visited = Ptbl.create 1024 in
+    (* Scale with the per-probe node budget (cf. {!Explore}'s visited
+       sizing) instead of a fixed 1024. *)
+    let visited = Ptbl.create (max 1024 (min pb.max_nodes 1_048_576)) in
     let n_visited = ref 0 in
     let result = ref None in
     push_front (0, start);
@@ -300,8 +306,8 @@ module Make (P : Spec.S) = struct
     List.iteri (fun rank (id, _) -> Hashtbl.replace ranks id rank) sorted;
     ranks
 
-  let measure ?max_probes ?(jobs = 1) ?reach ~(explore : Explore.bounds)
-      ~(probe_bounds : probe_bounds) () =
+  let measure ?max_probes ?(jobs = 1) ?(domains = 1) ?checkpoint ?reach
+      ~(explore : Explore.bounds) ~(probe_bounds : probe_bounds) () =
     (* A caller-supplied ungated exploration at the same bounds stands in
        for the gated pass exactly when it is phantom-free: then every
        delivery taken had a message pending, so the gated traversal would
@@ -310,7 +316,7 @@ module Make (P : Spec.S) = struct
     let reach =
       match reach with
       | Some r when r.E.first_phantom = None -> r
-      | _ -> E.reachable_set ~deliver_valid_only:true explore
+      | _ -> E.reachable_set ~deliver_valid_only:true ~domains ?checkpoint explore
     in
     let stats = reach.E.reach_stats in
     let semi_valid =
@@ -377,11 +383,13 @@ module Make (P : Spec.S) = struct
       boundness;
       probes_exhausted = exhausted;
       probes_skipped = skipped;
+      engine_domains = max 1 domains;
+      por = explore.Explore.por;
     }
 end
 
-let measure ?max_probes ?jobs (proto : Spec.t) ~(explore : Explore.bounds)
-    ~(probe : probe_bounds) =
+let measure ?max_probes ?jobs ?domains ?checkpoint (proto : Spec.t)
+    ~(explore : Explore.bounds) ~(probe : probe_bounds) =
   let module P = (val proto) in
   let module B = Make (P) in
-  B.measure ?max_probes ?jobs ?reach:None ~explore ~probe_bounds:probe ()
+  B.measure ?max_probes ?jobs ?domains ?checkpoint ?reach:None ~explore ~probe_bounds:probe ()

@@ -37,6 +37,15 @@ type bounds = {
   submit_budget : int;  (** total messages the user may submit *)
   max_nodes : int;  (** visited-set size limit *)
   allow_drop : bool;  (** may the channel delete packets? *)
+  por : bool;
+      (** lazy-drop partial-order reduction: generate [Drop_pkt] moves
+          only when the channel is at capacity.  Drops over a multiset
+          channel commute with every other move and deferring one only
+          grows the channel, so the reduction preserves phantom
+          reachability, the packet alphabet, and every station-state
+          projection (hence boundness verdicts) — but {e not} the exact
+          configuration count, nor the wedge (Q1) analysis, which
+          {!Make.find_wedge_search} therefore runs POR-off. *)
 }
 
 val default_bounds : bounds
@@ -61,12 +70,14 @@ type outcome =
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-(** Search for a reachable DL1 violation (phantom delivery). *)
-val find_phantom : Nfc_protocol.Spec.t -> bounds -> outcome
+(** Search for a reachable DL1 violation (phantom delivery).  [domains]
+    (default 1) selects the intra-search parallel engine; results are
+    byte-identical at any domain count. *)
+val find_phantom : ?domains:int -> Nfc_protocol.Spec.t -> bounds -> outcome
 
 (** Explore the whole bounded space (no goal) and report statistics —
     in particular the k_t and k_r of Theorem 2.1. *)
-val reachable : Nfc_protocol.Spec.t -> bounds -> stats
+val reachable : ?domains:int -> Nfc_protocol.Spec.t -> bounds -> stats
 
 type wedge_outcome =
   | Wedged of Nfc_automata.Execution.t * stats
@@ -193,9 +204,39 @@ module Make (P : Nfc_protocol.Spec.S) : sig
       breadth-first sweep serves three consumers: the configuration list
       (census, probing), the phantom scan (replacing a separate
       {!search} pass), and — when phantom-free — the boundness
-      measurement's gated exploration. *)
-  val reachable_set : ?deliver_valid_only:bool -> bounds -> reach
+      measurement's gated exploration.
 
-  val search : ?stop_at_phantom:bool -> bounds -> outcome
-  val find_wedge_search : bounds -> wedge_outcome
+      [domains] (default 1) runs the level-synchronised intra-search
+      parallel core: bit-packed (or boxed-fallback) sharded visited
+      table, work-stealing frontier, and a sequential rank-order
+      finalisation that reproduces the sequential engine's
+      configurations, statistics, truncation and phantom bookkeeping
+      byte-for-byte at any domain count.  [size_hint] pre-sizes the
+      visited table (default: scaled to [max_nodes]).  [checkpoint] is
+      called periodically from the exploring domain (every level in
+      parallel mode, every ~2k dequeues sequentially) — the cooperative
+      cancellation hook; it may raise to abort the exploration. *)
+  val reachable_set :
+    ?deliver_valid_only:bool ->
+    ?domains:int ->
+    ?size_hint:int ->
+    ?checkpoint:(unit -> unit) ->
+    bounds ->
+    reach
+
+  (** BFS counterexample search; same [domains]/[size_hint]/[checkpoint]
+      contract as {!reachable_set}. *)
+  val search :
+    ?stop_at_phantom:bool ->
+    ?domains:int ->
+    ?size_hint:int ->
+    ?checkpoint:(unit -> unit) ->
+    bounds ->
+    outcome
+
+  (** Wedge (stuck-configuration) search.  Always sequential and always
+      POR-off (see {!type:bounds}): the lazy-drop reduction does not
+      preserve the wedge analysis. *)
+  val find_wedge_search :
+    ?size_hint:int -> ?checkpoint:(unit -> unit) -> bounds -> wedge_outcome
 end

@@ -1,0 +1,193 @@
+(* Work-stealing frontier for the level-synchronized parallel BFS.
+
+   A pool owns [domains - 1] spawned worker domains (the calling domain
+   is worker 0).  Each {!run} is one barrier-delimited phase: the block
+   indices [0 .. blocks-1] are dealt into per-domain deques as contiguous
+   ranges, every worker drains its own deque bottom-first and steals a
+   batch (half the victim's remainder) from another deque's top when its
+   own runs dry, and {!run} returns only when every block has been
+   executed.  Phases never create blocks mid-flight, so "all deques
+   empty" is a sound termination test.
+
+   Determinism contract: a task must write its results only into
+   block-indexed slots.  Which worker executes a block, and in which
+   order blocks complete, is racy by design; the caller reassembles
+   results in block-index order, so the race is invisible.  Tasks that
+   need exclusivity (the visited-table insertion phase) key it off the
+   *block* index — blocks partition the shards, so whichever worker
+   steals a block inherits its exclusive shard slice.
+
+   The deques are mutex-protected rather than lock-free: steals happen at
+   block granularity (hundreds of parents per block), so the lock is cold
+   and the simplicity buys an obvious correctness argument. *)
+
+type deque = {
+  dm : Mutex.t;
+  mutable items : int array;  (* live slice is [lo, hi) *)
+  mutable lo : int;
+  mutable hi : int;
+}
+
+type t = {
+  domains : int;
+  deques : deque array;
+  m : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable gen : int;
+  mutable remaining : int;
+  mutable task : (worker:int -> block:int -> unit) option;
+  mutable stop : bool;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable handles : unit Domain.t list;
+}
+
+let pop_own d =
+  Mutex.protect d.dm (fun () ->
+      if d.hi > d.lo then begin
+        d.hi <- d.hi - 1;
+        Some d.items.(d.hi)
+      end
+      else None)
+
+(* Steal the top half of [victim]'s remaining blocks: the first becomes
+   the thief's next block, the rest seed the thief's (empty) deque so
+   further thieves can re-steal them. *)
+let steal_from victim thief =
+  Mutex.protect victim.dm (fun () ->
+      let n = victim.hi - victim.lo in
+      if n <= 0 then None
+      else begin
+        let k = (n + 1) / 2 in
+        let batch = Array.sub victim.items victim.lo k in
+        victim.lo <- victim.lo + k;
+        Mutex.protect thief.dm (fun () ->
+            thief.items <- batch;
+            thief.lo <- 1;
+            thief.hi <- k);
+        Some batch.(0)
+      end)
+
+let next_block t w =
+  match pop_own t.deques.(w) with
+  | Some b -> Some b
+  | None ->
+      let rec try_victim i =
+        if i >= t.domains then None
+        else
+          let v = (w + i) mod t.domains in
+          match steal_from t.deques.(v) t.deques.(w) with
+          | Some b -> Some b
+          | None -> try_victim (i + 1)
+      in
+      try_victim 1
+
+let drain t w task =
+  let rec go () =
+    match next_block t w with
+    | Some b ->
+        task ~worker:w ~block:b;
+        go ()
+    | None -> ()
+  in
+  try go ()
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Mutex.protect t.m (fun () ->
+        if t.failure = None then t.failure <- Some (e, bt))
+
+let worker_loop t w =
+  let rec loop my_gen =
+    Mutex.lock t.m;
+    while t.gen = my_gen && not t.stop do
+      Condition.wait t.work t.m
+    done;
+    if t.stop then Mutex.unlock t.m
+    else begin
+      let gen = t.gen in
+      let task = Option.get t.task in
+      Mutex.unlock t.m;
+      drain t w task;
+      Mutex.protect t.m (fun () ->
+          t.remaining <- t.remaining - 1;
+          if t.remaining = 0 then Condition.broadcast t.finished);
+      loop gen
+    end
+  in
+  loop 0
+
+let create ~domains =
+  let domains = max 1 domains in
+  let t =
+    {
+      domains;
+      deques =
+        Array.init domains (fun _ -> { dm = Mutex.create (); items = [||]; lo = 0; hi = 0 });
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      gen = 0;
+      remaining = 0;
+      task = None;
+      stop = false;
+      failure = None;
+      handles = [];
+    }
+  in
+  t.handles <-
+    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let domains t = t.domains
+
+let reraise_failure t =
+  match t.failure with
+  | Some (e, bt) ->
+      t.failure <- None;
+      Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let run t ~blocks task =
+  if blocks > 0 then
+    if t.domains = 1 then begin
+      (try
+         for b = 0 to blocks - 1 do
+           task ~worker:0 ~block:b
+         done
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         t.failure <- Some (e, bt));
+      reraise_failure t
+    end
+    else begin
+      (* Deal contiguous block ranges, one per domain (locality: blocks
+         index contiguous parent ranges). *)
+      Array.iteri
+        (fun d dq ->
+          let lo = blocks * d / t.domains and hi = blocks * (d + 1) / t.domains in
+          Mutex.protect dq.dm (fun () ->
+              dq.items <- Array.init (hi - lo) (fun i -> lo + i);
+              dq.lo <- 0;
+              dq.hi <- hi - lo))
+        t.deques;
+      Mutex.protect t.m (fun () ->
+          t.task <- Some task;
+          t.gen <- t.gen + 1;
+          t.remaining <- t.domains - 1;
+          Condition.broadcast t.work);
+      drain t 0 task;
+      Mutex.lock t.m;
+      while t.remaining > 0 do
+        Condition.wait t.finished t.m
+      done;
+      t.task <- None;
+      Mutex.unlock t.m;
+      reraise_failure t
+    end
+
+let shutdown t =
+  Mutex.protect t.m (fun () ->
+      t.stop <- true;
+      Condition.broadcast t.work);
+  List.iter Domain.join t.handles;
+  t.handles <- []

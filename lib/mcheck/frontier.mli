@@ -1,0 +1,35 @@
+(** Work-stealing frontier for the level-synchronized parallel BFS.
+
+    A pool of [domains - 1] spawned worker domains plus the calling
+    domain (worker 0).  Each {!run} executes one barrier-delimited phase:
+    block indices [0 .. blocks-1] are dealt into per-domain deques as
+    contiguous ranges; workers drain their own deque bottom-first and
+    batch-steal half a victim's remainder when dry; {!run} returns once
+    every block has executed (phases never spawn blocks mid-flight).
+
+    Determinism contract: tasks write results only into block-indexed
+    slots.  Which worker runs a block and in what order blocks finish is
+    racy by design — callers reassemble in block-index order, so the
+    race never reaches a result.  A task needing exclusivity (visited
+    insertion) keys it off the block index: blocks partition the shard
+    space, and a stolen block carries its exclusive shard slice with it.
+
+    The first exception a task raises is captured and re-raised from
+    {!run} on the calling domain (remaining blocks of that worker are
+    abandoned; other workers finish theirs). *)
+
+type t
+
+val create : domains:int -> t
+
+(** Number of workers, including the calling domain. *)
+val domains : t -> int
+
+(** [run t ~blocks task] executes [task ~worker ~block] for every
+    [block < blocks], on [domains t] workers, returning at the phase
+    barrier.  [worker] is the executing worker's index — valid as an
+    index into per-worker scratch state, nothing more. *)
+val run : t -> blocks:int -> (worker:int -> block:int -> unit) -> unit
+
+(** Join the spawned domains.  The pool must not be used afterwards. *)
+val shutdown : t -> unit

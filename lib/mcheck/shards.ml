@@ -1,0 +1,126 @@
+(* Sharded visited tables for the intra-search parallel BFS.
+
+   A table is split into [shards] independent sub-tables; a configuration
+   key lands in shard [hash land (shards - 1)].  The exploration runs in
+   barrier-separated phases, and the phases obey an *ownership-striping*
+   discipline that makes every operation lock-free:
+
+   - generation phases only call [mem] (concurrent reads of a table no
+     domain is mutating);
+   - insertion phases partition the shards across domains — each shard is
+     walked by exactly one domain, which processes that shard's candidate
+     insertions in global candidate-rank order.
+
+   Striping by ownership rather than by lock is what keeps the parallel
+   search deterministic: a per-shard mutex would admit whichever domain
+   arrived first, but insertion *order* decides which duplicate candidate
+   becomes the visited node, so each shard's insertions must happen in
+   rank order — i.e. on a single domain per phase.  The barrier between
+   phases is the only synchronisation the table itself needs. *)
+
+(* 63-bit avalanche mixer (splitmix-style, constants truncated to fit
+   OCaml's tagged int).  Key distribution feeds both shard selection (low
+   bits) and the in-shard probe sequence (high bits), so raw packed keys —
+   which differ only in a few fields — must be scrambled first. *)
+let mix k =
+  let k = k lxor (k lsr 31) in
+  let k = k * 0x2545F4914F6CDD1D land max_int in
+  let k = k lxor (k lsr 29) in
+  let k = k * 0x9E3779B97F4A7C1 land max_int in
+  k lxor (k lsr 32)
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+(* Default shard count: enough strips that any realistic domain count
+   partitions them evenly, few enough that per-shard tables stay dense. *)
+let default_shards = 64
+
+module Packed = struct
+  type shard = {
+    mutable slots : int array;  (* open addressing; -1 = empty *)
+    mutable used : int;
+    mutable mask : int;
+  }
+
+  type t = { shards : shard array; smask : int }
+
+  let create ?(shards = default_shards) ~size_hint () =
+    let shards = pow2_at_least (max 1 shards) 1 in
+    let per = pow2_at_least (max 16 (size_hint / shards * 2)) 16 in
+    {
+      shards =
+        Array.init shards (fun _ ->
+            { slots = Array.make per (-1); used = 0; mask = per - 1 });
+      smask = shards - 1;
+    }
+
+  let shard_count t = t.smask + 1
+  let shard_of_key t key = mix key land t.smask
+
+  let rec probe slots mask h key i =
+    let j = (h + i) land mask in
+    let v = slots.(j) in
+    if v = key then j else if v = -1 then -j - 1 (* insertion point, encoded *)
+    else probe slots mask h key (i + 1)
+
+  let mem t key =
+    let h = mix key in
+    let s = t.shards.(h land t.smask) in
+    probe s.slots s.mask (h lsr 6) key 0 >= 0
+
+  let grow s h_of =
+    let old = s.slots in
+    let cap = 2 * Array.length old in
+    s.slots <- Array.make cap (-1);
+    s.mask <- cap - 1;
+    Array.iter
+      (fun key ->
+        if key >= 0 then begin
+          let at = probe s.slots s.mask (h_of key) key 0 in
+          s.slots.(-at - 1) <- key
+        end)
+      old
+
+  (* Insert-if-absent; caller owns this key's shard for the phase.
+     Returns [true] when [key] was newly added. *)
+  let add_owned t key =
+    let h = mix key in
+    let s = t.shards.(h land t.smask) in
+    let at = probe s.slots s.mask (h lsr 6) key 0 in
+    if at >= 0 then false
+    else begin
+      s.slots.(-at - 1) <- key;
+      s.used <- s.used + 1;
+      if 4 * s.used > 3 * (s.mask + 1) then grow s (fun k -> mix k lsr 6);
+      true
+    end
+
+  let length t = Array.fold_left (fun acc s -> acc + s.used) 0 t.shards
+end
+
+module Make (H : Hashtbl.HashedType) = struct
+  module T = Hashtbl.Make (H)
+
+  type t = { shards : unit T.t array; smask : int }
+
+  let create ?(shards = default_shards) ~size_hint () =
+    let shards = pow2_at_least (max 1 shards) 1 in
+    {
+      shards = Array.init shards (fun _ -> T.create (max 16 (size_hint / shards * 2)));
+      smask = shards - 1;
+    }
+
+  let shard_count t = t.smask + 1
+  let shard_of t ~hash = mix hash land t.smask
+  let mem t ~hash key = T.mem t.shards.(mix hash land t.smask) key
+
+  let add_owned t ~hash key =
+    let s = t.shards.(mix hash land t.smask) in
+    if T.mem s key then false
+    else begin
+      T.add s key ();
+      true
+    end
+
+  let length t = Array.fold_left (fun acc s -> acc + T.length s) 0 t.shards
+end

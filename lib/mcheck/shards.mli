@@ -1,0 +1,56 @@
+(** Sharded visited tables for the intra-search parallel BFS.
+
+    A table is [shards] independent sub-tables; a key lands in the shard
+    selected by the low bits of its (mixed) hash.  Concurrency is by
+    {e ownership striping}, not locks: barrier-separated exploration
+    phases either only read ([mem], safe from any domain while no domain
+    writes) or partition the shards across domains so each shard's
+    insertions happen on exactly one domain, {e in global candidate-rank
+    order}.  That ordering — not mutual exclusion — is what keeps the
+    parallel search deterministic: insertion order decides which
+    duplicate candidate becomes the visited node, so a shard must be
+    driven by a single domain per phase.  See DESIGN §5.13. *)
+
+(** Recommended shard count (a power of two; any realistic domain count
+    partitions it evenly). *)
+val default_shards : int
+
+(** Open-addressing shards over bit-packed int63 configuration keys (all
+    keys non-negative): membership is an integer probe sequence with no
+    allocation or boxing. *)
+module Packed : sig
+  type t
+
+  val create : ?shards:int -> size_hint:int -> unit -> t
+  val shard_count : t -> int
+
+  (** The shard a key routes to — the partition function insertion phases
+      use to assign candidates to their owning domain. *)
+  val shard_of_key : t -> int -> int
+
+  val mem : t -> int -> bool
+
+  (** Insert-if-absent; returns [true] when newly added.  The calling
+      domain must own [shard_of_key t key] for the current phase. *)
+  val add_owned : t -> int -> bool
+
+  (** Total population (exact only between phases). *)
+  val length : t -> int
+end
+
+(** Boxed fallback for configurations whose packed encoding overflows
+    int63: the same sharding discipline over [Hashtbl.Make] shards. *)
+module Make (H : Hashtbl.HashedType) : sig
+  type t
+
+  val create : ?shards:int -> size_hint:int -> unit -> t
+  val shard_count : t -> int
+  val shard_of : t -> hash:int -> int
+  val mem : t -> hash:int -> H.t -> bool
+
+  (** Insert-if-absent; the calling domain must own [shard_of t ~hash]
+      for the current phase. *)
+  val add_owned : t -> hash:int -> H.t -> bool
+
+  val length : t -> int
+end

@@ -114,6 +114,8 @@ let lint ctx : Router.handler =
      let* cover_nodes =
        get_clamped ~lo:1 ~hi:2_000_000 ~default:200_000 "cover_nodes" body
      in
+     let* engine_domains = get_clamped ~lo:1 ~hi:8 ~default:1 "engine_domains" body in
+     let* por = J.get_bool ~default:false "por" body in
      let cfg =
        {
          Nfc_lint.Checks.default_config with
@@ -124,15 +126,27 @@ let lint ctx : Router.handler =
              submit_budget = submits;
              max_nodes = nodes;
              allow_drop = true;
+             por;
            };
          complete;
          cover_max_nodes = cover_nodes;
+         engine_domains;
        }
      in
      Ok
        (submit ctx ~kind:"lint" ~protocol:(Nfc_protocol.Spec.name proto)
           ~compute:(fun ~cancelled ->
             check_cancelled cancelled;
+            (* The checkpoint rides into the exploration's B1/T1/Q1
+               budget checks, so a cancel lands mid-BFS instead of
+               waiting for the whole analysis.  Set here, not in [cfg]:
+               each job must poll its own cancellation token. *)
+            let cfg =
+              {
+                cfg with
+                Nfc_lint.Checks.checkpoint = (fun () -> check_cancelled cancelled);
+              }
+            in
             (* One line of [nfc lint --json], sans the newline. *)
             chomp (Nfc_lint.Report.jsonl [ Cache.lint ?key ctx.cache proto cfg ]))))
 
@@ -206,6 +220,8 @@ let boundness ctx : Router.handler =
      let* nodes = get_clamped ~lo:1 ~hi:2_000_000 ~default:30_000 "nodes" body in
      let* capacity = get_clamped ~lo:1 ~hi:8 ~default:2 "capacity" body in
      let* submits = get_clamped ~lo:0 ~hi:16 ~default:2 "submits" body in
+     let* engine_domains = get_clamped ~lo:1 ~hi:8 ~default:1 "engine_domains" body in
+     let* por = J.get_bool ~default:false "por" body in
      let explore =
        {
          Nfc_mcheck.Explore.capacity_tr = capacity;
@@ -213,6 +229,7 @@ let boundness ctx : Router.handler =
          submit_budget = submits;
          max_nodes = nodes;
          allow_drop = true;
+         por;
        }
      in
      Ok
@@ -220,8 +237,9 @@ let boundness ctx : Router.handler =
           ~compute:(fun ~cancelled ->
             check_cancelled cancelled;
             let report =
-              Cache.boundness ?key ctx.cache proto ~explore
-                ~probe:Nfc_mcheck.Boundness.default_probe_bounds
+              Cache.boundness ?key ctx.cache proto ~domains:engine_domains
+                ~checkpoint:(fun () -> check_cancelled cancelled)
+                ~explore ~probe:Nfc_mcheck.Boundness.default_probe_bounds
             in
             J.to_string (Nfc_mcheck.Boundness.to_json report))))
 

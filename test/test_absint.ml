@@ -98,6 +98,7 @@ let bounds =
     submit_budget = 3;
     max_nodes = 15_000;
     allow_drop = true;
+    por = false;
   }
 
 let cover_of proto =

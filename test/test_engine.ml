@@ -23,6 +23,7 @@ let bounds =
     submit_budget = 3;
     max_nodes = 8_000;
     allow_drop = true;
+    por = false;
   }
 
 let probe = { Boundness.max_nodes = 1_000; max_cost = 100 }
@@ -179,6 +180,226 @@ let test_boundness_jobs_deterministic () =
       checkb (name_of proto ^ " probe fan-out deterministic") true (r1 = r4))
     (registry ())
 
+(* --------------------------------------- intra-search determinism -----
+
+   The parallel BFS guarantees byte-identical results at every domain
+   count: same configuration list in the same BFS order, same stats,
+   same truncation flag, same first-phantom rank.  Checked over the whole
+   registry AND the compiled example specs (the PDL path exercises
+   boxed-vs-packed key selection differently), with POR both off and on. *)
+
+let example_specs () =
+  let find file =
+    (* `dune runtest` runs from _build/default/test (specs one level up);
+       `dune exec` runs from the project root.  Accept either. *)
+    let candidates = [ "../examples/specs/" ^ file; "examples/specs/" ^ file ] in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> Alcotest.fail ("cannot locate example spec " ^ file)
+  in
+  List.map
+    (fun f ->
+      match Nfc_pdl.Pdl.load_file (find f) with
+      | Ok c -> c.Nfc_pdl.Pdl.spec
+      | Error m -> Alcotest.fail m)
+    [ "stop_and_wait.nfc"; "alternating_bit.nfc"; "bounded_counter.nfc" ]
+
+let all_protocols () = registry () @ example_specs ()
+
+(* Smaller budget than [bounds]: this test runs 6 sweeps per protocol. *)
+let dbounds = { bounds with Explore.max_nodes = 4_000 }
+
+let test_reach_domains_deterministic () =
+  List.iter
+    (fun proto ->
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module E = Explore.Make (P) in
+      List.iter
+        (fun por ->
+          let b = { dbounds with Explore.por } in
+          let base = E.reachable_set ~domains:1 b in
+          List.iter
+            (fun domains ->
+              let r = E.reachable_set ~domains b in
+              let tag = Printf.sprintf "%s por=%b domains=%d" P.name por domains in
+              checkb (tag ^ " stats") true (r.E.reach_stats = base.E.reach_stats);
+              checkb (tag ^ " truncated") true (r.E.truncated = base.E.truncated);
+              checkb (tag ^ " first_phantom") true
+                (r.E.first_phantom = base.E.first_phantom);
+              checkb (tag ^ " phantom_in_budget") true
+                (r.E.phantom_in_budget = base.E.phantom_in_budget);
+              checki (tag ^ " |configs|") (List.length base.E.configs)
+                (List.length r.E.configs);
+              checkb (tag ^ " configs identical in BFS order") true
+                (List.for_all2
+                   (fun a c -> E.compare_config a c = 0)
+                   base.E.configs r.E.configs))
+            [ 2; 4 ])
+        [ false; true ])
+    (all_protocols ())
+
+let test_search_domains_deterministic () =
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun por ->
+          let b = { dbounds with Explore.por } in
+          let base = Explore.find_phantom ~domains:1 proto b in
+          List.iter
+            (fun domains ->
+              let r = Explore.find_phantom ~domains proto b in
+              checkb
+                (Printf.sprintf "%s por=%b domains=%d search outcome" (name_of proto)
+                   por domains)
+                true (r = base))
+            [ 2; 4 ])
+        [ false; true ])
+    (all_protocols ())
+
+(* QCheck: the domain-count invariance must hold at ANY bounds, not just
+   the hand-picked ones above — random capacities, budgets, node caps,
+   drop and POR settings over random registry protocols. *)
+let qcheck_domain_invariance =
+  let gen =
+    QCheck.Gen.(
+      let* cap = 1 -- 2 in
+      let* sub = 1 -- 3 in
+      let* nodes = 50 -- 2_500 in
+      let* drop = bool in
+      let* por = bool in
+      let* pidx = 0 -- (List.length (registry ()) - 1) in
+      return (cap, sub, nodes, drop, por, pidx))
+  in
+  let print (cap, sub, nodes, drop, por, pidx) =
+    Printf.sprintf "cap=%d sub=%d nodes=%d drop=%b por=%b proto=%s" cap sub nodes drop
+      por
+      (name_of (List.nth (registry ()) pidx))
+  in
+  QCheck.Test.make ~name:"reach invariant under domain count (random bounds)"
+    ~count:25 (QCheck.make ~print gen)
+    (fun (cap, sub, nodes, drop, por, pidx) ->
+      let proto = List.nth (registry ()) pidx in
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module E = Explore.Make (P) in
+      let b =
+        {
+          Explore.capacity_tr = cap;
+          capacity_rt = cap;
+          submit_budget = sub;
+          max_nodes = nodes;
+          allow_drop = drop;
+          por;
+        }
+      in
+      let a = E.reachable_set ~domains:1 b in
+      let c = E.reachable_set ~domains:3 b in
+      a.E.reach_stats = c.E.reach_stats
+      && a.E.truncated = c.E.truncated
+      && a.E.first_phantom = c.E.first_phantom
+      && a.E.phantom_in_budget = c.E.phantom_in_budget
+      && List.length a.E.configs = List.length c.E.configs
+      && List.for_all2 (fun x y -> E.compare_config x y = 0) a.E.configs c.E.configs)
+
+(* ----------------------------------------------- POR preservation -----
+
+   Lazy-drop POR may only SHRINK the explored set; on un-truncated
+   explorations it must preserve exactly what the verdicts are built
+   from: phantom existence, station-state projections (k_t, k_r) and the
+   packet alphabet.  (Node counts and depths legitimately differ — that
+   is the reduction.) *)
+
+let alphabet (type c) (packets : c -> (int * int) list) configs =
+  List.sort_uniq compare (List.concat_map (fun c -> List.map fst (packets c)) configs)
+
+let test_por_preserves_projections () =
+  let comparable = ref 0 in
+  List.iter
+    (fun proto ->
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module E = Explore.Make (P) in
+      let full = E.reachable_set { bounds with Explore.por = false } in
+      let red = E.reachable_set { bounds with Explore.por = true } in
+      let n = P.name in
+      if not (full.E.truncated || red.E.truncated) then begin
+        incr comparable;
+        checkb (n ^ " por explores no more") true
+          (red.E.reach_stats.Explore.nodes <= full.E.reach_stats.Explore.nodes);
+        checki (n ^ " k_t preserved") full.E.reach_stats.Explore.sender_states
+          red.E.reach_stats.Explore.sender_states;
+        checki (n ^ " k_r preserved") full.E.reach_stats.Explore.receiver_states
+          red.E.reach_stats.Explore.receiver_states;
+        checkb (n ^ " phantom existence preserved") true
+          ((full.E.first_phantom = None) = (red.E.first_phantom = None));
+        checkb (n ^ " t->r alphabet preserved") true
+          (alphabet E.packets_tr full.E.configs = alphabet E.packets_tr red.E.configs);
+        checkb (n ^ " r->t alphabet preserved") true
+          (alphabet E.packets_rt full.E.configs = alphabet E.packets_rt red.E.configs)
+      end)
+    (all_protocols ());
+  (* Most registry spaces exceed any practical budget at these bounds;
+     the preservation claims are only testable on the ones that finish.
+     Guard against the assertions above silently never firing. *)
+  checkb "at least one protocol comparable" true (!comparable >= 1)
+
+(* POR under the hashed engine vs POR under the tree-based reference:
+   the reduced graphs themselves must agree, not just their projections. *)
+let test_por_reach_agrees_with_reference () =
+  let b = { bounds with Explore.por = true } in
+  List.iter
+    (fun proto ->
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module E = Explore.Make (P) in
+      let r = E.reachable_set b in
+      let ref_stats, ref_truncated = Reference.reachable_set_stats proto b in
+      let n = P.name ^ " (por)" in
+      checki (n ^ " nodes") ref_stats.Explore.nodes r.E.reach_stats.Explore.nodes;
+      checki (n ^ " k_t") ref_stats.Explore.sender_states
+        r.E.reach_stats.Explore.sender_states;
+      checki (n ^ " k_r") ref_stats.Explore.receiver_states
+        r.E.reach_stats.Explore.receiver_states;
+      checki (n ^ " max_depth") ref_stats.Explore.max_depth
+        r.E.reach_stats.Explore.max_depth;
+      checkb (n ^ " truncated") ref_truncated r.E.truncated;
+      let got = verdict (Explore.find_phantom proto b) in
+      let want = verdict (Reference.find_phantom proto b) in
+      checkb (n ^ " phantom verdict") true (got = want))
+    (registry ())
+
+(* Boundness is computed from semi-valid configurations POR also visits:
+   with an unlimited probe sample the measured value must not move. *)
+let test_por_preserves_boundness () =
+  let comparable = ref 0 in
+  List.iter
+    (fun proto ->
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module B = Boundness.Make (P) in
+      let full_reach = B.E.reachable_set { bounds with Explore.por = false } in
+      let red_reach = B.E.reachable_set { bounds with Explore.por = true } in
+      let full =
+        B.measure ~max_probes:max_int ~reach:full_reach
+          ~explore:{ bounds with Explore.por = false }
+          ~probe_bounds:probe ()
+      in
+      let red =
+        B.measure ~max_probes:max_int ~reach:red_reach
+          ~explore:{ bounds with Explore.por = true }
+          ~probe_bounds:probe ()
+      in
+      if (not full_reach.B.E.truncated) && not red_reach.B.E.truncated then begin
+        incr comparable;
+        checki (P.name ^ " k_t") full.Boundness.k_t red.Boundness.k_t;
+        checki (P.name ^ " k_r") full.Boundness.k_r red.Boundness.k_r;
+        (* The measured value itself is only claim-preserving when no
+           probe ran out of budget (an exhausted probe reports [None]
+           from wherever it happened to stand). *)
+        if full.Boundness.probes_exhausted = 0 && red.Boundness.probes_exhausted = 0
+        then
+          checkb (P.name ^ " boundness preserved") true
+            (full.Boundness.boundness = red.Boundness.boundness)
+      end)
+    (registry ());
+  checkb "at least one protocol comparable" true (!comparable >= 1)
+
 let suite =
   [
     ("reach stats agree with tree reference", `Quick, test_reach_stats_agree);
@@ -189,4 +410,10 @@ let suite =
     ("lint registry identical at jobs=1 and jobs=4", `Quick, test_lint_jobs_deterministic);
     ("fuzz batches independent of job count", `Quick, test_fuzz_batches_job_independent);
     ("boundness probes identical at jobs=1 and jobs=4", `Quick, test_boundness_jobs_deterministic);
+    ("reach identical at 1/2/4 engine domains", `Quick, test_reach_domains_deterministic);
+    ("search identical at 1/2/4 engine domains", `Quick, test_search_domains_deterministic);
+    ("por preserves projections and phantoms", `Quick, test_por_preserves_projections);
+    ("por reach agrees with tree reference", `Quick, test_por_reach_agrees_with_reference);
+    ("por preserves measured boundness", `Quick, test_por_preserves_boundness);
   ]
+  @ [ QCheck_alcotest.to_alcotest qcheck_domain_invariance ]

@@ -10,6 +10,7 @@ let small_bounds =
     submit_budget = 3;
     max_nodes = 300_000;
     allow_drop = true;
+    por = false;
   }
 
 let test_stop_and_wait_violation_found () =
@@ -139,6 +140,7 @@ let test_boundness_within_theorem_bound () =
               submit_budget = 2;
               max_nodes = 20_000;
               allow_drop = true;
+              por = false;
             }
           ~probe:Boundness.default_probe_bounds
       in
@@ -163,6 +165,7 @@ let test_boundness_semi_valid_exist () =
           submit_budget = 2;
           max_nodes = 20_000;
           allow_drop = true;
+          por = false;
         }
       ~probe:Boundness.default_probe_bounds
   in

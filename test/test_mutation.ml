@@ -245,6 +245,7 @@ let test_conformance_accepts_mcheck_counterexample () =
         submit_budget = 3;
         max_nodes = 200_000;
         allow_drop = false;
+        por = false;
       }
   with
   | Nfc_mcheck.Explore.Violation trace -> (

@@ -227,6 +227,7 @@ let test_e2e_lint_byte_identity () =
               submit_budget = 3;
               max_nodes = 20000;
               allow_drop = true;
+              por = false;
             };
         }
       in
@@ -434,6 +435,7 @@ let lint_cfg_20k =
         submit_budget = 3;
         max_nodes = 20000;
         allow_drop = true;
+        por = false;
       };
   }
 

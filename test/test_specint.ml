@@ -215,6 +215,7 @@ let lint_cfg_15k =
         submit_budget = 3;
         max_nodes = 15_000;
         allow_drop = true;
+        por = false;
       };
   }
 
