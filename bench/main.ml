@@ -568,6 +568,55 @@ let json_mode ~full =
           ])
       [ "stop_and_wait.nfc"; "alternating_bit.nfc"; "bounded_counter.nfc" ]
   in
+  (* Refinement cost: the CEGAR loop priced on its two pinned witnesses.
+     flooding_counter promotes (one round: candidate upheld by a bounded
+     replay, re-run converges concretely); pumped_counter refutes (the
+     replay finds a concrete trace past the candidate bound, R1).  The
+     interesting comparison is refine wall-clock vs the bounded lint the
+     promotion lets a caller skip — the replay IS a bounded search, so
+     refinement costs the same order as one lint tier, not the fixpoint's
+     microseconds. *)
+  let refinement =
+    let spec_file name =
+      let candidates = [ "examples/specs/" ^ name; "../examples/specs/" ^ name ] in
+      match List.find_opt Sys.file_exists candidates with
+      | Some p -> p
+      | None -> failwith ("cannot locate examples/specs/" ^ name)
+    in
+    let count_json n =
+      if n = Nfc_absint.Opvec.omega then Json.String "omega" else Json.Int n
+    in
+    List.map
+      (fun file ->
+        let c =
+          match Nfc_pdl.Pdl.load_file (spec_file file) with
+          | Ok c -> c
+          | Error msg -> failwith msg
+        in
+        ignore (Nfc_refine.Refine.run ~rounds:3 c.Nfc_pdl.Pdl.checked);
+        let t0 = Unix.gettimeofday () in
+        let res = Nfc_refine.Refine.run ~rounds:3 c.Nfc_pdl.Pdl.checked in
+        let refine_s = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        ignore
+          (Nfc_lint.Engine.run Nfc_lint.Checks.default_config c.Nfc_pdl.Pdl.spec);
+        let bounded_s = Unix.gettimeofday () -. t0 in
+        Json.Obj
+          [
+            ("spec", Json.String file);
+            ( "base_product",
+              count_json res.Nfc_refine.Refine.base.Nfc_specint.Specint.product );
+            ( "refined_product",
+              count_json res.Nfc_refine.Refine.report.Nfc_specint.Specint.product );
+            ("rounds_used", Json.Int res.Nfc_refine.Refine.rounds_used);
+            ("promoted", Json.Bool res.Nfc_refine.Refine.promoted);
+            ( "refutations",
+              Json.Int (List.length res.Nfc_refine.Refine.refuted) );
+            ("refine_seconds", Json.Float refine_s);
+            ("bounded_lint_seconds", Json.Float bounded_s);
+          ])
+      [ "flooding_counter.nfc"; "pumped_counter.nfc" ]
+  in
   (* Intra-search ablation: one full exploration per (protocol, domain
      count), fresh engine each run — what the work-stealing parallel BFS
      buys on THIS machine.  On a single-core container the curve is
@@ -670,7 +719,7 @@ let json_mode ~full =
     (Json.to_string
        (Json.Obj
           [
-            ("bench", Json.String "BENCH_8");
+            ("bench", Json.String "BENCH_9");
             ("mode", Json.String (if full then "full" else "quick"));
             ("unit", Json.String "ns/run (bechamel OLS, monotonic clock)");
             ("estimates", Json.List estimates);
@@ -681,6 +730,7 @@ let json_mode ~full =
             ("cover_vs_explore", Json.List cover_vs_explore);
             ("pdl_interp", Json.List pdl_interp);
             ("specint", Json.List specint);
+            ("refinement", Json.List refinement);
             ("service_loadgen", service);
           ]))
 

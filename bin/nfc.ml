@@ -571,8 +571,22 @@ let lint_cmd =
              exploration.  A static/bounded contradiction blocks the upgrade and is \
              reported under rule A1.")
   in
+  let refine =
+    Arg.(
+      value & opt int 0
+      & info [ "refine" ] ~docv:"N"
+          ~doc:
+            "Run up to N counterexample-guided refinement rounds when the static tier's \
+             Theorem 2.1 product is ω-parametric (implies $(b,--static); requires \
+             $(b,--spec)): abstract widening witnesses are replayed concretely on the \
+             compiled automaton, spurious ones split the offending slot's interval at \
+             the guard constant and re-run the fixpoint, real ones become located R1 \
+             findings with a concrete trace.  Exhausting N degrades to the unrefined \
+             answer — refinement never weakens soundness.")
+  in
   let run spec_path protocol capacity submits nodes strict json complete cover_nodes
-      sarif static jobs engine_domains por =
+      sarif static refine jobs engine_domains por =
+    let static = static || refine > 0 in
     let compiled =
       match spec_path with
       | None -> None
@@ -619,6 +633,14 @@ let lint_cmd =
     | results ->
         let results =
           match (static, compiled) with
+          | true, Some c when refine > 0 ->
+              let res = Nfc_refine.Refine.run ~rounds:refine c.Nfc_pdl.Pdl.checked in
+              List.map
+                (Nfc_specint.Specint.apply_to_lint
+                   ~refine_rounds:res.Nfc_refine.Refine.rounds_used
+                   ~refine_notes:(Nfc_refine.Refine.notes res)
+                   res.Nfc_refine.Refine.report)
+                results
           | true, Some c ->
               let rep = Nfc_specint.Specint.analyze c.Nfc_pdl.Pdl.checked in
               List.map (Nfc_specint.Specint.apply_to_lint rep) results
@@ -645,8 +667,8 @@ let lint_cmd =
         ^ "): header budgets, input-enabledness, Theorem 2.1 boundness certificates"))
     Term.(
       const run $ spec_path $ protocol $ capacity $ submits $ nodes $ strict $ json
-      $ complete $ cover_nodes $ sarif $ static $ jobs_arg $ engine_domains_arg
-      $ por_arg)
+      $ complete $ cover_nodes $ sarif $ static $ refine $ jobs_arg
+      $ engine_domains_arg $ por_arg)
 
 (* ---------------------------------------------------------------- cover *)
 
@@ -894,16 +916,34 @@ let pdl_cmd =
             "Also write the checker diagnostics (rule P1) and, under $(b,--analyze), the \
              static findings to FILE as SARIF 2.1.0 with source-file locations")
   in
-  let run files json analyze sarif =
+  let refine =
+    Arg.(
+      value & opt int 0
+      & info [ "refine" ] ~docv:"N"
+          ~doc:
+            "Run up to N counterexample-guided refinement rounds on each compiling file \
+             (implies $(b,--analyze)): ω-parametric products are refined by splitting \
+             widened slots at guard constants, with spurious/real witnesses decided by \
+             a concrete replay; the reported findings include any located R1 \
+             refutations and the JSON carries the per-round log")
+  in
+  let run files json analyze refine sarif =
+    let analyze = analyze || refine > 0 in
     let worst = ref 0 in
     let count sev = worst := max !worst (match sev with Nfc_pdl.Diag.Error -> 2 | Nfc_pdl.Diag.Warning -> 1) in
     let entries = ref [] in
     List.iter
       (fun file ->
+        (* The refined report doubles as the static report so SARIF and
+           JSON carry the located R1 findings like any other finding. *)
         let static_report ck =
-          if analyze then Some (Nfc_specint.Specint.analyze ck) else None
+          if not analyze then (None, None)
+          else if refine > 0 then
+            let res = Nfc_refine.Refine.run ~rounds:refine ck in
+            (Some res.Nfc_refine.Refine.report, Some res)
+          else (Some (Nfc_specint.Specint.analyze ck), None)
         in
-        let report ~ok ~name ~digest ~static diags =
+        let report ~ok ~name ~digest ~static:(static, refined) diags =
           List.iter (fun (d : Nfc_pdl.Diag.t) -> count d.Nfc_pdl.Diag.severity) diags;
           entries :=
             { Nfc_specint.Sarif.path = file; diags; static_report = static } :: !entries;
@@ -919,9 +959,12 @@ let pdl_cmd =
                       | Some d -> [ ("digest", Nfc_util.Json.String d) ]
                       | None -> [])
                     @ [ ("diagnostics", Nfc_pdl.Pdl.diags_to_json diags) ]
+                    @ (match static with
+                      | Some rep -> [ ("static", Nfc_specint.Specint.to_json rep) ]
+                      | None -> [])
                     @
-                    match static with
-                    | Some rep -> [ ("static", Nfc_specint.Specint.to_json rep) ]
+                    match refined with
+                    | Some res -> [ ("refine", Nfc_refine.Refine.to_json res) ]
                     | None -> [])))
           else begin
             List.iter
@@ -930,8 +973,11 @@ let pdl_cmd =
             if ok && diags = [] then
               Format.printf "%s: ok (%s)@." file
                 (match name with Some n -> n | None -> "?");
-            match static with
+            (match static with
             | Some rep -> Format.printf "%a" (Nfc_specint.Specint.pp ~file) rep
+            | None -> ());
+            match refined with
+            | Some res -> Format.printf "%a" Nfc_refine.Refine.pp res
             | None -> ()
           end
         in
@@ -942,7 +988,7 @@ let pdl_cmd =
               ~digest:(Some c.Nfc_pdl.Pdl.digest)
               ~static:(static_report c.Nfc_pdl.Pdl.checked)
               c.Nfc_pdl.Pdl.warnings
-        | Error (`Diags ds) -> report ~ok:false ~name:None ~digest:None ~static:None ds
+        | Error (`Diags ds) -> report ~ok:false ~name:None ~digest:None ~static:(None, None) ds
         | Error (`File msg) ->
             (* Unreadable file: a synthetic whole-file error so the JSON,
                SARIF and exit-code paths treat it like any other error. *)
@@ -950,7 +996,7 @@ let pdl_cmd =
             let d =
               Nfc_pdl.Diag.error { Nfc_pdl.Diag.first = pos; last = pos } msg
             in
-            report ~ok:false ~name:None ~digest:None ~static:None [ d ])
+            report ~ok:false ~name:None ~digest:None ~static:(None, None) [ d ])
       files;
     (match sarif with
     | Some out ->
@@ -970,7 +1016,7 @@ let pdl_cmd =
        ~doc:
          "Compile and statically check protocol definition files; every file is checked, \
           and the exit code is the maximum severity (0 clean, 1 warnings, 2 errors)")
-    Term.(const run $ files $ json $ analyze $ sarif)
+    Term.(const run $ files $ json $ analyze $ refine $ sarif)
 
 (* ----------------------------------------------------------------- main *)
 

@@ -9,7 +9,13 @@ let omega = max_int
    interpreter (Nfc_specint) so its interval widening provably lands in
    the same ω-order this module's [le]/[join] use.  Arguments must be
    non-negative or ω. *)
-let sat_add a b = if a = omega || b = omega then omega else a + b
+let sat_add a b =
+  if a = omega || b = omega then omega
+  else
+    let s = a + b in
+    (* Two non-negative finite counts wrap negative exactly on native-int
+       overflow; an upper bound may only round up, so saturate to ω. *)
+    if s < 0 then omega else s
 
 let sat_mul a b =
   if a = 0 || b = 0 then 0

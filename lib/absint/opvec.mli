@@ -22,7 +22,9 @@ type t
     (it is [max_int], far above any reachable multiplicity). *)
 val omega : int
 
-(** ω-saturating sum on non-negative counts: [sat_add a ω = ω].  Shared
+(** ω-saturating sum on non-negative counts: [sat_add a ω = ω], and
+    finite overflow also saturates to ω (an upper bound may only ever
+    round up — results always stay in [0,ω]).  Shared
     with {!Nfc_specint}'s counter-abstraction intervals so spec-level
     widening uses exactly this module's ω encoding. *)
 val sat_add : int -> int -> int

@@ -28,6 +28,11 @@ type t = {
   cover : cover_summary option;
   engine_domains : int;
   por : bool;
+  refine_rounds : int option;
+      (* CEGAR provenance: how many abstraction-refinement rounds the
+         static tier ran before these strengths were assigned.  [None]
+         when no refinement was requested, [Some 0] when requested but
+         the one-shot fixpoint already sufficed. *)
 }
 
 let strength_to_string = function
@@ -124,4 +129,5 @@ let to_json c =
          produced so differential gates can assert the invariance. *)
       ("engine_domains", Json.Int c.engine_domains);
       ("por", Json.Bool c.por);
+      ("refine_rounds", Json.opt (fun n -> Json.Int n) c.refine_rounds);
     ]

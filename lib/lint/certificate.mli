@@ -59,6 +59,11 @@ type t = {
       (** intra-search domain count the exploration ran with; verdicts
           are domain-count-invariant, recorded for provenance *)
   por : bool;  (** whether the exploration used lazy-drop POR *)
+  refine_rounds : int option;
+      (** CEGAR provenance: abstraction-refinement rounds the static tier
+          ran before these strengths were assigned.  [None] when no
+          refinement was requested, [Some 0] when requested but the
+          one-shot fixpoint already sufficed *)
 }
 
 (** ["static"], ["complete"] or ["bounded(N)"]. *)

@@ -445,6 +445,7 @@ module Make (P : Spec.S) = struct
         cover = !cover_summary;
         engine_domains = max 1 cfg.engine_domains;
         por = cfg.bounds.Explore.por;
+        refine_rounds = None;
       }
     in
     (List.rev !diags, certificate)

@@ -65,6 +65,14 @@ let all =
       summary =
         "a located parse/type/range/exhaustiveness finding in a .nfc spec file";
     };
+    {
+      id = "R1";
+      title = "refinement refutation";
+      anchor = "CEGAR over the spec-level fixpoint (DESIGN 5.14)";
+      summary =
+        "a candidate slot invariant concretely refuted during abstraction \
+         refinement, with a located witness trace";
+    };
   ]
 
 let find id = List.find_opt (fun m -> m.id = id) all

@@ -595,6 +595,103 @@ module Make (P : Spec.S) = struct
     | Some trace -> Violation trace
     | None -> if !n_visited >= bounds.max_nodes then Node_budget stats else No_violation stats
 
+  type replay_outcome =
+    | Replay_refuted of Execution.t * config * stats
+    | Replay_upheld of stats * bool
+
+  (* Concrete replay of a state predicate, used by the refinement layer
+     to decide whether an abstract witness is real.  BFS over the gated
+     ([deliver_valid_only] defaults to [true], matching the boundness
+     semantics the static tier certifies) successor graph, checking
+     [monitor] on every configuration in BFS generation order — so a
+     refutation comes with a shortest witness trace, and the result is
+     independent of the parallel engine's domain count by construction
+     (the replay is always sequential).  [Replay_upheld (_, truncated)]
+     with [truncated = true] means the node budget was exhausted before
+     the frontier drained: the predicate held on everything explored but
+     is not certified. *)
+  let replay_monitor ?(deliver_valid_only = true) ?size_hint
+      ?(checkpoint = default_checkpoint) ~(monitor : config -> bool) bounds =
+    let nodes : node array ref =
+      ref (Array.make 1024 { cfg = initial; parent = -1; act = None; depth = 0 })
+    in
+    let n_nodes = ref 0 in
+    let add_node node =
+      if !n_nodes >= Array.length !nodes then begin
+        let bigger = Array.make (2 * Array.length !nodes) node in
+        Array.blit !nodes 0 bigger 0 !n_nodes;
+        nodes := bigger
+      end;
+      !nodes.(!n_nodes) <- node;
+      incr n_nodes;
+      !n_nodes - 1
+    in
+    let sz = visited_size ?size_hint bounds in
+    let visited = Ctbl.create sz in
+    let senders = Hashtbl.create (state_tbl_size sz) in
+    let receivers = Hashtbl.create (state_tbl_size sz) in
+    let n_visited = ref 0 in
+    let max_depth = ref 0 in
+    let ticks = ref 0 in
+    let truncated = ref false in
+    let queue = Queue.create () in
+    let visit cfg parent act depth =
+      if not (Ctbl.mem visited cfg) then begin
+        Ctbl.add visited cfg ();
+        incr n_visited;
+        Hashtbl.replace senders cfg.sid ();
+        Hashtbl.replace receivers cfg.rid ();
+        if depth > !max_depth then max_depth := depth;
+        let idx = add_node { cfg; parent; act; depth } in
+        Queue.push idx queue
+      end
+    in
+    let path_to idx =
+      let rec go idx acc =
+        if idx < 0 then acc
+        else
+          let node = !nodes.(idx) in
+          let acc = match node.act with None -> acc | Some a -> a :: acc in
+          go node.parent acc
+      in
+      go idx []
+    in
+    let result = ref None in
+    visit initial (-1) None 0;
+    if not (monitor initial) then result := Some ([], initial);
+    (try
+       if Option.is_some !result then raise Exit;
+       while not (Queue.is_empty queue) do
+         if !n_visited >= bounds.max_nodes then begin
+           truncated := true;
+           raise Exit
+         end;
+         let idx = Queue.pop queue in
+         incr ticks;
+         if !ticks land 2047 = 0 then checkpoint ();
+         let node = !nodes.(idx) in
+         iter_successors ~deliver_valid_only bounds node.cfg (fun act cfg' ->
+             if (not (Ctbl.mem visited cfg')) && not (monitor cfg') then begin
+               let prefix = path_to idx in
+               let final = match act with Some a -> [ a ] | None -> [] in
+               result := Some (prefix @ final, cfg');
+               raise Exit
+             end;
+             visit cfg' idx act (node.depth + 1))
+       done
+     with Exit -> ());
+    let stats =
+      {
+        nodes = !n_visited;
+        sender_states = Hashtbl.length senders;
+        receiver_states = Hashtbl.length receivers;
+        max_depth = !max_depth;
+      }
+    in
+    match !result with
+    | Some (trace, cfg) -> Replay_refuted (trace, cfg, stats)
+    | None -> Replay_upheld (stats, !truncated)
+
   (* ------------------------------------------------------------------ *)
   (* Intra-search parallel core: level-synchronised BFS reproducing the
      sequential engine's results byte-for-byte at any domain count.

@@ -239,4 +239,28 @@ module Make (P : Nfc_protocol.Spec.S) : sig
       preserve the wedge analysis. *)
   val find_wedge_search :
     ?size_hint:int -> ?checkpoint:(unit -> unit) -> bounds -> wedge_outcome
+
+  type replay_outcome =
+    | Replay_refuted of Nfc_automata.Execution.t * config * stats
+        (** shortest trace into a configuration violating the monitor,
+            plus that configuration *)
+    | Replay_upheld of stats * bool
+        (** the monitor held on everything explored; the bool is [true]
+            when [max_nodes] truncated the sweep (held-so-far, not
+            certified) *)
+
+  (** Concrete replay of a state predicate, the spuriousness check of the
+      CEGAR layer ({!Nfc_refine}): BFS over the delivery-gated
+      ([deliver_valid_only] defaults to [true] — the boundness semantics
+      the static tier certifies) successor graph, evaluating [monitor] on
+      every configuration in BFS generation order.  A refutation therefore
+      carries a shortest witness trace.  Always sequential, so the result
+      is domain-count-invariant by construction. *)
+  val replay_monitor :
+    ?deliver_valid_only:bool ->
+    ?size_hint:int ->
+    ?checkpoint:(unit -> unit) ->
+    monitor:(config -> bool) ->
+    bounds ->
+    replay_outcome
 end

@@ -347,7 +347,27 @@ let dispatch_poll (clauses : poll_c list) (env : env) : poll_result =
   in
   go clauses
 
-let to_spec (ck : Check.checked) : Spec.t =
+(* A compiled spec with its station slots still addressable.  The
+   refinement layer replays abstract witnesses concretely and needs to
+   evaluate per-slot monitors ("sender slot 2 stays <= 40") against the
+   otherwise-opaque [sender]/[receiver] states; everything else is plain
+   [Spec.S].  Queue slots project to their length, matching the count
+   the interval domain tracks for [Aqueue] values. *)
+module type SPEC_PROBED = sig
+  include Spec.S
+
+  val sender_slot : int -> sender -> int
+
+  val receiver_slot : int -> receiver -> int
+end
+
+let slot_value (st : env) (i : int) : int =
+  match st.(i) with
+  | Vbool b -> if b then 1 else 0
+  | Vint n -> n
+  | Vqueue q -> List.length (Deque.to_list q)
+
+let to_spec_probed (ck : Check.checked) : (module SPEC_PROBED) =
   let s = compile_station ck.Check.csender in
   let r = compile_station ck.Check.creceiver in
   let module M = struct
@@ -406,5 +426,13 @@ let to_spec (ck : Check.checked) : Spec.t =
     let sender_space_bits st = s.bits st
 
     let receiver_space_bits st = r.bits st
+
+    let sender_slot i st = slot_value st i
+
+    let receiver_slot i st = slot_value st i
   end in
-  (module M : Spec.S)
+  (module M : SPEC_PROBED)
+
+let to_spec (ck : Check.checked) : Spec.t =
+  let (module P : SPEC_PROBED) = to_spec_probed ck in
+  (module P : Spec.S)

@@ -285,16 +285,24 @@ let protocol_submit ctx : Router.handler =
   end
   else
     let source =
+      (* The JSON envelope may also carry ["refine": N] — the CEGAR
+         round budget; raw-text submissions get the one-shot analysis. *)
       let t = String.trim body in
       if String.length t > 0 && t.[0] = '{' then
         match J.of_string body with
-        | Ok j -> J.get_string "spec" j
+        | Ok j -> (
+            match J.get_string "spec" j with
+            | Error e -> Error e
+            | Ok src -> (
+                match get_clamped ~lo:0 ~hi:8 ~default:0 "refine" j with
+                | Error e -> Error e
+                | Ok refine -> Ok (src, refine)))
         | Error msg -> Error ("invalid JSON body: " ^ msg)
-      else Ok body
+      else Ok (body, 0)
     in
     match source with
     | Error msg -> Router.json_error 400 msg
-    | Ok src -> (
+    | Ok (src, refine) -> (
         match Nfc_pdl.Pdl.compile_string src with
         | Error diags ->
             Telemetry.inc ctx.telemetry "nfc_protocol_submissions_total"
@@ -313,8 +321,24 @@ let protocol_submit ctx : Router.handler =
                families) refuses the spec outright — a client would
                otherwise store a protocol whose certificates can never be
                upgraded; Pass/Unknown findings ride along in the 201
-               response as the "static" report. *)
-            let rep = Nfc_specint.Specint.analyze c.Nfc_pdl.Pdl.checked in
+               response as the "static" report.  With ["refine": N] the
+               CEGAR loop runs first, so a concretely refuted candidate
+               invariant (a located R1 fail) also refuses the spec, and
+               both the 422 and the success response carry the per-round
+               "refine" log. *)
+            let rep, refined =
+              if refine > 0 then
+                let res =
+                  Nfc_refine.Refine.run ~rounds:refine c.Nfc_pdl.Pdl.checked
+                in
+                (res.Nfc_refine.Refine.report, Some res)
+              else (Nfc_specint.Specint.analyze c.Nfc_pdl.Pdl.checked, None)
+            in
+            let refine_json =
+              match refined with
+              | Some res -> [ ("refine", Nfc_refine.Refine.to_json res) ]
+              | None -> []
+            in
             let failed =
               List.filter
                 (fun (f : Nfc_specint.Specint.finding) ->
@@ -326,10 +350,10 @@ let protocol_submit ctx : Router.handler =
                 [ ("outcome", "static_refused") ];
               json_response 422
                 (J.Obj
-                   [
-                     ( "error",
-                       J.String
-                         "spec refused by the static certification gate" );
+                   ([
+                      ( "error",
+                        J.String
+                          "spec refused by the static certification gate" );
                      ( "findings",
                        J.List
                          (List.map
@@ -340,9 +364,10 @@ let protocol_submit ctx : Router.handler =
                                   ( "message",
                                     J.String f.Nfc_specint.Specint.message );
                                 ])
-                            failed) );
-                     ("static", Nfc_specint.Specint.to_json rep);
-                   ])
+                             failed) );
+                      ("static", Nfc_specint.Specint.to_json rep);
+                    ]
+                   @ refine_json))
             end
             else
               let handle = "pdl:" ^ c.Nfc_pdl.Pdl.digest in
@@ -355,13 +380,14 @@ let protocol_submit ctx : Router.handler =
                 [ ("outcome", outcome) ];
               json_response status
                 (J.Obj
-                   [
-                     ("handle", J.String handle);
-                     ("protocol", J.String (Nfc_protocol.Spec.name c.Nfc_pdl.Pdl.spec));
-                     ("digest", J.String c.Nfc_pdl.Pdl.digest);
-                     ("warnings", Nfc_pdl.Pdl.diags_to_json c.Nfc_pdl.Pdl.warnings);
-                     ("static", Nfc_specint.Specint.to_json rep);
-                   ]))
+                   ([
+                      ("handle", J.String handle);
+                      ("protocol", J.String (Nfc_protocol.Spec.name c.Nfc_pdl.Pdl.spec));
+                      ("digest", J.String c.Nfc_pdl.Pdl.digest);
+                      ("warnings", Nfc_pdl.Pdl.diags_to_json c.Nfc_pdl.Pdl.warnings);
+                      ("static", Nfc_specint.Specint.to_json rep);
+                    ]
+                   @ refine_json)))
 
 let protocol_list ctx : Router.handler =
  fun ~params:_ _req ->

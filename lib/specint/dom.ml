@@ -64,15 +64,29 @@ let itv_meet a b =
 
 let itv_join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
 
-(* Widening against the slot's declared [ceiling]: a growing bound jumps
-   straight to the ceiling's bound (ω for counters, the declared range
-   end for range slots), so the chain stabilises after one jump per
-   side. *)
+(* Widening against the slot's [ceiling] (widening target): a growing
+   bound jumps straight to the target's bound (ω for counters, the
+   declared range end for range slots), so the chain stabilises after one
+   jump per side.  The jump rounds OUTWARD past the join — a target
+   tighter than the join (a refinement-installed split point that turned
+   out too low) never truncates it, so the widened value over-approximates
+   the join for EVERY target and soundness does not depend on the target
+   being an invariant.  A too-low target merely degrades to exact
+   iteration past the split point (bounded by the round cap). *)
 let itv_widen ~ceiling ~prev next =
   {
-    lo = (if next.lo < prev.lo then ceiling.lo else next.lo);
-    hi = (if next.hi > prev.hi then ceiling.hi else next.hi);
+    lo = (if next.lo < prev.lo then min ceiling.lo next.lo else next.lo);
+    hi = (if next.hi > prev.hi then max ceiling.hi next.hi else next.hi);
   }
+
+(* Disjunctive split of [iv] at [c]: the two halves [lo,c] / [c+1,hi] of
+   the refinement partition.  [None] when [c] does not split the interior
+   ([c] outside or at the top).  Refinement analyses the lower half as the
+   widening target and lets the fixpoint prove the upper half
+   unreachable. *)
+let itv_split iv c =
+  if c < iv.lo || c >= iv.hi then None
+  else Some ({ iv with hi = c }, { iv with lo = sadd_up c 1 })
 
 let itv_size iv =
   if iv.hi = omega || iv.lo = neg_omega then omega

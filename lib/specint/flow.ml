@@ -35,14 +35,34 @@ type clause_kind = [ `On | `Poll ]
 
 type station = {
   slots : Check.slot array;
-  ceilings : Dom.itv array;  (* per-slot widening targets / declared domains *)
+  ceilings : Dom.itv array;  (* declared domains, the post-action clamp *)
+  targets : Dom.itv array;
+      (* per-slot widening targets: the declared domain by default, a
+         refinement-installed split interval when the CEGAR loop
+         re-runs the fixpoint on a partitioned slot ({!Dom.itv_split}).
+         Targets only steer where widening jumps — {!Dom.itv_widen}
+         rounds outward past the join, so any target is sound. *)
   saturating : bool array;   (* counter slots with a saturation hook *)
   clauses : (Check.cclause * clause_kind) array;
   mutable env : Dom.env;
   feasible : bool array;  (* clause ever enabled at the fixpoint *)
 }
 
-let make_station (cs : Check.cstation) : station =
+(* Provenance of a widening jump: the abstract witness the refinement
+   loop replays.  [wspan] is the clause whose firing's join pushed the
+   slot past its previous bound in iteration [witer] — the "sequence of
+   clause firings" collapses to its last, deciding element, which is the
+   one that names the pumping construct in the source. *)
+type widen_event = {
+  wstation : string;  (* "sender" | "receiver" *)
+  wslot : int;
+  wname : string;
+  wspan : Nfc_pdl.Diag.span;
+  witer : int;
+  womega : bool;  (* true when the jump introduced an unbounded value *)
+}
+
+let make_station ?(targets = []) (cs : Check.cstation) : station =
   let slots = cs.Check.slots in
   let init =
     Array.map
@@ -73,9 +93,16 @@ let make_station (cs : Check.cstation) : station =
       (List.map (fun c -> (c, `On)) cs.Check.on_clauses
       @ List.map (fun c -> (c, `Poll)) cs.Check.poll_clauses)
   in
+  let widen_targets =
+    Array.mapi
+      (fun i dflt ->
+        match List.assoc_opt i targets with Some iv -> iv | None -> dflt)
+      ceilings
+  in
   {
     slots;
     ceilings;
+    targets = widen_targets;
     saturating;
     clauses;
     env = { Dom.vals = init; binder = Dom.itv_top };
@@ -237,13 +264,27 @@ type result = {
   alphabet_rt : Iset.t;  (* receiver → sender packets *)
   iterations : int;
   converged : bool;
+  widened : widen_event list;
+      (* first ω-introducing widening jump per slot, in discovery order *)
 }
+
+(* Is a slot value unbounded above (interval reaching ω, or a queue with
+   an ω-accelerated count)? — the condition the widening witness
+   records. *)
+let aval_unbounded = function
+  | Dom.Aint iv -> iv.Dom.hi = Dom.omega
+  | Dom.Aqueue q -> Opvec.fold (fun _ c acc -> acc || c = Dom.omega) q false
+  | Dom.Abool _ -> false
 
 (* One chaotic-iteration round over a station: fire every clause against
    the current env (updated in place, so later clauses see earlier
    effects — still a sound over-approximation) and accumulate emitted
-   packets.  Returns whether anything changed. *)
-let step ~widen (st : station) (incoming : Iset.t) (out : Iset.t ref) : bool =
+   packets.  Returns whether anything changed.  When [widen] is on and a
+   join pushes a slot to an unbounded value, the first such jump per slot
+   is recorded in [events] with the responsible clause's span — the
+   abstract witness the refinement loop starts from. *)
+let step ~widen ~name ~iter ~(events : widen_event list ref) (st : station)
+    (incoming : Iset.t) (out : Iset.t ref) : bool =
   let changed = ref false in
   Array.iteri
     (fun idx (c, _kind) ->
@@ -271,11 +312,35 @@ let step ~widen (st : station) (incoming : Iset.t) (out : Iset.t ref) : bool =
               (match f.post with
               | None -> ()
               | Some post ->
+                  let before = st.env in
                   let joined, c' =
-                    Dom.join_env ~widen ~ceilings:st.ceilings ~into:st.env
+                    Dom.join_env ~widen ~ceilings:st.targets ~into:st.env
                       { post with Dom.binder = Dom.itv_top }
                   in
                   if c' then begin
+                    if widen then
+                      Array.iteri
+                        (fun i v ->
+                          if
+                            aval_unbounded v
+                            && (not (aval_unbounded before.Dom.vals.(i)))
+                            && not
+                                 (List.exists
+                                    (fun w ->
+                                      w.wstation = name && w.wslot = i)
+                                    !events)
+                          then
+                            events :=
+                              {
+                                wstation = name;
+                                wslot = i;
+                                wname = st.slots.(i).Check.sname;
+                                wspan = c.Check.cspan;
+                                witer = iter;
+                                womega = true;
+                              }
+                              :: !events)
+                        joined.Dom.vals;
                     st.env <- joined;
                     changed := true
                   end))
@@ -325,16 +390,23 @@ let finish (st : station) : station_result =
   let state_bound, omega_slots = measure st in
   { env = st.env; slots = st.slots; dead; state_bound; omega_slots }
 
-let run (ck : Check.checked) : result =
-  let s = make_station ck.Check.csender
-  and r = make_station ck.Check.creceiver in
+(* [sender_targets]/[receiver_targets] are per-slot widening-target
+   overrides, (slot index, interval) pairs — the refinement loop's
+   disjunctive split intervals.  The default run widens counters straight
+   to ω. *)
+let run ?(sender_targets = []) ?(receiver_targets = []) (ck : Check.checked) :
+    result =
+  let s = make_station ~targets:sender_targets ck.Check.csender
+  and r = make_station ~targets:receiver_targets ck.Check.creceiver in
   let alpha_tr = ref Iset.empty and alpha_rt = ref Iset.empty in
   let iterations = ref 0 and converged = ref false in
+  let events = ref [] in
   while (not !converged) && !iterations < max_iterations do
     incr iterations;
     let widen = !iterations > widen_delay in
-    let c1 = step ~widen s !alpha_rt alpha_tr in
-    let c2 = step ~widen r !alpha_tr alpha_rt in
+    let iter = !iterations in
+    let c1 = step ~widen ~name:"sender" ~iter ~events s !alpha_rt alpha_tr in
+    let c2 = step ~widen ~name:"receiver" ~iter ~events r !alpha_tr alpha_rt in
     if not (c1 || c2) then converged := true
   done;
   {
@@ -344,4 +416,5 @@ let run (ck : Check.checked) : result =
     alphabet_rt = !alpha_rt;
     iterations = !iterations;
     converged = !converged;
+    widened = List.rev !events;
   }

@@ -27,6 +27,12 @@ type finding = {
   verdict : verdict;
   message : string;
   span : Diag.span option;
+  why : string option;
+      (* machine-readable imprecision provenance for Unknown or
+         ω-parametric verdicts: which slot widened (and where), whether
+         the iteration cap was hit, or which hook the rule is missing —
+         exactly what the refinement loop consumes.  [None] on concrete
+         verdicts. *)
 }
 
 type station_report = {
@@ -65,8 +71,27 @@ let station_report name (sr : Flow.station_result) : station_report =
       List.map (fun ((c : Check.cclause), _) -> c.Check.cspan) sr.Flow.dead;
   }
 
-let analyze (ck : Check.checked) : report =
-  let f = Flow.run ck in
+(* One line of provenance per ω-widened slot: who widened, where, when. *)
+let widened_why (f : Flow.result) =
+  match f.Flow.widened with
+  | [] -> None
+  | evs ->
+      Some
+        ("widened slot: "
+        ^ String.concat "; "
+            (List.map
+               (fun (w : Flow.widen_event) ->
+                 Fmt.str "%s.%s to ω at iteration %d (clause at line %d)"
+                   w.Flow.wstation w.Flow.wname w.Flow.witer
+                   w.Flow.wspan.Diag.first.Diag.line)
+               evs))
+
+(* Render a completed fixpoint as a report.  [analyze] runs the default
+   fixpoint; the refinement loop ({!Nfc_refine}) re-renders its own
+   re-runs on partitioned slot domains through the same function, so
+   promoted verdicts are byte-identical to what a one-shot run with the
+   same facts would print. *)
+let of_flow (ck : Check.checked) (f : Flow.result) : report =
   let proto_span = Some ck.Check.cprotospan in
   let alpha = Iset.union f.Flow.alphabet_tr f.Flow.alphabet_rt in
   let n_alpha = Iset.cardinal alpha in
@@ -80,6 +105,11 @@ let analyze (ck : Check.checked) : report =
     List.map (fun sp -> ("sender", sp)) sender.dead_clauses
     @ List.map (fun sp -> ("receiver", sp)) receiver.dead_clauses
   in
+  let capped_why =
+    Some
+      (Fmt.str "capped iteration: %d round(s) without stabilising"
+         f.Flow.iterations)
+  in
   let findings =
     if not f.Flow.converged then
       [
@@ -88,6 +118,7 @@ let analyze (ck : Check.checked) : report =
           verdict = Unknown;
           message = "abstract fixpoint did not converge";
           span = proto_span;
+          why = capped_why;
         };
         {
           rule = "E1";
@@ -96,12 +127,14 @@ let analyze (ck : Check.checked) : report =
             "input-enabled by construction: first-match dispatch absorbs \
              unmatched packets and every clause body is total";
           span = proto_span;
+          why = None;
         };
         {
           rule = "B1";
           verdict = Unknown;
           message = "abstract fixpoint did not converge";
           span = proto_span;
+          why = capped_why;
         };
       ]
     else
@@ -116,6 +149,7 @@ let analyze (ck : Check.checked) : report =
                   packets within the declared %d, for every budget"
                  n_alpha declared;
              span = proto_span;
+             why = None;
            }
          else
            {
@@ -127,6 +161,7 @@ let analyze (ck : Check.checked) : report =
                   reachable packets > %d declared"
                  n_alpha declared;
              span = proto_span;
+             why = None;
            });
         {
           rule = "E1";
@@ -135,6 +170,7 @@ let analyze (ck : Check.checked) : report =
             "input-enabled by construction: first-match dispatch absorbs \
              unmatched packets and every clause body is total";
           span = proto_span;
+          why = None;
         };
         {
           rule = "B1";
@@ -156,6 +192,7 @@ let analyze (ck : Check.checked) : report =
                     (List.map (fun s -> "sender." ^ s) sender.omega_slots
                     @ List.map (fun s -> "receiver." ^ s) receiver.omega_slots)));
           span = proto_span;
+          why = (if product <> Dom.omega then None else widened_why f);
         };
       ]
   in
@@ -169,6 +206,10 @@ let analyze (ck : Check.checked) : report =
             "impossibility consistency relates headers to the submission \
              budget; not decidable at the spec level";
           span = None;
+          why =
+            Some
+              "missing hook: the submission budget is an exploration \
+               parameter, unavailable at the spec level";
         };
       ]
     @ (match dead with
@@ -181,6 +222,7 @@ let analyze (ck : Check.checked) : report =
                 "no statically dead clauses; quiescence itself needs \
                  exploration";
               span = None;
+              why = Some "needs exploration: quiescence is a reachability property";
             };
           ]
       | _ ->
@@ -194,6 +236,7 @@ let analyze (ck : Check.checked) : report =
                  itself needs exploration"
                 (List.length dead);
             span = None;
+            why = Some "needs exploration: quiescence is a reachability property";
           }
           :: List.map
                (fun (st, sp) ->
@@ -202,6 +245,7 @@ let analyze (ck : Check.checked) : report =
                    verdict = Unknown;
                    message = Fmt.str "dead %s clause: never enabled" st;
                    span = Some sp;
+                   why = None;
                  })
                dead)
   in
@@ -217,6 +261,8 @@ let analyze (ck : Check.checked) : report =
     iterations = f.Flow.iterations;
     converged = f.Flow.converged;
   }
+
+let analyze (ck : Check.checked) : report = of_flow ck (Flow.run ck)
 
 let find_rule (r : report) rule =
   List.find_opt (fun f -> f.rule = rule) r.findings
@@ -251,7 +297,10 @@ let finding_json (f : finding) =
        ("verdict", Json.String (verdict_name f.verdict));
        ("message", Json.String f.message);
      ]
-    @ match f.span with None -> [] | Some sp -> [ ("span", span_json sp) ])
+    @ (match f.span with None -> [] | Some sp -> [ ("span", span_json sp) ])
+    (* Why-Unknown provenance: JSON-only so the human report stays one
+       line per rule; refinement tooling keys off this field. *)
+    @ match f.why with None -> [] | Some w -> [ ("why", Json.String w) ])
 
 let to_json (r : report) =
   Json.Obj
@@ -376,9 +425,17 @@ let check_rule (rep : report) (r : Lint.Engine.result) rule : agreement =
    append the A1 audit diagnostics.  Disagreements leave the strengths
    untouched and warn; a Fail static verdict that the bounded tier missed
    becomes an A1 error (the symbolic tier is sound, so the spec really
-   does exceed its declaration somewhere past the explored frontier). *)
-let apply_to_lint (rep : report) (r : Lint.Engine.result) : Lint.Engine.result
-    =
+   does exceed its declaration somewhere past the explored frontier).
+
+   [refine_rounds] and [refine_notes] carry the CEGAR loop's provenance
+   when [rep] came out of {!Nfc_refine}: the round count is stored in the
+   certificate (and its JSONL record), the notes become A1 Info
+   diagnostics.  The A1 cross-validation itself is unchanged — a refined
+   report is audited against the bounded exploration exactly like a
+   one-shot one, so refinement can never smuggle in an unchecked
+   upgrade. *)
+let apply_to_lint ?refine_rounds ?(refine_notes = []) (rep : report)
+    (r : Lint.Engine.result) : Lint.Engine.result =
   let upgrades = ref [] and diags = ref [] in
   List.iter
     (fun rule ->
@@ -439,6 +496,16 @@ let apply_to_lint (rep : report) (r : Lint.Engine.result) : Lint.Engine.result
       :: !diags
     else !diags
   in
+  (* [diags] is most-recent-first until the final [List.rev]; prepending
+     the notes here lands them after the upgrade summary in the output. *)
+  let diags =
+    List.rev_map
+      (fun note ->
+        Lint.Diagnostic.make ~rule:"A1" ~severity:Lint.Diagnostic.Info
+          ~protocol:r.Lint.Engine.protocol ("refinement: " ^ note))
+      refine_notes
+    @ diags
+  in
   let strength =
     List.fold_left
       (fun acc (_, s) -> Lint.Certificate.weakest acc s)
@@ -448,5 +515,6 @@ let apply_to_lint (rep : report) (r : Lint.Engine.result) : Lint.Engine.result
     r with
     Lint.Engine.diagnostics = r.Lint.Engine.diagnostics @ List.rev diags;
     certificate =
-      { c with Lint.Certificate.rule_strengths; strength };
+      { c with Lint.Certificate.rule_strengths; strength;
+        refine_rounds };
   }

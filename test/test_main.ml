@@ -20,6 +20,7 @@ let () =
       ("serve", Test_serve.suite);
       ("pdl", Test_pdl.suite);
       ("specint", Test_specint.suite);
+      ("refine", Test_refine.suite);
       ("matrix", Test_matrix.suite);
       ("edge", Test_edge.suite);
     ]
