@@ -45,8 +45,8 @@ serve-smoke: build
 # plus the end-to-end lint wall-clock at the old and new node budgets.
 # Set NFC_BENCH_FULL=1 to include the substrate suite.
 bench-json: build
-	dune exec bench/main.exe -- --json > BENCH_7.json
-	@echo "wrote BENCH_7.json"
+	dune exec bench/main.exe -- --json > BENCH_10.json
+	@echo "wrote BENCH_10.json"
 
 clean:
 	dune clean

@@ -715,11 +715,41 @@ let json_mode ~full =
           ])
       (Nfc_protocol.Registry.defaults ())
   in
+  (* Stabilization tier wall-clock: the full SS1/SS2 pipeline — legitimate
+     sweep, corrupted-product enumeration, recovery sweep, distance
+     labelling — per protocol at the tier's own bounds.  The product
+     sizes contextualize the time: the cost scales with corrupted starts,
+     not with |L|. *)
+  let stabilization =
+    List.map
+      (fun spec ->
+        let t0 = Unix.gettimeofday () in
+        let r = Nfc_stab.Converge.analyze spec Nfc_stab.Converge.default_cfg in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let module C = Nfc_stab.Converge in
+        Json.Obj
+          [
+            ("protocol", Json.String r.C.protocol);
+            ("legit_configs", Json.Int r.C.legit_configs);
+            ("legit_closed", Json.Bool r.C.legit_closed);
+            ("corrupted_starts", Json.Int r.C.starts_enumerated);
+            ("ss1", Json.String (C.verdict_to_string r.C.ss1));
+            ( "ss1_bound",
+              match C.convergence_bound r with Some b -> Json.Int b | None -> Json.Null );
+            ("ss2", Json.String (C.verdict_to_string r.C.ss2));
+            ("seconds", Json.Float seconds);
+          ])
+      [
+        Nfc_protocol.Stab_arq.make ();
+        Nfc_protocol.Alternating_bit.make ();
+        Nfc_protocol.Stop_and_wait.make ();
+      ]
+  in
   print_endline
     (Json.to_string
        (Json.Obj
           [
-            ("bench", Json.String "BENCH_9");
+            ("bench", Json.String "BENCH_10");
             ("mode", Json.String (if full then "full" else "quick"));
             ("unit", Json.String "ns/run (bechamel OLS, monotonic clock)");
             ("estimates", Json.List estimates);
@@ -731,6 +761,7 @@ let json_mode ~full =
             ("pdl_interp", Json.List pdl_interp);
             ("specint", Json.List specint);
             ("refinement", Json.List refinement);
+            ("stabilization", Json.List stabilization);
             ("service_loadgen", service);
           ]))
 

@@ -59,7 +59,8 @@ let with_spec_opt protocol =
     $ spec_arg $ protocol)
 
 let channel_doc =
-  "Channel: reliable | lossy:P | reorder:DELIVER:DROP | prob:Q | delayed:L[:P] | silent"
+  "Channel: reliable | lossy:P | reorder:DELIVER:DROP | prob:Q | delayed:L[:P] | silent | \
+   duplicating:DUP[:BASE] | capacity:CAP[:BASE]"
 
 (* Policies can carry per-channel mutable state (fifo_delayed's clock), so
    the parser -- shared with the /v1/simulate endpoint via
@@ -274,6 +275,86 @@ let mcheck_cmd =
     Term.(
       const run $ with_spec protocol $ capacity $ submits $ nodes $ no_drop $ save
       $ wedge $ engine_domains_arg $ por_arg)
+
+(* ----------------------------------------------------------------- stab *)
+
+let stab_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt protocol_conv (Nfc_protocol.Stab_arq.make ())
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:protocol_doc)
+  in
+  let capacity =
+    Arg.(value & opt int 1 & info [ "capacity" ] ~docv:"C" ~doc:"Channel capacity per direction")
+  in
+  let submits =
+    Arg.(value & opt int 2 & info [ "submits" ] ~docv:"S" ~doc:"User submission budget")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 100_000
+      & info [ "nodes" ] ~docv:"N" ~doc:"Legitimate-set configuration budget")
+  in
+  let recovery_nodes =
+    Arg.(
+      value & opt int 300_000
+      & info [ "recovery-nodes" ] ~docv:"N"
+          ~doc:"Configuration budget for each corrupted-start recovery sweep")
+  in
+  let starts =
+    Arg.(
+      value & opt int 60_000
+      & info [ "starts" ] ~docv:"N" ~doc:"Clamp on enumerated corrupted starts")
+  in
+  let states =
+    Arg.(
+      value & opt int 48
+      & info [ "states" ] ~docv:"N"
+          ~doc:"Per-side clamp on station states entering corrupted products")
+  in
+  let no_drop = Arg.(value & flag & info [ "no-drop" ] ~doc:"Forbid packet loss (pure reordering)") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable report") in
+  let run protocol capacity submits nodes recovery_nodes starts states no_drop json
+      engine_domains =
+    let cfg =
+      {
+        Nfc_stab.Converge.bounds =
+          {
+            Nfc_mcheck.Explore.capacity_tr = capacity;
+            capacity_rt = capacity;
+            submit_budget = submits;
+            max_nodes = nodes;
+            allow_drop = not no_drop;
+            por = false;
+          };
+        state_cap = states;
+        max_starts = starts;
+        recovery_nodes;
+      }
+    in
+    let report =
+      Nfc_stab.Converge.analyze ~domains:(resolve_domains engine_domains) protocol cfg
+    in
+    if json then print_endline (Nfc_util.Json.to_string (Nfc_stab.Converge.to_json report))
+    else Format.printf "%a@." Nfc_stab.Converge.pp report;
+    let worst =
+      match (report.Nfc_stab.Converge.ss1, report.Nfc_stab.Converge.ss2) with
+      | Nfc_stab.Converge.Fail, _ | _, Nfc_stab.Converge.Fail -> 2
+      | Nfc_stab.Converge.Unknown, _ | _, Nfc_stab.Converge.Unknown -> 3
+      | Nfc_stab.Converge.Pass, Nfc_stab.Converge.Pass -> 0
+    in
+    if worst <> 0 then exit worst
+  in
+  Cmd.v
+    (Cmd.info "stab"
+       ~doc:
+         "Self-stabilization analysis: legitimate set, corrupted-start convergence (SS1) and \
+          duplication resilience (SS2). Exit 0 = both pass, 2 = a failure, 3 = undetermined \
+          within budget.")
+    Term.(
+      const run $ with_spec protocol $ capacity $ submits $ nodes $ recovery_nodes $ starts
+      $ states $ no_drop $ json $ engine_domains_arg)
 
 (* ------------------------------------------------------------ boundness *)
 
@@ -571,6 +652,18 @@ let lint_cmd =
              exploration.  A static/bounded contradiction blocks the upgrade and is \
              reported under rule A1.")
   in
+  let stab =
+    Arg.(
+      value & flag
+      & info [ "stab" ]
+          ~doc:
+            "Also run the self-stabilization tier (rules SS1/SS2): legitimate-set \
+             closure, corrupted-start convergence and duplication resilience, at the \
+             tier's own bounds (the $(b,nfc stab) defaults — the corrupted product is \
+             exponential in capacity, so the tier does not inherit the lint bounds). \
+             Verdicts land as diagnostics and as 'stabilization' certificate \
+             provenance.")
+  in
   let refine =
     Arg.(
       value & opt int 0
@@ -585,7 +678,7 @@ let lint_cmd =
              answer — refinement never weakens soundness.")
   in
   let run spec_path protocol capacity submits nodes strict json complete cover_nodes
-      sarif static refine jobs engine_domains por =
+      sarif static stab refine jobs engine_domains por =
     let static = static || refine > 0 in
     let compiled =
       match spec_path with
@@ -646,6 +739,23 @@ let lint_cmd =
               List.map (Nfc_specint.Specint.apply_to_lint rep) results
           | _ -> results
         in
+        let results =
+          if not stab then results
+          else begin
+            (* Pair each result with its spec: a single -p/--spec run is
+               its own pair; a registry sweep zips with the registry,
+               whose order run_registry preserves. *)
+            let specs =
+              match protocol with
+              | Some p -> [ p ]
+              | None -> Nfc_protocol.Registry.defaults ()
+            in
+            List.map2
+              (fun spec r ->
+                Stab_tier.apply ~domains:(resolve_domains engine_domains) spec r)
+              specs results
+          end
+        in
         if json then print_string (Report.jsonl results) else Report.print results;
         (match sarif with
         | Some file ->
@@ -667,7 +777,7 @@ let lint_cmd =
         ^ "): header budgets, input-enabledness, Theorem 2.1 boundness certificates"))
     Term.(
       const run $ spec_path $ protocol $ capacity $ submits $ nodes $ strict $ json
-      $ complete $ cover_nodes $ sarif $ static $ refine $ jobs_arg
+      $ complete $ cover_nodes $ sarif $ static $ stab $ refine $ jobs_arg
       $ engine_domains_arg $ por_arg)
 
 (* ---------------------------------------------------------------- cover *)
@@ -744,6 +854,9 @@ let experiments : (string * string * (quick:bool -> seed:int -> unit)) list =
     ( "lmf",
       "Last-message-first channel comparison",
       fun ~quick ~seed:_ -> ignore (Nfc_core.Experiments.lmf ~quick ()) );
+    ( "ss",
+      "Self-stabilization: corrupted-start convergence (SS1/SS2)",
+      fun ~quick ~seed:_ -> ignore (Nfc_core.Experiments.ss ~quick ()) );
     ( "trans",
       "Transport-stack experiment",
       fun ~quick ~seed -> ignore (Nfc_transport.Experiment.run ~quick ~seed ()) );
@@ -1032,6 +1145,7 @@ let () =
             figure1_cmd;
             simulate_cmd;
             mcheck_cmd;
+            stab_cmd;
             fuzz_cmd;
             lint_cmd;
             cover_cmd;

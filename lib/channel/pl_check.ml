@@ -1,13 +1,16 @@
 module M = Nfc_util.Multiset.Int
 open Nfc_automata
 
+type mode = Strict | Relaxed
+
 type t = {
+  mode : mode;
   mutable tr : M.t;
   mutable rt : M.t;
   mutable violation : string option;
 }
 
-let create () = { tr = M.empty; rt = M.empty; violation = None }
+let create ?(mode = Strict) () = { mode; tr = M.empty; rt = M.empty; violation = None }
 
 let get t dir = match dir with Action.T_to_r -> t.tr | Action.R_to_t -> t.rt
 
@@ -28,17 +31,32 @@ let on_action t a =
           set t dir (M.add p (get t dir));
           None
       | Action.Receive_pkt (dir, p) -> (
-          match M.remove_one p (get t dir) with
-          | Some m ->
-              set t dir m;
-              None
-          | None -> fail t a "received packet with no in-transit copy (PL1)")
+          match t.mode with
+          | Strict -> (
+              match M.remove_one p (get t dir) with
+              | Some m ->
+                  set t dir m;
+                  None
+              | None -> fail t a "received packet with no in-transit copy (PL1)")
+          | Relaxed ->
+              (* PL1' for duplicating channels: a delivery (duplicate or
+                 not) must match a copy in the send-minus-drop multiset,
+                 but does not consume it — the channel may redeliver the
+                 same copy any number of times. *)
+              if M.mem p (get t dir) then None
+              else fail t a "received packet with no in-transit copy (PL1')")
       | Action.Drop_pkt (dir, p) -> (
+          (* Drops — including capacity overwrites — consume the copy in
+             either mode: an overwritten packet is gone for good. *)
           match M.remove_one p (get t dir) with
           | Some m ->
               set t dir m;
               None
-          | None -> fail t a "dropped packet not in transit (PL1)")
+          | None ->
+              fail t a
+                (match t.mode with
+                | Strict -> "dropped packet not in transit (PL1)"
+                | Relaxed -> "dropped packet not in transit (PL1')"))
       | Action.Send_msg _ | Action.Receive_msg _ -> None)
 
 let violated t = t.violation

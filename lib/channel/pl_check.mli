@@ -1,13 +1,23 @@
-(** Online checker for the physical-layer safety property (PL1).
+(** Online checker for the physical-layer safety property (PL1 / PL1').
 
     Feed it every action of an execution as it happens; it maintains the
     in-transit multiset per direction and reports the first violation
     (a receive or drop with no matching in-transit copy).  Equivalent to
-    {!Nfc_automata.Props.pl1} on the full trace, but O(log h) per action. *)
+    {!Nfc_automata.Props.pl1} on the full trace, but O(log h) per action.
+
+    [Relaxed] mode checks the PL1' obligation of duplicating channels
+    (arXiv 2006.05901's fault model): a delivery must still {e match} an
+    in-transit copy, but does not consume it — the same copy may be
+    redelivered any number of times.  The tracked multiset is then the
+    send-minus-drop content; drops (including capacity overwrites) consume
+    in either mode. *)
+
+type mode = Strict | Relaxed
 
 type t
 
-val create : unit -> t
+val create : ?mode:mode -> unit -> t
+(** Default mode is [Strict] (the paper's PL1). *)
 
 (** Returns the violation description the first time PL1 breaks; later
     calls after a violation keep returning it. *)

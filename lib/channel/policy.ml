@@ -2,6 +2,9 @@ type event = Delivered of int * int | Dropped of int * int
 
 type t = {
   name : string;
+  duplicative : bool;
+      (* true iff the policy may redeliver a copy without consuming it, in
+         which case executions satisfy only the relaxed PL1' obligation *)
   on_send : Nfc_util.Rng.t -> Transit.t -> tag:int -> pkt:int -> event list;
   on_poll : Nfc_util.Rng.t -> Transit.t -> event list;
 }
@@ -9,7 +12,7 @@ type t = {
 let no_send _rng _transit ~tag:_ ~pkt:_ = []
 let no_poll _rng _transit = []
 
-let silent = { name = "silent"; on_send = no_send; on_poll = no_poll }
+let silent = { name = "silent"; duplicative = false; on_send = no_send; on_poll = no_poll }
 
 let fifo_reliable =
   let on_send _rng transit ~tag ~pkt =
@@ -17,7 +20,7 @@ let fifo_reliable =
     | Some _ -> [ Delivered (tag, pkt) ]
     | None -> []
   in
-  { name = "fifo-reliable"; on_send; on_poll = no_poll }
+  { name = "fifo-reliable"; duplicative = false; on_send; on_poll = no_poll }
 
 let fifo_lossy ~loss =
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Policy.fifo_lossy: loss must lie in [0,1)";
@@ -33,7 +36,7 @@ let fifo_lossy ~loss =
   in
   (* Nothing lingers: every packet is delivered or dropped at send time, so
      polling is a no-op. *)
-  { name = Printf.sprintf "fifo-lossy(%.2f)" loss; on_send; on_poll = no_poll }
+  { name = Printf.sprintf "fifo-lossy(%.2f)" loss; duplicative = false; on_send; on_poll = no_poll }
 
 let uniform_reorder ~deliver ~drop =
   if deliver < 0.0 || deliver > 1.0 || drop < 0.0 || drop > 1.0 then
@@ -54,6 +57,7 @@ let uniform_reorder ~deliver ~drop =
   in
   {
     name = Printf.sprintf "uniform-reorder(d=%.2f,x=%.2f)" deliver drop;
+    duplicative = false;
     on_send = no_send;
     on_poll;
   }
@@ -92,7 +96,7 @@ let fifo_delayed ~latency ?(loss = 0.0) () =
     release ();
     List.rev !events
   in
-  { name = Printf.sprintf "fifo-delayed(L=%d,x=%.2f)" latency loss; on_send; on_poll }
+  { name = Printf.sprintf "fifo-delayed(L=%d,x=%.2f)" latency loss; duplicative = false; on_send; on_poll }
 
 let gilbert_elliott ?(good_loss = 0.01) ?(bad_loss = 0.7) ?(p_gb = 0.05) ?(p_bg = 0.25) () =
   let check name v lo hi =
@@ -123,6 +127,7 @@ let gilbert_elliott ?(good_loss = 0.01) ?(bad_loss = 0.7) ?(p_gb = 0.05) ?(p_bg 
   in
   {
     name = Printf.sprintf "gilbert-elliott(g=%.2f,b=%.2f)" good_loss bad_loss;
+    duplicative = false;
     on_send;
     on_poll = no_poll;
   }
@@ -151,21 +156,90 @@ let probabilistic ?(release = 0.25) ?(lose = false) ~q () =
   in
   {
     name = Printf.sprintf "probabilistic(q=%.2f%s)" q (if lose then ",lossy" else "");
+    duplicative = false;
     on_send;
     on_poll;
+  }
+
+(* The self-stabilization fault wrappers (arXiv 2006.05901's channel model):
+   duplication and bounded capacity compose *around* any stock policy, so
+   [capacity:2:duplicating:0.3:reorder:0.9:0.1] is one channel. *)
+
+let duplicating ?(dup = 0.2) base =
+  if dup < 0.0 || dup > 1.0 then
+    invalid_arg "Policy.duplicating: dup must lie in [0,1]";
+  let on_poll rng transit =
+    (* With probability [dup], redeliver a copy of a random in-transit
+       packet without consuming it — the original stays available for its
+       own (later) delivery or drop.  Such an execution violates strict PL1
+       (two receives, one send) but satisfies PL1': the duplicate matches a
+       copy that is still in transit. *)
+    let dups =
+      if Nfc_util.Rng.bool rng dup then
+        match Transit.redeliver_random transit rng with
+        | Some (tag, pkt) -> [ Delivered (tag, pkt) ]
+        | None -> []
+      else []
+    in
+    dups @ base.on_poll rng transit
+  in
+  {
+    name = Printf.sprintf "duplicating(p=%.2f)+%s" dup base.name;
+    duplicative = true;
+    on_send = base.on_send;
+    on_poll;
+  }
+
+let capacity_bound ~cap base =
+  if cap < 1 then invalid_arg "Policy.capacity_bound: cap must be >= 1";
+  let overflow transit =
+    (* Overwrite-oldest omission: a full channel loses its oldest copy to
+       make room for the newcomer.  The overwrite is recorded as a drop, so
+       PL1/PL1' accounting stays exact. *)
+    let events = ref [] in
+    while Transit.in_transit transit > cap do
+      match Transit.drop_oldest transit with
+      | Some (tag, pkt) -> events := Dropped (tag, pkt) :: !events
+      | None -> assert false (* in_transit > cap >= 1 *)
+    done;
+    List.rev !events
+  in
+  let on_send rng transit ~tag ~pkt =
+    let overwritten = overflow transit in
+    (* The newcomer is the youngest copy, so it survived the overwrite;
+       stock policies tolerate a base tag that was overwritten earlier
+       (deliver_tag/drop_tag return None on dead tags). *)
+    overwritten @ base.on_send rng transit ~tag ~pkt
+  in
+  {
+    name = Printf.sprintf "capacity(%d)+%s" cap base.name;
+    duplicative = base.duplicative;
+    on_send;
+    on_poll = base.on_poll;
   }
 
 (* CLI/service channel-spec syntax — one parser for [nfc simulate -c] and
    the [/v1/simulate] endpoint, so the two can never drift.  Returns a
    {e factory}: policies can carry per-channel mutable state
    ([fifo_delayed]'s clock), so each direction instantiates its own. *)
-let parse_factory s =
+let rec parse_factory s =
   let fail () =
     Error
       (Printf.sprintf
          "unknown channel %S (reliable | lossy:P | reorder:DELIVER:DROP | prob:Q | \
-          delayed:L[:P] | silent)"
+          delayed:L[:P] | duplicating:DUP[:BASE] | capacity:CAP[:BASE] | silent)"
          s)
+  in
+  (* The fault wrappers recurse on the rest of the spec: an empty rest means
+     the default base channel (a fair non-FIFO reorder). *)
+  let wrapped ~kind rest wrap =
+    let base_spec =
+      match rest with [] -> "reorder:0.9:0.0" | _ -> String.concat ":" rest
+    in
+    match parse_factory base_spec with
+    | Ok base -> Ok (fun () -> wrap (base ()))
+    | Error e ->
+        Error (Printf.sprintf "%s: in base channel %S: %s" kind base_spec e)
   in
   match String.split_on_char ':' s with
   | [ "reliable" ] -> Ok (fun () -> fifo_reliable)
@@ -191,4 +265,14 @@ let parse_factory s =
       match float_of_string_opt q with
       | Some q when q >= 0.0 && q <= 1.0 -> Ok (fun () -> probabilistic ~q ())
       | _ -> Error "prob takes prob:Q with 0 <= Q <= 1")
+  | "duplicating" :: p :: rest -> (
+      match float_of_string_opt p with
+      | Some dup when dup >= 0.0 && dup <= 1.0 ->
+          wrapped ~kind:"duplicating" rest (fun base -> duplicating ~dup base)
+      | _ -> Error "duplicating takes duplicating:DUP[:BASE] with 0 <= DUP <= 1")
+  | "capacity" :: c :: rest -> (
+      match int_of_string_opt c with
+      | Some cap when cap >= 1 ->
+          wrapped ~kind:"capacity" rest (fun base -> capacity_bound ~cap base)
+      | _ -> Error "capacity takes capacity:CAP[:BASE] with CAP >= 1")
   | _ -> fail ()

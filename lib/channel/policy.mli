@@ -24,6 +24,10 @@ type event = Delivered of int * int  (** (tag, packet) *) | Dropped of int * int
 
 type t = {
   name : string;
+  duplicative : bool;
+      (** true iff the policy may redeliver an in-transit copy without
+          consuming it; executions then satisfy only the relaxed PL1'
+          obligation checked by {!Pl_check} in [Relaxed] mode. *)
   on_send : Nfc_util.Rng.t -> Transit.t -> tag:int -> pkt:int -> event list;
   on_poll : Nfc_util.Rng.t -> Transit.t -> event list;
 }
@@ -65,9 +69,27 @@ val gilbert_elliott :
     directly. *)
 val silent : t
 
+(** [duplicating ?dup base] — the duplication fault of the
+    self-stabilization channel model (arXiv 2006.05901): per poll, with
+    probability [dup] (default 0.2), a copy of a uniformly random
+    in-transit packet is redelivered {e without being consumed}, then the
+    [base] policy runs.  Violates strict PL1 by design; every duplicate
+    still matches an in-transit copy (PL1'). *)
+val duplicating : ?dup:float -> t -> t
+
+(** [capacity_bound ~cap base] — per-direction transit bound [cap >= 1]
+    with overwrite-oldest omission: whenever a send would leave more than
+    [cap] copies in transit, the oldest copies are dropped (recorded as
+    drops) before [base]'s send hook runs.  Composable with any stock
+    policy or with {!duplicating}. *)
+val capacity_bound : cap:int -> t -> t
+
 (** Parse the CLI/service channel-spec syntax
     ([reliable | lossy:P | reorder:DELIVER:DROP | prob:Q | delayed:L[:P]
-    | silent]) into a policy {e factory} — policies can carry per-channel
-    mutable state, so each direction instantiates its own.  Shared by
+    | duplicating:DUP[:BASE] | capacity:CAP[:BASE] | silent]) into a
+    policy {e factory} — policies can carry per-channel mutable state, so
+    each direction instantiates its own.  The fault wrappers recurse on
+    the rest of the spec ([capacity:2:duplicating:0.3:lossy:0.1]); an
+    omitted BASE defaults to [reorder:0.9:0.0].  Shared by
     [nfc simulate -c] and the [/v1/simulate] endpoint. *)
 val parse_factory : string -> (unit -> t, string) result

@@ -136,6 +136,32 @@ let drop_random t rng =
   | None -> None
   | Some p -> ( match drop_pkt t p with None -> None | Some tag -> Some (tag, p))
 
+(* Deliver a *copy* of a uniformly random in-transit packet without
+   consuming the original — a duplicating channel's redelivery.  Delivery
+   counters record it; [all]/[counts]/[live] are untouched, so the relaxed
+   PL1' obligation (membership without consumption) keeps holding while
+   strict PL1 does not. *)
+let redeliver_random t rng =
+  match pick_random t rng with
+  | None -> None
+  | Some p ->
+      let tag = ref (-1) in
+      (try
+         Hashtbl.iter
+           (fun tg pkt ->
+             if pkt = p then begin
+               tag := tg;
+               raise Exit
+             end)
+           t.all
+       with Exit -> ());
+      if !tag < 0 then None
+      else begin
+        t.delivered <- t.delivered + 1;
+        bump t.delivered_per p 1;
+        Some (!tag, p)
+      end
+
 let in_transit t = t.live
 let count t p = get t.counts p
 

@@ -35,6 +35,12 @@ val deliver_tag : t -> int -> int option
 (** [deliver_random t rng] delivers a uniformly random in-transit copy. *)
 val deliver_random : t -> Nfc_util.Rng.t -> (int * int) option
 
+(** [redeliver_random t rng] delivers a {e copy} of a uniformly random
+    in-transit packet without consuming the original (a duplicating
+    channel's redelivery).  Delivery counters record it; the in-transit
+    multiset is unchanged. *)
+val redeliver_random : t -> Nfc_util.Rng.t -> (int * int) option
+
 val drop_oldest : t -> (int * int) option
 val drop_pkt : t -> int -> int option
 val drop_tag : t -> int -> int option

@@ -115,6 +115,24 @@ type t51_safety_row = { ratio : float; violation_rate : float }
 (** E-T51c — Flood's threshold-ratio safety waterline at a given q. *)
 val t51_safety : ?quick:bool -> ?seed:int -> q:float -> unit -> t51_safety_row list
 
+type ss_row = {
+  ss_protocol : string;
+  legit_configs : int;  (** size of the legitimate (reachable) set *)
+  legit_closed : bool;  (** the legitimate sweep completed within budget *)
+  corrupted_starts : int;  (** transient-fault adversary's product size *)
+  ss1 : string;  (** corrupted-start convergence verdict *)
+  ss1_bound : int option;  (** certified worst-case recovery distance *)
+  ss2 : string;  (** duplication fault-resilience verdict *)
+}
+
+(** E-SS — the transient-fault adversary ({!Nfc_stab.Converge}): corrupt
+    every station state and channel multiset, then demand autonomous
+    convergence back to the legitimate set (SS1) and re-convergence from
+    duplication exits (SS2).  The stabilizing ARQ passes with a finite
+    bound at its design capacity; the classical protocols fail from
+    explicit divergent corruptions. *)
+val ss : ?quick:bool -> unit -> ss_row list
+
 (** E-TRANS lives in {!Nfc_transport.Experiment} (the transport library
     sits above this one); [run_all] includes it.
 

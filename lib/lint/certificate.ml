@@ -33,6 +33,11 @@ type t = {
          static tier ran before these strengths were assigned.  [None]
          when no refinement was requested, [Some 0] when requested but
          the one-shot fixpoint already sufficed. *)
+  stabilization : string option;
+      (* Self-stabilization provenance ([Nfc_stab] via the SS1/SS2
+         tier): a compact "ss1=pass(bound=8) ss2=pass(bound=0)" summary
+         of the convergence verdicts the diagnostics were drawn from.
+         [None] when the stabilization tier was not requested. *)
 }
 
 let strength_to_string = function
@@ -130,4 +135,5 @@ let to_json c =
       ("engine_domains", Json.Int c.engine_domains);
       ("por", Json.Bool c.por);
       ("refine_rounds", Json.opt (fun n -> Json.Int n) c.refine_rounds);
+      ("stabilization", Json.opt (fun s -> Json.String s) c.stabilization);
     ]

@@ -64,6 +64,10 @@ type t = {
           ran before these strengths were assigned.  [None] when no
           refinement was requested, [Some 0] when requested but the
           one-shot fixpoint already sufficed *)
+  stabilization : string option;
+      (** self-stabilization provenance: compact SS1/SS2 verdict summary
+          (e.g. ["ss1=pass(bound=8) ss2=pass(bound=0)"]) when the
+          stabilization tier ran, [None] otherwise *)
 }
 
 (** ["static"], ["complete"] or ["bounded(N)"]. *)

@@ -446,6 +446,7 @@ module Make (P : Spec.S) = struct
         engine_domains = max 1 cfg.engine_domains;
         por = cfg.bounds.Explore.por;
         refine_rounds = None;
+        stabilization = None;
       }
     in
     (List.rev !diags, certificate)

@@ -66,6 +66,21 @@ let all =
         "a located parse/type/range/exhaustiveness finding in a .nfc spec file";
     };
     {
+      id = "SS1";
+      title = "self-stabilization convergence";
+      anchor = "legitimate-set closure + corrupted-start convergence (DESIGN 5.15)";
+      summary =
+        "every corrupted start must reach the closed legitimate set, with the \
+         max-distance witness trace";
+    };
+    {
+      id = "SS2";
+      title = "duplication fault-resilience";
+      anchor = "stabilization under duplicating channels, after arXiv 1011.3632 (DESIGN 5.15)";
+      summary =
+        "duplicate-delivery exits from the legitimate set must re-converge autonomously";
+    };
+    {
       id = "R1";
       title = "refinement refutation";
       anchor = "CEGAR over the spec-level fixpoint (DESIGN 5.14)";

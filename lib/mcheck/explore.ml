@@ -460,7 +460,8 @@ module Make (P : Spec.S) = struct
      phantom move was generated before the point where {!search} would
      have exhausted its node budget, i.e. whether [search] would have
      returned [Violation] rather than [Node_budget]. *)
-  let seq_reachable_set ?deliver_valid_only ?size_hint ~checkpoint bounds =
+  let seq_reachable_set ?deliver_valid_only ?(seeds = [ initial ]) ?size_hint ~checkpoint
+      bounds =
     let sz = visited_size ?size_hint bounds in
     let visited = Ctbl.create sz in
     let senders = Hashtbl.create (state_tbl_size sz) in
@@ -487,7 +488,7 @@ module Make (P : Spec.S) = struct
           Queue.push (cfg, depth, acts) queue
         end
     in
-    visit initial 0 0;
+    List.iter (fun c -> visit c 0 0) seeds;
     while not (Queue.is_empty queue) do
       let cfg, depth, acts = Queue.pop queue in
       incr ticks;
@@ -932,50 +933,76 @@ module Make (P : Spec.S) = struct
       cd_new = false;
     }
 
+  (* Below this frontier width, the two [Frontier.run] barriers of a level
+     cost more than the parallel expansion wins: run the level on the
+     calling domain instead.  Same candidate enumeration (worker ops over
+     the same snapshots), same first-occurrence insertion winners (a single
+     domain walking all candidates in rank order decides exactly what the
+     ownership stripes decide), so byte-identity at any domain count is
+     preserved — certified by the d1-vs-d4 CI gate. *)
+  let adaptive_threshold = 1024
+
   (* Expand frontier slice [lo, hi) of the node store: pass 1 and pass 2
      of the level.  Returns per-block candidate arrays; concatenated in
      block order they are the level's candidates in rank order. *)
   let expand_level pool wks vt ?deliver_valid_only bounds ~cfg_at ~lo ~hi ~insert =
     let n = hi - lo in
     let domains = Frontier.domains pool in
-    let nblocks = min n (domains * 8) in
     let ids_snap = Pvec.Index.snapshot_by_value pkts in
     let pkts_snap = Pvec.Index.snapshot_packets pkts in
-    let out = Array.make nblocks [||] in
-    Frontier.run pool ~blocks:nblocks (fun ~worker ~block ->
-        let ops = worker_ops wks.(worker) ~ids_snap ~pkts_snap in
-        let wk = wks.(worker) in
-        let b_lo = lo + (n * block / nblocks) in
-        let b_hi = lo + (n * (block + 1) / nblocks) in
-        let buf = Vec.create dummy_cand in
-        for p = b_lo to b_hi - 1 do
-          iter_successors_ops ops ?deliver_valid_only bounds (cfg_at p) (fun act cfg' ->
-              let phantom = cfg'.delivered > cfg'.submitted in
-              let key, seen = vt_probe vt wk cfg' in
-              if phantom || not seen then
-                Vec.push buf
-                  {
-                    cd_parent = p;
-                    cd_act = act;
-                    cd_cfg = cfg';
-                    cd_key = key;
-                    cd_phantom = phantom;
-                    cd_seen = seen;
-                    cd_new = false;
-                  })
-        done;
-        out.(block) <- Vec.to_array buf);
-    if insert then
-      Frontier.run pool ~blocks:domains (fun ~worker:_ ~block:role ->
-          Array.iter
-            (fun cands ->
-              Array.iter
-                (fun cd ->
-                  if (not cd.cd_seen) && vt_shard vt cd.cd_key mod domains = role then
-                    cd.cd_new <- vt_add_owned vt cd.cd_key cd.cd_cfg)
-                cands)
-            out);
-    out
+    let expand_block wk ops b_lo b_hi =
+      let buf = Vec.create dummy_cand in
+      for p = b_lo to b_hi - 1 do
+        iter_successors_ops ops ?deliver_valid_only bounds (cfg_at p) (fun act cfg' ->
+            let phantom = cfg'.delivered > cfg'.submitted in
+            let key, seen = vt_probe vt wk cfg' in
+            if phantom || not seen then
+              Vec.push buf
+                {
+                  cd_parent = p;
+                  cd_act = act;
+                  cd_cfg = cfg';
+                  cd_key = key;
+                  cd_phantom = phantom;
+                  cd_seen = seen;
+                  cd_new = false;
+                })
+      done;
+      Vec.to_array buf
+    in
+    if n < adaptive_threshold || domains <= 1 then begin
+      (* Adaptive level split: no barriers, no stealing — one block,
+         expanded and inserted in rank order on the calling domain. *)
+      let wk = wks.(0) in
+      let cands = expand_block wk (worker_ops wk ~ids_snap ~pkts_snap) lo hi in
+      if insert then
+        Array.iter
+          (fun cd ->
+            if not cd.cd_seen then cd.cd_new <- vt_add_owned vt cd.cd_key cd.cd_cfg)
+          cands;
+      [| cands |]
+    end
+    else begin
+      let nblocks = min n (domains * 8) in
+      let out = Array.make nblocks [||] in
+      Frontier.run pool ~blocks:nblocks (fun ~worker ~block ->
+          let wk = wks.(worker) in
+          let ops = worker_ops wk ~ids_snap ~pkts_snap in
+          let b_lo = lo + (n * block / nblocks) in
+          let b_hi = lo + (n * (block + 1) / nblocks) in
+          out.(block) <- expand_block wk ops b_lo b_hi);
+      if insert then
+        Frontier.run pool ~blocks:domains (fun ~worker:_ ~block:role ->
+            Array.iter
+              (fun cands ->
+                Array.iter
+                  (fun cd ->
+                    if (not cd.cd_seen) && vt_shard vt cd.cd_key mod domains = role then
+                      cd.cd_new <- vt_add_owned vt cd.cd_key cd.cd_cfg)
+                  cands)
+              out);
+      out
+    end
 
   let with_vtable ~size_hint bounds attempt =
     match packing_for bounds with
@@ -984,7 +1011,8 @@ module Make (P : Spec.S) = struct
         with Packed_overflow -> attempt (Vboxed (Cshards.create ~size_hint ())))
     | None -> attempt (Vboxed (Cshards.create ~size_hint ()))
 
-  let parallel_reachable_set ?deliver_valid_only ~domains ~size_hint ~checkpoint bounds =
+  let parallel_reachable_set ?deliver_valid_only ?(seeds = [ initial ]) ~domains
+      ~size_hint ~checkpoint bounds =
     let pool = Frontier.create ~domains in
     Fun.protect ~finally:(fun () -> Frontier.shutdown pool) @@ fun () ->
     let wks = Array.init domains (fun _ -> make_worker ()) in
@@ -993,19 +1021,31 @@ module Make (P : Spec.S) = struct
       let acts = Vec.create 0 in
       let senders = Hashtbl.create (state_tbl_size size_hint) in
       let receivers = Hashtbl.create (state_tbl_size size_hint) in
-      vt_seed vt wks.(0) initial;
-      Vec.push cfgs initial;
-      Vec.push acts 0;
-      Hashtbl.replace senders initial.sid ();
-      Hashtbl.replace receivers initial.rid ();
-      let n_visited = ref 1 in
+      let n_visited = ref 0 in
       let max_depth = ref 0 in
       let truncated = ref false in
+      (* Seed in caller order, deduplicating through the visited table —
+         the exact parallel image of the sequential seed loop, so the
+         config list stays byte-deterministic at any domain count. *)
+      List.iter
+        (fun c ->
+          let key, seen = vt_probe vt wks.(0) c in
+          if not seen then
+            if !n_visited >= bounds.max_nodes then truncated := true
+            else begin
+              ignore (vt_add_owned vt key c);
+              Vec.push cfgs c;
+              Vec.push acts 0;
+              Hashtbl.replace senders c.sid ();
+              Hashtbl.replace receivers c.rid ();
+              incr n_visited
+            end)
+        seeds;
       let first_phantom = ref None in
       let phantom_in_budget = ref false in
       let level = ref 0 in
       let lo = ref 0 in
-      let hi = ref 1 in
+      let hi = ref (Vec.length cfgs) in
       while !lo < !hi do
         checkpoint ();
         (* Budget already exhausted: the remaining frontier is expanded
@@ -1173,6 +1213,21 @@ module Make (P : Spec.S) = struct
       seq_reachable_set ?deliver_valid_only ?size_hint ~checkpoint bounds
     else
       parallel_reachable_set ?deliver_valid_only ~domains
+        ~size_hint:(visited_size ?size_hint bounds) ~checkpoint bounds
+
+  (* The corrupted-start entry point of the self-stabilization tier
+     ({!Nfc_stab.Converge}): the same BFS sweep, seeded from an enumerated
+     configuration list instead of [initial].  Seeds are visited at depth 0
+     in caller order (deduplicated); everything else — rank-ordered
+     finalisation, sharded visited table, phantom scan — is shared with
+     {!reachable_set}, so the result is byte-deterministic at any
+     [domains]. *)
+  let from_configs ?deliver_valid_only ?(domains = 1) ?size_hint
+      ?(checkpoint = default_checkpoint) ~seeds bounds =
+    if domains <= 1 || bounds.max_nodes < 1 then
+      seq_reachable_set ?deliver_valid_only ~seeds ?size_hint ~checkpoint bounds
+    else
+      parallel_reachable_set ?deliver_valid_only ~seeds ~domains
         ~size_hint:(visited_size ?size_hint bounds) ~checkpoint bounds
 
   let search ?(stop_at_phantom = true) ?(domains = 1) ?size_hint

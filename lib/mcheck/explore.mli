@@ -224,6 +224,22 @@ module Make (P : Nfc_protocol.Spec.S) : sig
     bounds ->
     reach
 
+  (** Corrupted-start exploration (the self-stabilization tier's sweep):
+      the same breadth-first machinery as {!reachable_set}, seeded from an
+      enumerated configuration list instead of [initial].  Seeds are
+      visited at depth 0 in caller order, deduplicated through the visited
+      table; the returned [configs] list (seed order, then rank order per
+      level) is byte-deterministic at any [domains] count.  A seed list
+      longer than [max_nodes] truncates. *)
+  val from_configs :
+    ?deliver_valid_only:bool ->
+    ?domains:int ->
+    ?size_hint:int ->
+    ?checkpoint:(unit -> unit) ->
+    seeds:config list ->
+    bounds ->
+    reach
+
   (** BFS counterexample search; same [domains]/[size_hint]/[checkpoint]
       contract as {!reachable_set}. *)
   val search :

@@ -47,6 +47,19 @@ let all =
           | Some e -> Error e);
     };
     {
+      key = "stab-arq";
+      aliases = [ "stab_arq"; "stabilizing-arq" ];
+      summary = "2(CAP+2) headers; self-stabilizing ARQ for CAP-bounded channels";
+      spec_doc = "stab-arq[:CAP]";
+      default = (fun () -> Stab_arq.make ());
+      parse =
+        (fun params ->
+          match params with
+          | [] -> Ok (Stab_arq.make ())
+          | [ c ] -> Result.map (fun cap -> Stab_arq.make ~cap ()) (int_param "CAP" c)
+          | _ -> Error "stab-arq takes stab-arq[:CAP]");
+    };
+    {
       key = "stenning";
       aliases = [];
       summary = "unbounded headers; safe+live on any channel";

@@ -1,0 +1,130 @@
+(** A self-stabilizing ARQ in the style of Dolev, Hanemann, Schiller and
+    Sharma's "Self-stabilizing end-to-end communication in (bounded
+    capacity, omitting, duplicating and non-FIFO) dynamic networks"
+    (arXiv 2006.05901), specialised to the paper's single-link model.
+
+    The protocol is parameterised by the channel-capacity bound [cap] it
+    is designed to tolerate.  Labels live in Z_K with [K = cap + 2];
+    data with label l is packet [l], the acknowledgement for l is
+    [K + l] — [2 K] headers total.
+
+    Two ingredients make it stabilizing where the alternating bit is not:
+
+    - {b Capacity-counting acceptance}: the receiver accepts a label only
+      after [T = cap + 1] receipts — more receipts than stale copies a
+      [cap]-bounded channel can hold, so ghost packets left by a
+      transient fault (or reordered survivors of an old epoch) can never
+      fake an acceptance by themselves.
+    - {b Perpetual emission}: an idle sender keeps emitting its previous
+      label as a keep-alive, and the receiver re-acknowledges its last
+      accepted label on every poll.  Neither station is ever silent, so
+      no product of corrupted station states is a dead end: the
+      keep-alive stream washes out any disagreement (including corrupted
+      candidate counts, which reset whenever the in-sync label is seen)
+      and drives the pair back into a legitimate configuration.
+
+    Over channels with more than [cap] packets in flight the counting
+    argument fails and the protocol is as unsafe as any bounded-header
+    protocol must be (Theorem 3.1) — [Nfc_stab] therefore analyses it at
+    capacities <= [cap]. *)
+
+let make ?(cap = 1) () : Spec.t =
+  if cap < 1 then invalid_arg "Stab_arq.make: cap must be >= 1";
+  let k = cap + 2 in
+  (* Acceptance threshold: one more receipt than the channel can hold. *)
+  let t_accept = cap + 1 in
+  let data_pkt l = l in
+  let ack_pkt l = k + l in
+  (module struct
+    let name = Printf.sprintf "stab-arq(cap=%d)" cap
+
+    let describe =
+      Printf.sprintf
+        "%d headers; self-stabilizing ARQ (labels mod %d, %d-receipt acceptance)" (2 * k) k
+        t_accept
+
+    let header_bound = Some (2 * k)
+
+    type sender = {
+      label : int;  (** label of the message in progress (or next) *)
+      pending : int;
+      inflight : bool;
+    }
+
+    type receiver = {
+      last : int;  (** last accepted label; re-acked on every poll *)
+      cand : int;  (** candidate label being counted, [-1] if none *)
+      cnt : int;  (** receipts of [cand] so far *)
+      deliver_due : int;
+    }
+
+    let sender_init = { label = 0; pending = 0; inflight = false }
+
+    let on_submit s = { s with pending = s.pending + 1 }
+
+    let on_ack s p =
+      if s.inflight && p = ack_pkt s.label then
+        { s with label = (s.label + 1) mod k; inflight = false }
+      else s
+
+    (* The sender is never silent: in flight it retransmits, idle with
+       backlog it starts the next message, otherwise it keeps emitting
+       the previous label — a re-ackable keep-alive that repairs a
+       corrupted receiver without risking a fresh acceptance from a
+       legitimate start (the receiver already holds it as [last]). *)
+    let sender_poll s =
+      if s.inflight then (Some (data_pkt s.label), s)
+      else if s.pending > 0 then
+        (Some (data_pkt s.label), { s with pending = s.pending - 1; inflight = true })
+      else (Some (data_pkt ((s.label + k - 1) mod k)), s)
+
+    let receiver_init = { last = k - 1; cand = -1; cnt = 0; deliver_due = 0 }
+
+    let on_data r p =
+      if p < 0 || p >= k then r (* ack-range or garbage: ignore *)
+      else if p = r.last then
+        (* In-sync (re-)receipt: also discard any candidate count — a
+           corrupted count must not survive confirmation of sync. *)
+        { r with cand = -1; cnt = 0 }
+      else if p = r.cand && r.cnt + 1 >= t_accept then
+        { last = p; cand = -1; cnt = 0; deliver_due = r.deliver_due + 1 }
+      else if p = r.cand then { r with cnt = r.cnt + 1 }
+      else if t_accept <= 1 then { last = p; cand = -1; cnt = 0; deliver_due = r.deliver_due + 1 }
+      else { r with cand = p; cnt = 1 }
+
+    (* Deliver owed messages first; otherwise re-acknowledge the last
+       accepted label — the receiver's half of perpetual emission. *)
+    let receiver_poll r =
+      if r.deliver_due > 0 then (Some Spec.Rdeliver, { r with deliver_due = r.deliver_due - 1 })
+      else (Some (Spec.Rsend (ack_pkt r.last)), r)
+
+    let compare_sender = Stdlib.compare
+    let compare_receiver = Stdlib.compare
+    let hash_sender = Some Spec.structural_hash
+    let hash_receiver = Some Spec.structural_hash
+
+    (* Cover saturation.  Under ω inputs the only unbounded station field
+       is [deliver_due] (labels and counts are finite by construction;
+       [pending] is bounded by the submission budget); deliveries are
+       gated at [submitted + 1], so pending deliveries beyond
+       [budget + 2] enable nothing new. *)
+    let cover_norm_sender = None
+
+    let cover_norm_receiver =
+      Some
+        (fun ~budget r ->
+          { r with deliver_due = Spec.saturate_counter ~cap:(budget + 2) r.deliver_due })
+
+    let pp_sender ppf s =
+      Format.fprintf ppf "{label=%d; pending=%d; inflight=%b}" s.label s.pending s.inflight
+
+    let pp_receiver ppf r =
+      Format.fprintf ppf "{last=%d; cand=%d; cnt=%d; deliver_due=%d}" r.last r.cand r.cnt
+        r.deliver_due
+
+    let sender_space_bits s =
+      Spec.bits_for_int (k - 1) + Spec.bits_for_int s.pending + 1
+
+    let receiver_space_bits r =
+      (2 * Spec.bits_for_int k) + Spec.bits_for_int t_accept + Spec.bits_for_int r.deliver_due
+  end)

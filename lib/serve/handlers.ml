@@ -116,6 +116,7 @@ let lint ctx : Router.handler =
      in
      let* engine_domains = get_clamped ~lo:1 ~hi:8 ~default:1 "engine_domains" body in
      let* por = J.get_bool ~default:false "por" body in
+     let* stab = J.get_bool ~default:false "stab" body in
      let cfg =
        {
          Nfc_lint.Checks.default_config with
@@ -147,8 +148,16 @@ let lint ctx : Router.handler =
                 Nfc_lint.Checks.checkpoint = (fun () -> check_cancelled cancelled);
               }
             in
+            let result = Cache.lint ?key ctx.cache proto cfg in
+            (* The stabilization tier rides outside the cache (it is not
+               part of the cache key) and runs at its own bounds — see
+               [Nfc_lint.Stab_tier]. *)
+            let result =
+              if stab then Nfc_lint.Stab_tier.apply ~domains:engine_domains proto result
+              else result
+            in
             (* One line of [nfc lint --json], sans the newline. *)
-            chomp (Nfc_lint.Report.jsonl [ Cache.lint ?key ctx.cache proto cfg ]))))
+            chomp (Nfc_lint.Report.jsonl [ result ]))))
 
 let simulate ctx : Router.handler =
  fun ~params:_ req ->

@@ -48,7 +48,14 @@ let run (module P : Spec.S) cfg =
   let tr = Transit.create () in
   let rt = Transit.create () in
   let dl = Dl_check.create () in
-  let pl = Pl_check.create () in
+  (* A duplicating channel intentionally breaks strict PL1 (two receives of
+     one send); hold such runs to the relaxed PL1' obligation instead. *)
+  let pl_mode =
+    if cfg.policy_tr.Policy.duplicative || cfg.policy_rt.Policy.duplicative then
+      Pl_check.Relaxed
+    else Pl_check.Strict
+  in
+  let pl = Pl_check.create ~mode:pl_mode () in
   let trace = ref [] in
   let record a =
     if cfg.record_trace then trace := a :: !trace;

@@ -120,9 +120,17 @@ let test_differential_phantom_agreement () =
       let name, bounded_phantom, (st : Cover.stats) = cover_of proto in
       if st.Cover.converged then begin
         incr ran;
-        checkb
-          (name ^ ": cover and explore agree on the phantom")
-          bounded_phantom st.Cover.phantom_coverable
+        if String.starts_with ~prefix:"stab-arq" name then
+          (* The stabilizing ARQ's phantom is capacity-gated (Theorem 3.1):
+             unreachable at its design capacity, reachable once the channel
+             holds more.  The capacity-unbounded cover must report it — a
+             sound over-approximation, not a disagreement. *)
+          checkb (name ^ ": cover sees the capacity-gated phantom") true
+            st.Cover.phantom_coverable
+        else
+          checkb
+            (name ^ ": cover and explore agree on the phantom")
+            bounded_phantom st.Cover.phantom_coverable
       end)
     (Nfc_protocol.Registry.defaults ());
   checkb "differential exercised most of the registry" true (!ran >= 5)
@@ -182,11 +190,20 @@ let test_flooding_protocols_downgrade () =
              (fun (d : Nfc_lint.Diagnostic.t) -> d.Nfc_lint.Diagnostic.rule = "C1")
              r.Nfc_lint.Engine.diagnostics);
         match r.Nfc_lint.Engine.certificate.Nfc_lint.Certificate.cover with
-        | Some cv -> checkb "cover summary records divergence" false cv.Nfc_lint.Certificate.cover_converged
+        | Some cv ->
+            if String.starts_with ~prefix:"stab-arq" r.Nfc_lint.Engine.protocol then
+              (* The capacity-gated case: the cover converges but cannot
+                 corroborate the capacity-relative T1 verdict, so the
+                 strength stays bounded with the contradiction diagnosed. *)
+              checkb "capacity-gated cover converges without corroborating" true
+                cv.Nfc_lint.Certificate.cover_converged
+            else
+              checkb "cover summary records divergence" false
+                cv.Nfc_lint.Certificate.cover_converged
         | None -> Alcotest.fail "complete run must attach a cover summary"
       end)
     results;
-  checki "exactly two protocols stay bounded" 2
+  checki "exactly three protocols stay bounded" 3
     (List.length (List.filter (fun r -> not (is_complete r)) results))
 
 let test_verdicts_identical_to_bounded_run () =

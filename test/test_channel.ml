@@ -386,7 +386,61 @@ let test_pl_check_matches_declarative () =
   checkb "both accept" true
     (Pl_check.violated c = None && Props.pl1 Action.T_to_r trace = None)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_transit_conservation ]
+(* Property: the capacity fault wrapper never lets transit exceed cap and
+   keeps the conservation books (overwrites are recorded drops). *)
+let prop_capacity_bound_clamps =
+  QCheck.Test.make ~name:"capacity_bound clamps transit and conserves" ~count:200
+    QCheck.(pair (int_range 1 4) (small_list (int_bound 5)))
+    (fun (cap, ops) ->
+      let policy = Policy.capacity_bound ~cap (Policy.uniform_reorder ~deliver:0.5 ~drop:0.1) in
+      let t = Transit.create () in
+      let rng = Nfc_util.Rng.of_int 13 in
+      List.for_all
+        (fun op ->
+          (if op <= 3 then
+             let tag = Transit.send t op in
+             ignore (policy.Policy.on_send rng t ~tag ~pkt:op)
+           else ignore (policy.Policy.on_poll rng t));
+          Transit.in_transit t <= cap
+          && Transit.sent_total t
+             = Transit.delivered_total t + Transit.dropped_total t + Transit.in_transit t)
+        ops)
+
+(* Property: every delivery of a duplicating channel — duplicates
+   included — matches an in-transit (sent-minus-dropped) copy: the PL1'
+   obligation, as judged by the relaxed online checker. *)
+let prop_duplicating_pl1_relaxed =
+  QCheck.Test.make ~name:"duplicating deliveries match in-transit copies (PL1')" ~count:200
+    QCheck.(small_list (int_bound 4))
+    (fun ops ->
+      let open Nfc_automata in
+      let policy = Policy.duplicating ~dup:0.6 (Policy.uniform_reorder ~deliver:0.5 ~drop:0.2) in
+      let t = Transit.create () in
+      let rng = Nfc_util.Rng.of_int 21 in
+      let c = Pl_check.create ~mode:Pl_check.Relaxed () in
+      let feed =
+        List.iter (fun ev ->
+            let a =
+              match ev with
+              | Policy.Delivered (_, p) -> Action.Receive_pkt (Action.T_to_r, p)
+              | Policy.Dropped (_, p) -> Action.Drop_pkt (Action.T_to_r, p)
+            in
+            ignore (Pl_check.on_action c a))
+      in
+      List.iter
+        (fun op ->
+          if op <= 2 then begin
+            let tag = Transit.send t op in
+            ignore (Pl_check.on_action c (Action.Send_pkt (Action.T_to_r, op)));
+            feed (policy.Policy.on_send rng t ~tag ~pkt:op)
+          end
+          else feed (policy.Policy.on_poll rng t))
+        ops;
+      Pl_check.violated c = None)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_transit_conservation; prop_capacity_bound_clamps; prop_duplicating_pl1_relaxed ]
 
 let suite =
   [

@@ -256,6 +256,36 @@ let test_search_domains_deterministic () =
         [ false; true ])
     (all_protocols ())
 
+let test_from_configs_domains_deterministic () =
+  List.iter
+    (fun proto ->
+      let module P = (val proto : Nfc_protocol.Spec.S) in
+      let module E = Explore.Make (P) in
+      let b = { dbounds with Explore.max_nodes = 2_000 } in
+      let seeds =
+        (* Recovery-style corrupted seeds: the reached set in reverse with
+           the counters zeroed — exercises the seeds-at-depth-0-in-caller-
+           order contract, not just the initial-config path. *)
+        let r = E.reachable_set ~domains:1 b in
+        List.rev_map (fun c -> { c with E.submitted = 0; delivered = 0 }) r.E.configs
+      in
+      let rb = { b with Explore.submit_budget = 0 } in
+      let base = E.from_configs ~domains:1 ~seeds rb in
+      List.iter
+        (fun domains ->
+          let r = E.from_configs ~domains ~seeds rb in
+          let tag = Printf.sprintf "%s domains=%d from_configs" P.name domains in
+          checkb (tag ^ " stats") true (r.E.reach_stats = base.E.reach_stats);
+          checkb (tag ^ " truncated") true (r.E.truncated = base.E.truncated);
+          checki (tag ^ " |configs|") (List.length base.E.configs)
+            (List.length r.E.configs);
+          checkb (tag ^ " configs identical in sweep order") true
+            (List.for_all2
+               (fun a c -> E.compare_config a c = 0)
+               base.E.configs r.E.configs))
+        [ 2; 4 ])
+    (registry ())
+
 (* QCheck: the domain-count invariance must hold at ANY bounds, not just
    the hand-picked ones above — random capacities, budgets, node caps,
    drop and POR settings over random registry protocols. *)
@@ -412,6 +442,9 @@ let suite =
     ("boundness probes identical at jobs=1 and jobs=4", `Quick, test_boundness_jobs_deterministic);
     ("reach identical at 1/2/4 engine domains", `Quick, test_reach_domains_deterministic);
     ("search identical at 1/2/4 engine domains", `Quick, test_search_domains_deterministic);
+    ( "corrupted-start sweep identical at 1/2/4 engine domains",
+      `Quick,
+      test_from_configs_domains_deterministic );
     ("por preserves projections and phantoms", `Quick, test_por_preserves_projections);
     ("por reach agrees with tree reference", `Quick, test_por_reach_agrees_with_reference);
     ("por preserves measured boundness", `Quick, test_por_preserves_boundness);

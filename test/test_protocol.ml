@@ -503,7 +503,7 @@ let test_registry_parse () =
   checkb "extra params rejected" true (Result.is_error (Registry.parse "stenning:3"))
 
 let test_registry_covers_all_protocols () =
-  checki "seven entries" 7 (List.length Registry.all);
+  checki "eight entries" 8 (List.length Registry.all);
   let names = List.map Spec.name (Registry.defaults ()) in
   checki "no duplicate defaults" (List.length names)
     (List.length (List.sort_uniq compare names));
